@@ -1,0 +1,31 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures lint-clean all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate every paper table/figure via the CLI (quick scales).
+figures:
+	$(PYTHON) -m repro table1
+	$(PYTHON) -m repro table2 --m 16 --k 3 --p 1000
+	$(PYTHON) -m repro fig03
+	$(PYTHON) -m repro fig08
+	$(PYTHON) -m repro fig10 --quick
+	$(PYTHON) -m repro fig11 --quick
+	$(PYTHON) -m repro ratios
+	$(PYTHON) -m repro tails
+	$(PYTHON) -m repro explore
+
+all: install test bench

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the scheduling hot paths.
+
+Dispatch throughput is the scalability argument for immediate dispatch
+(Section 1): EFT decides in O(k) per task.  These benches track the
+per-task cost of the analytic driver, the event-driven engine, and the
+offline solvers.
+"""
+
+import pytest
+
+from repro.core import EFT, eft_schedule, fifo_schedule
+from repro.offline import optimal_unit_fmax
+from repro.simulation import Simulator, WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(m=15, n=5000, lam=0.5 * 15, k=3, strategy="overlapping")
+    return generate_workload(spec, rng=0)
+
+
+@pytest.fixture(scope="module")
+def small_unit_workload():
+    spec = WorkloadSpec(m=6, n=60, lam=3.0, k=3, strategy="disjoint")
+    inst = generate_workload(spec, rng=1)
+    # integral releases for the exact solver
+    from repro.core import Instance, Task
+
+    tasks = tuple(
+        Task(tid=t.tid, release=float(int(t.release)), proc=1.0, machines=t.machines)
+        for t in inst
+    )
+    return Instance(m=6, tasks=tasks)
+
+
+def test_eft_dispatch_throughput(benchmark, workload):
+    """Analytic EFT over 5000 tasks, m=15, k=3."""
+    result = benchmark(eft_schedule, workload, "min")
+    assert len(result) == 5000
+
+
+def test_array_eft_throughput(benchmark, workload):
+    """The array fast path on the same workload (ablation vs the
+    reference implementation above)."""
+    from repro.core import array_eft_fmax
+
+    fmax = benchmark(array_eft_fmax, workload, "min")
+    assert fmax == eft_schedule(workload, "min").max_flow
+
+
+def test_fifo_event_loop_throughput(benchmark, workload):
+    """Event-driven FIFO on the unrestricted projection of the same
+    workload."""
+    unrestricted = workload.with_machine_sets([None] * workload.n)
+    result = benchmark(fifo_schedule, unrestricted, "min")
+    assert len(result) == 5000
+
+
+def test_engine_throughput(benchmark, workload):
+    """Full event-driven engine (3 events per task)."""
+
+    def run():
+        sim = Simulator(EFT(15, tiebreak="min"))
+        sim.add_instance(workload)
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.n_completed == 5000
+
+
+def test_unit_opt_solver(benchmark, small_unit_workload):
+    """Exact matching-based optimum on a 60-task instance."""
+    value = benchmark(optimal_unit_fmax, small_unit_workload)
+    assert value >= 1

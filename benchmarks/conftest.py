@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure (or an ablation) and
+prints the resulting rows, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.  Heavy experiment campaigns run
+once per benchmark (``pedantic`` with one round); micro-benchmarks of
+the hot paths use the default calibration.
+
+Scale knobs: set ``REPRO_BENCH_SCALE=full`` in the environment to run
+the paper-scale versions (Figure 10's 100-permutation sweep, Figure
+11's 10 000-task campaign); the default ``quick`` scale preserves every
+qualitative shape at a fraction of the runtime.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper: regenerates a paper table/figure")
+    config.addinivalue_line("markers", "ablation: design-choice ablation benchmark")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """``quick`` (default) or ``full`` (paper-scale)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Watch EFT-Min fall into the Theorem 8 trap (Figures 3 and 4).
+
+Releases the adversary batches step by step, printing the schedule
+profile as it converges to the stable profile
+w_tau(j) = min(m - j, m - k), then shows the Gantt chart and the flow
+blow-up to m - k + 1 — while the offline optimum keeps every flow at 1.
+"""
+
+from repro.adversaries import EFTIntervalAdversary, optimal_adversary_schedule, run_with_profiles
+from repro.core import EFT, render_gantt, render_profile
+from repro.theory import stable_profile
+
+def main() -> None:
+    m, k = 6, 3
+    steps = 14
+
+    schedule, profiles = run_with_profiles(m, k, steps, EFT(m, tiebreak="min"))
+    wtau = stable_profile(m, k)
+    print(f"adversary on m={m}, k={k}: stable profile w_tau = {wtau.tolist()}")
+    for t in (0, 2, 5, steps - 1):
+        print(f"\nprofile just before step t={t}:")
+        print(render_profile(profiles[t], wtau))
+
+    print("\nEFT-Min schedule (first 10 time units):")
+    print(render_gantt(schedule, until=10))
+
+    result = EFTIntervalAdversary(m, k).run(lambda mm: EFT(mm, tiebreak="min"))
+    print(f"\nafter m^3 = {m**3} steps: EFT-Min Fmax = {result.fmax:g} "
+          f"(theory: m-k+1 = {m - k + 1})")
+
+    opt = optimal_adversary_schedule(m, k, 4)
+    print(f"offline optimum on the same instance: Fmax = {opt.max_flow:g}")
+    print(render_gantt(opt, until=5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of *Bounding the Flow Time in Online Scheduling
+with Structured Processing Sets* (Canon, Dugois, Marchal, 2022).
+
+Public API tour:
+
+* :mod:`repro.core` — tasks, schedules, the EFT and FIFO schedulers.
+* :mod:`repro.psets` — processing-set structures and replication.
+* :mod:`repro.offline` — exact offline optima and lower bounds.
+* :mod:`repro.adversaries` — the Section 6 lower-bound constructions.
+* :mod:`repro.simulation` — event simulator, popularity, workloads.
+* :mod:`repro.maxload` — the Equation (15) max-load LP.
+* :mod:`repro.theory` — bound registry and profile theory.
+* :mod:`repro.experiments` — regenerate every paper table and figure.
+"""
+
+from .core import (
+    EFT,
+    FIFO,
+    Instance,
+    RestrictedFIFO,
+    Schedule,
+    Task,
+    eft_schedule,
+    fifo_schedule,
+)
+from .psets import DisjointIntervals, OverlappingIntervals, replicate_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EFT",
+    "FIFO",
+    "DisjointIntervals",
+    "Instance",
+    "OverlappingIntervals",
+    "RestrictedFIFO",
+    "Schedule",
+    "Task",
+    "__version__",
+    "eft_schedule",
+    "fifo_schedule",
+    "replicate_instance",
+]

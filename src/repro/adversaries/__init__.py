@@ -1,0 +1,34 @@
+"""Lower-bound adversaries of Section 6."""
+
+from .anytiebreak import AnyTiebreakAdversary
+from .base import Adversary, AdversaryResult, SchedulerFactory, TidCounter
+from .eftmin import (
+    EFTIntervalAdversary,
+    eftmin_adversary_instance,
+    optimal_adversary_schedule,
+    run_with_profiles,
+    task_type,
+    type_interval,
+)
+from .fixed_k import FixedKAdversary
+from .inclusive import InclusiveAdversary
+from .interval2 import IntervalTwoAdversary
+from .nested import NestedAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryResult",
+    "AnyTiebreakAdversary",
+    "EFTIntervalAdversary",
+    "FixedKAdversary",
+    "InclusiveAdversary",
+    "IntervalTwoAdversary",
+    "NestedAdversary",
+    "SchedulerFactory",
+    "TidCounter",
+    "eftmin_adversary_instance",
+    "optimal_adversary_schedule",
+    "run_with_profiles",
+    "task_type",
+    "type_interval",
+]

@@ -1,0 +1,83 @@
+"""Adaptive adversary framework.
+
+The lower-bound proofs of Section 6 build *adaptive* instances: the
+next batch of tasks depends on where the online algorithm placed the
+previous ones.  An :class:`Adversary` therefore runs against a live
+:class:`~repro.core.dispatch.ImmediateDispatchScheduler`, interleaving
+submission and observation, and returns an :class:`AdversaryResult`
+bundling the generated instance, the algorithm's schedule and the
+offline optimum (exact or analytic, per adversary).
+
+``scheduler_factory`` is any callable ``m -> scheduler`` so one
+adversary can be replayed against EFT-Min, EFT-Max, EFT-Rand or the
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.schedule import Schedule
+from ..core.task import Instance, Task
+
+__all__ = ["SchedulerFactory", "AdversaryResult", "Adversary", "TidCounter"]
+
+SchedulerFactory = Callable[[int], ImmediateDispatchScheduler]
+
+
+class TidCounter:
+    """Monotone task-id source for adaptively generated tasks."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __call__(self) -> int:
+        tid = self._next
+        self._next += 1
+        return tid
+
+
+@dataclass(frozen=True)
+class AdversaryResult:
+    """Outcome of running an adversary against a scheduler."""
+
+    instance: Instance
+    schedule: Schedule
+    fmax: float
+    opt_fmax: float
+    opt_is_exact: bool  #: whether ``opt_fmax`` is exact or an upper bound on OPT
+
+    @property
+    def ratio(self) -> float:
+        """Achieved performance ratio ``Fmax / OPT`` (a valid lower
+        bound on the algorithm's competitive ratio even when
+        ``opt_fmax`` only upper-bounds OPT)."""
+        return self.fmax / self.opt_fmax
+
+
+class Adversary:
+    """Base class for adaptive lower-bound constructions."""
+
+    def run(self, scheduler_factory: SchedulerFactory) -> AdversaryResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _finalize(
+        scheduler: ImmediateDispatchScheduler,
+        opt_fmax: float,
+        opt_is_exact: bool,
+    ) -> AdversaryResult:
+        schedule = scheduler.schedule()
+        return AdversaryResult(
+            instance=schedule.instance,
+            schedule=schedule,
+            fmax=schedule.max_flow,
+            opt_fmax=opt_fmax,
+            opt_is_exact=opt_is_exact,
+        )
+
+    @staticmethod
+    def _task(tid_counter: TidCounter, release: float, proc: float, machines) -> Task:
+        return Task(tid=tid_counter(), release=release, proc=proc, machines=frozenset(machines))

@@ -1,0 +1,152 @@
+"""The Theorem 8/9 adversary: EFT on overlapping fixed-size intervals.
+
+At every integer time :math:`t` the adversary releases :math:`m` unit
+tasks (Figure 3):
+
+* for :math:`1 \\le i \\le m-k`, the :math:`i`-th task has *type*
+  :math:`m - k - i + 2` — its processing set is the interval
+  :math:`\\{M_\\lambda, \\dots, M_{\\lambda+k-1}\\}` starting at
+  :math:`\\lambda = m-k-i+2` (the "blue" tasks, types
+  :math:`m-k+1` down to 2);
+* for :math:`m-k < i \\le m`, the task has type 1 (the "red" tasks).
+
+The instance is *oblivious* (not adaptive): Theorem 8 shows EFT-Min's
+schedule profile converges to the stable profile
+:math:`w_\\tau(j) = \\min(m-j, m-k)` and its max-flow reaches
+:math:`m - k + 1`, and Theorem 9 shows EFT-Rand reaches it almost
+surely, while the optimum keeps every flow at 1 (each machine receives
+exactly one task per step under the type-to-last-machine placement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.schedule import Schedule
+from ..core.task import Instance, Task
+from .base import Adversary, AdversaryResult, SchedulerFactory, TidCounter
+
+__all__ = [
+    "task_type",
+    "type_interval",
+    "eftmin_adversary_instance",
+    "optimal_adversary_schedule",
+    "EFTIntervalAdversary",
+    "run_with_profiles",
+]
+
+
+def task_type(i: int, m: int, k: int) -> int:
+    """Type :math:`\\lambda` of the ``i``-th task (1-based) of a batch."""
+    if not (1 <= i <= m):
+        raise ValueError(f"batch position i={i} outside 1..{m}")
+    if 1 <= i <= m - k:
+        return m - k - i + 2
+    return 1
+
+
+def type_interval(lam: int, m: int, k: int) -> frozenset[int]:
+    """Processing set of a type-:math:`\\lambda` task:
+    :math:`\\{M_\\lambda, \\dots, M_{\\lambda+k-1}\\}`."""
+    if not (1 <= lam <= m - k + 1):
+        raise ValueError(f"type {lam} outside 1..{m - k + 1}")
+    return frozenset(range(lam, lam + k))
+
+
+def eftmin_adversary_instance(m: int, k: int, steps: int) -> Instance:
+    """The full (oblivious) adversary instance over ``steps`` integer
+    release times.
+
+    Requires ``1 < k < m`` (the theorem's hypothesis).
+    """
+    if not (1 < k < m):
+        raise ValueError(f"theorem requires 1 < k < m, got m={m}, k={k}")
+    if steps < 1:
+        raise ValueError("need at least one step")
+    tasks = []
+    tid = 0
+    for t in range(steps):
+        for i in range(1, m + 1):
+            lam = task_type(i, m, k)
+            tasks.append(
+                Task(tid=tid, release=float(t), proc=1.0, machines=type_interval(lam, m, k))
+            )
+            tid += 1
+    return Instance(m=m, tasks=tuple(tasks))
+
+
+def optimal_adversary_schedule(m: int, k: int, steps: int) -> Schedule:
+    """The offline optimum on the adversary instance: every flow is 1.
+
+    Each type-:math:`\\lambda \\ge 2` task goes to the *last* machine
+    of its interval (:math:`M_{\\lambda+k-1}`, distinct machines
+    :math:`k+1..m` across the batch) and the ``k`` type-1 tasks go to
+    machines :math:`1..k` — one task per machine per step.
+    """
+    instance = eftmin_adversary_instance(m, k, steps)
+    placements: dict[int, tuple[int, float]] = {}
+    tid = 0
+    for t in range(steps):
+        red_seen = 0
+        for i in range(1, m + 1):
+            lam = task_type(i, m, k)
+            if lam >= 2:
+                machine = lam + k - 1
+            else:
+                red_seen += 1
+                machine = red_seen
+            placements[tid] = (machine, float(t))
+            tid += 1
+    sched = Schedule(instance, placements)
+    sched.validate()
+    assert sched.max_flow == 1.0
+    return sched
+
+
+class EFTIntervalAdversary(Adversary):
+    """Runs the Theorem 8/9 instance against a scheduler factory.
+
+    ``steps`` defaults to :math:`m^3` (the paper's sufficient horizon
+    for EFT-Min); random tie-breaks may need more.
+    """
+
+    def __init__(self, m: int, k: int, steps: int | None = None) -> None:
+        if not (1 < k < m):
+            raise ValueError(f"theorem requires 1 < k < m, got m={m}, k={k}")
+        self.m = m
+        self.k = k
+        self.steps = steps if steps is not None else m**3
+
+    def run(self, scheduler_factory: SchedulerFactory) -> AdversaryResult:
+        scheduler = scheduler_factory(self.m)
+        instance = eftmin_adversary_instance(self.m, self.k, self.steps)
+        for task in instance:
+            scheduler.submit(task)
+        return self._finalize(scheduler, opt_fmax=1.0, opt_is_exact=True)
+
+
+def run_with_profiles(
+    m: int, k: int, steps: int, scheduler: ImmediateDispatchScheduler
+) -> tuple[Schedule, np.ndarray]:
+    """Run the adversary recording the schedule profile :math:`w_t`
+    just before each batch.
+
+    Returns ``(schedule, profiles)`` with ``profiles[t, j-1] =
+    w_t(j)`` — the measurements behind Figure 4 and the Lemma 2/4
+    tests.
+    """
+    if not (1 < k < m):
+        raise ValueError(f"theorem requires 1 < k < m, got m={m}, k={k}")
+    profiles = np.zeros((steps, m))
+    tid = 0
+    for t in range(steps):
+        waiting = scheduler.waiting_work(float(t))
+        profiles[t] = [waiting[j] for j in range(1, m + 1)]
+        for i in range(1, m + 1):
+            lam = task_type(i, m, k)
+            scheduler.submit(
+                Task(tid=tid, release=float(t), proc=1.0, machines=type_interval(lam, m, k))
+            )
+            tid += 1
+    return scheduler.schedule(), profiles

@@ -1,0 +1,19 @@
+"""Analytic models predicting the experimental results."""
+
+from .queueing import (
+    erlang_c,
+    mmc_mean_wait,
+    mmc_wait_quantile,
+    predict_disjoint_curve,
+    predict_fmax,
+    stability_limit,
+)
+
+__all__ = [
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_wait_quantile",
+    "predict_disjoint_curve",
+    "predict_fmax",
+    "stability_limit",
+]

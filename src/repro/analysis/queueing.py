@@ -1,0 +1,138 @@
+"""Queueing-theoretic predictions of the simulation results.
+
+The Figure 11 workload is, in queueing terms, a set of multi-server
+queues: under the **disjoint** strategy each group of ``k`` machines is
+an independent queue fed a Poisson stream of rate
+:math:`\\lambda_g = \\lambda \\sum_{j \\in g} P(E_j)` of unit jobs;
+under the **overlapping** strategy the cluster behaves (optimistically)
+like one big ``m``-server queue.  The M/M/c model (Erlang C) gives
+closed forms that this module uses to *predict* the measured max-flow:
+
+* :func:`erlang_c` — probability an arriving job waits;
+* :func:`mmc_mean_wait` — mean queueing delay :math:`W_q`;
+* :func:`mmc_wait_quantile` — the conditional wait is exponential with
+  rate :math:`c\\mu - \\lambda`, so
+  :math:`P(W > t) = C(c, a) e^{-(c\\mu - \\lambda) t}` and the
+  :math:`1 - 1/n` quantile approximates the maximum over :math:`n`
+  arrivals;
+* :func:`predict_fmax` — the resulting analytic stand-in for a
+  Figure-11 point (unit deterministic service is approximated by the
+  exponential model; the M/D/c wait is roughly half the M/M/c wait, so
+  predictions carry a factor-2 model error band — they are meant to
+  explain *shape*, especially the divergence at each strategy's
+  capacity line).
+
+The module also exposes :func:`stability_limit`, which recovers the
+max-load LP's answer for the disjoint strategy from pure queueing
+stability — a neat consistency check between §7.2's LP and queueing
+theory, tested in ``tests/analysis/test_queueing.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..psets.replication import DisjointIntervals
+from ..simulation.popularity import MachinePopularity
+
+__all__ = [
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_wait_quantile",
+    "predict_fmax",
+    "stability_limit",
+    "predict_disjoint_curve",
+]
+
+
+def erlang_c(c: int, a: float) -> float:
+    """Erlang-C: probability of waiting in an M/M/c queue with offered
+    load ``a = lambda/mu`` (requires ``a < c`` for stability)."""
+    if c < 1:
+        raise ValueError("need at least one server")
+    if a < 0:
+        raise ValueError("offered load must be >= 0")
+    if a == 0:
+        return 0.0
+    if a >= c:
+        return 1.0  # saturated: every job waits
+    # Numerically stable iterative Erlang-B, then convert to C.
+    b = 1.0
+    for i in range(1, c + 1):
+        b = a * b / (i + a * b)
+    rho = a / c
+    return b / (1.0 - rho + rho * b)
+
+
+def mmc_mean_wait(lam: float, c: int, mu: float = 1.0) -> float:
+    """Mean queueing delay :math:`W_q` of an M/M/c queue
+    (infinite when unstable)."""
+    a = lam / mu
+    if a >= c:
+        return math.inf
+    return erlang_c(c, a) / (c * mu - lam)
+
+
+def mmc_wait_quantile(lam: float, c: int, q: float, mu: float = 1.0) -> float:
+    """The ``q``-quantile of the waiting time of an M/M/c queue.
+
+    :math:`P(W > t) = C(c, a)\\, e^{-(c\\mu - \\lambda) t}` for
+    :math:`t \\ge 0`; the quantile is 0 when the no-wait mass already
+    covers ``q``.
+    """
+    if not (0 <= q < 1):
+        raise ValueError("quantile must be in [0, 1)")
+    a = lam / mu
+    if a >= c:
+        return math.inf
+    pw = erlang_c(c, a)
+    if 1 - q >= pw:
+        return 0.0
+    return math.log(pw / (1 - q)) / (c * mu - lam)
+
+
+def predict_fmax(lam: float, c: int, n: int, mu: float = 1.0) -> float:
+    """Analytic stand-in for the max flow over ``n`` arrivals: the
+    :math:`1 - 1/n` wait quantile plus one unit of service."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 1.0 / mu + mmc_wait_quantile(lam, c, 1.0 - 1.0 / n, mu)
+
+
+def stability_limit(popularity: MachinePopularity, k: int) -> float:
+    """Largest arrival rate :math:`\\lambda` keeping every disjoint
+    group stable: :math:`\\lambda_g < |g|` for all groups — identical
+    to the disjoint max-load closed form / LP optimum."""
+    strat = DisjointIntervals(popularity.m, k)
+    best = math.inf
+    for group in strat.groups():
+        mass = float(sum(popularity.weights[j - 1] for j in group))
+        if mass > 0:
+            best = min(best, len(group) / mass)
+    return best
+
+
+def predict_disjoint_curve(
+    popularity: MachinePopularity,
+    k: int,
+    loads_percent,
+    n: int = 10_000,
+) -> dict[float, float]:
+    """Predicted Figure-11 series for the disjoint strategy: per load
+    point, the worst predicted Fmax across the groups (each group sees
+    its share of the ``n`` tasks)."""
+    m = popularity.m
+    strat = DisjointIntervals(m, k)
+    out: dict[float, float] = {}
+    for load in loads_percent:
+        lam = load / 100.0 * m
+        worst = 1.0
+        for group in strat.groups():
+            mass = float(sum(popularity.weights[j - 1] for j in group))
+            lam_g = lam * mass
+            n_g = max(1, int(round(n * mass)))
+            worst = max(worst, predict_fmax(lam_g, len(group), n_g))
+        out[float(load)] = worst
+    return out

@@ -1,0 +1,265 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 --m 16 --k 3 --p 1000
+    python -m repro fig03 --m 6 --k 3
+    python -m repro fig08
+    python -m repro fig10 --quick
+    python -m repro fig11 --quick
+    python -m repro ratios
+    python -m repro explore --m 15 --k 3
+    python -m repro tails --load 0.45
+    python -m repro stability
+    python -m repro verify
+    python -m repro all --out results/
+    python -m repro demo
+
+``--quick`` runs reduced-scale versions of the two heavy campaigns
+(Figures 10 and 11); without it they run at paper scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Bounding the Flow Time in Online Scheduling "
+        "with Structured Processing Sets' (Canon, Dugois, Marchal, 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="known results on max-flow (context table)")
+    p.add_argument("--m", type=int, default=15)
+
+    p = sub.add_parser("table2", help="this paper's bounds, realised by the adversaries")
+    p.add_argument("--m", type=int, default=16)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--p", type=float, default=1000.0, help="adversary task length")
+
+    p = sub.add_parser("fig03", help="EFT-Min trace on the Theorem 8 adversary")
+    p.add_argument("--m", type=int, default=6)
+    p.add_argument("--k", type=int, default=3)
+
+    p = sub.add_parser("fig08", help="load distributions under popularity bias")
+    p.add_argument("--m", type=int, default=6)
+    p.add_argument("--s", type=float, default=1.0)
+
+    p = sub.add_parser("fig10", help="max-load LP sweep (both strategies)")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--quick", action="store_true", help="coarse grid, 25 permutations")
+    p.add_argument("--seed", type=int, default=1234)
+
+    p = sub.add_parser("fig11", help="Fmax vs load simulation campaign")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--quick", action="store_true", help="3000 tasks, 3 repeats")
+    p.add_argument("--seed", type=int, default=2022)
+
+    p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--trials", type=int, default=20)
+
+    p = sub.add_parser("explore", help="future work: candidate replication strategies")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--s", type=float, default=1.0)
+
+    p = sub.add_parser("tails", help="flow-time percentile breakdown (tail latency)")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--load", type=float, default=0.45)
+    p.add_argument("--size-dist", default="unit", choices=["unit", "exp", "pareto", "uniform"])
+
+    p = sub.add_parser("stability", help="LP capacity line as a dynamic phase boundary")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--strategy", default="disjoint", choices=["disjoint", "overlapping"])
+
+    sub.add_parser("verify", help="self-check: verify every theorem claim empirically")
+
+    p = sub.add_parser("all", help="run every experiment (quick scale) and write results to a directory")
+    p.add_argument("--out", default="results", help="output directory")
+
+    sub.add_parser("demo", help="30-second tour: EFT vs the adversary vs OPT")
+    return parser
+
+
+def _run_table1(args) -> str:
+    from .experiments import table1
+
+    return table1.run(args.m).to_text()
+
+
+def _run_table2(args) -> str:
+    from .experiments import table2
+
+    return table2.run(m=args.m, k=args.k, p=args.p).to_text()
+
+
+def _run_fig03(args) -> str:
+    from .experiments import fig03
+
+    return fig03.run(m=args.m, k=args.k).to_text()
+
+
+def _run_fig08(args) -> str:
+    from .experiments import fig08
+
+    return fig08.run(m=args.m, s=args.s).to_text()
+
+
+def _run_fig10(args) -> str:
+    from .experiments import fig10
+
+    if args.quick:
+        result = fig10.run(
+            m=args.m,
+            s_values=np.arange(0.0, 5.01, 0.5),
+            k_values=np.array(sorted({1, 2, 3, 4, 6, 8, 11, args.m})),
+            n_permutations=25,
+            rng_seed=args.seed,
+        )
+    else:
+        result = fig10.run(m=args.m, n_permutations=100, rng_seed=args.seed)
+    return result.to_text()
+
+
+def _run_fig11(args) -> str:
+    from .experiments import fig11
+
+    if args.quick:
+        result = fig11.run(m=args.m, k=args.k, n=3000, repeats=3, rng_seed=args.seed)
+    else:
+        result = fig11.run(m=args.m, k=args.k, n=10_000, repeats=10, rng_seed=args.seed)
+    return result.to_text()
+
+
+def _run_ratios(args) -> str:
+    from .experiments import ratios
+
+    return ratios.run(m=args.m, k=args.k, trials=args.trials).to_text()
+
+
+def _run_explore(args) -> str:
+    from .explore import evaluate_strategies
+
+    return evaluate_strategies(m=args.m, k=args.k, s=args.s).to_text()
+
+
+def _run_tails(args) -> str:
+    from .experiments import tails
+
+    return tails.run(
+        m=args.m, k=args.k, load=args.load, size_dist=args.size_dist
+    ).to_text()
+
+
+def _run_stability(args) -> str:
+    from .experiments import stability
+
+    return stability.run(m=args.m, k=args.k, strategy=args.strategy).to_text()
+
+
+def _run_verify(args) -> str:
+    from .experiments import verify
+
+    return verify.run().to_text()
+
+
+def _run_all(args) -> str:
+    """Regenerate every table/figure at quick scale into --out."""
+    from pathlib import Path
+
+    from .experiments import fig03, fig08, fig10, fig11, ratios, stability, table1, table2, tails, verify
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    jobs = {
+        "table1.txt": lambda: table1.run(15).to_text(),
+        "table2.txt": lambda: table2.run(m=16, k=3, p=1000).to_text(),
+        "fig03.txt": lambda: fig03.run().to_text(),
+        "fig08.txt": lambda: fig08.run().to_text(),
+        "fig10.txt": lambda: fig10.run(
+            m=15,
+            s_values=np.arange(0.0, 5.01, 0.5),
+            k_values=np.array([1, 2, 3, 4, 6, 8, 11, 15]),
+            n_permutations=25,
+        ).to_text(),
+        "fig11.txt": lambda: fig11.run(m=15, k=3, n=3000, repeats=3).to_text(),
+        "ratios.txt": lambda: ratios.run().to_text(),
+        "tails.txt": lambda: tails.run().to_text(),
+        "stability.txt": lambda: stability.run().to_text(),
+        "verify.txt": lambda: verify.run().to_text(),
+    }
+    lines = []
+    for name, job in jobs.items():
+        text = job()
+        (out / name).write_text(text + "\n")
+        lines.append(f"wrote {out / name}")
+    return "\n".join(lines)
+
+
+def _run_demo(args) -> str:
+    from .adversaries import EFTIntervalAdversary, optimal_adversary_schedule
+    from .core import EFT, Instance, eft_schedule, render_gantt
+
+    lines = []
+    inst = Instance.build(
+        4,
+        releases=[0, 0, 0, 1, 1, 2],
+        procs=1.0,
+        machine_sets=[{1, 2}, {1, 2}, {2, 3}, {3, 4}, {1, 2}, {2, 3}],
+    )
+    sched = eft_schedule(inst, tiebreak="min")
+    lines.append("EFT-Min on six replicated requests (m=4, k=2):")
+    lines.append(render_gantt(sched))
+    m, k = 6, 3
+    result = EFTIntervalAdversary(m, k).run(lambda mm: EFT(mm, tiebreak="min"))
+    lines.append("")
+    lines.append(
+        f"Theorem 8 adversary (m={m}, k={k}): EFT-Min forced to Fmax = "
+        f"{result.fmax:g} = m-k+1, while the optimum keeps every flow at 1:"
+    )
+    lines.append(render_gantt(optimal_adversary_schedule(m, k, 4), until=5))
+    return "\n".join(lines)
+
+
+_HANDLERS = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig03": _run_fig03,
+    "fig08": _run_fig08,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "ratios": _run_ratios,
+    "explore": _run_explore,
+    "tails": _run_tails,
+    "stability": _run_stability,
+    "verify": _run_verify,
+    "all": _run_all,
+    "demo": _run_demo,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _HANDLERS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

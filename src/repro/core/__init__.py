@@ -1,0 +1,59 @@
+"""Core scheduling model: tasks, schedules, EFT/FIFO and baselines."""
+
+from .arrayeft import array_eft_fmax, array_eft_schedule
+from .baselines import LeastWorkAssign, RandomAssign, RoundRobinAssign
+from .composition import ComposedDisjointScheduler
+from .dispatch import DispatchRecord, ImmediateDispatchScheduler, run_online
+from .eft import EFT, eft_schedule
+from .fifo import FIFO, RestrictedFIFO, fifo_schedule
+from .gantt import render_gantt, render_profile
+from .metrics import ScheduleStats, flow_percentiles, summarize, waiting_profile
+from .nonclairvoyant import C3Like, LeastOutstanding
+from .schedule import Assignment, Schedule, ScheduleError
+from .task import Instance, Task
+from .tiebreak import (
+    FunctionTieBreak,
+    LeastLoadedFirst,
+    MaxIndex,
+    MinIndex,
+    RandomChoice,
+    TieBreak,
+    get_tiebreak,
+)
+
+__all__ = [
+    "Assignment",
+    "C3Like",
+    "ComposedDisjointScheduler",
+    "DispatchRecord",
+    "array_eft_fmax",
+    "array_eft_schedule",
+    "EFT",
+    "FIFO",
+    "FunctionTieBreak",
+    "ImmediateDispatchScheduler",
+    "Instance",
+    "LeastLoadedFirst",
+    "LeastOutstanding",
+    "LeastWorkAssign",
+    "MaxIndex",
+    "MinIndex",
+    "RandomAssign",
+    "RandomChoice",
+    "RestrictedFIFO",
+    "RoundRobinAssign",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleStats",
+    "Task",
+    "TieBreak",
+    "eft_schedule",
+    "fifo_schedule",
+    "flow_percentiles",
+    "get_tiebreak",
+    "render_gantt",
+    "render_profile",
+    "run_online",
+    "summarize",
+    "waiting_profile",
+]

@@ -1,0 +1,130 @@
+"""Immediate-dispatch scheduling framework.
+
+An online algorithm has the *Immediate Dispatch* property (Section 3)
+if every task is allocated to a machine as soon as it is released:
+:math:`r_i \\le \\rho_i < r_i + \\epsilon`.  Such schedulers are push
+based — no central queue — which is what scalable key-value stores
+need.
+
+:class:`ImmediateDispatchScheduler` is the common driver: it keeps the
+per-machine completion times :math:`C_{j,i}` and the running schedule,
+and subclasses implement :meth:`choose` (which machine gets the task).
+The :meth:`submit` method enforces release-order submission, making the
+class usable both for offline replay (:meth:`run`) and by adaptive
+adversaries that interleave observation and submission (Theorems 3–5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .schedule import Schedule
+from .task import Instance, Task
+
+__all__ = ["DispatchRecord", "ImmediateDispatchScheduler", "run_online"]
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchRecord:
+    """One dispatch decision, kept for analysis and tests.
+
+    ``tie_set`` is the candidate set the scheduler reported for the
+    decision (for EFT this is :math:`U'_i` of Equation (2); baselines
+    report the full eligible set).
+    """
+
+    task: Task
+    machine: int
+    start: float
+    tie_set: frozenset[int] = field(default_factory=frozenset)
+
+
+class ImmediateDispatchScheduler:
+    """Base class for push (immediate dispatch) schedulers.
+
+    Subclasses override :meth:`choose`, receiving the task and
+    returning ``(machine, tie_set)``.  The driver computes the start
+    time as :math:`\\sigma_i = \\max(r_i, C_{u,i-1})` and updates
+    machine state.
+    """
+
+    name = "immediate-dispatch"
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError("need at least one machine")
+        self.m = m
+        #: completion time :math:`C_{j,i}` of each machine's assigned work
+        self.completions: dict[int, float] = {j: 0.0 for j in range(1, m + 1)}
+        #: per-machine count of assigned tasks (used by adversaries)
+        self.task_counts: dict[int, int] = {j: 0 for j in range(1, m + 1)}
+        self.history: list[DispatchRecord] = []
+        self._placements: dict[int, tuple[int, float]] = {}
+        self._tasks: list[Task] = []
+        self._last_release = 0.0
+
+    # -- to be provided by subclasses -------------------------------------
+    def choose(self, task: Task) -> tuple[int, frozenset[int]]:
+        """Pick the machine for ``task``; return ``(machine, tie_set)``."""
+        raise NotImplementedError
+
+    # -- driver ------------------------------------------------------------
+    def submit(self, task: Task) -> DispatchRecord:
+        """Dispatch one released task (tasks must arrive in release order)."""
+        if task.release < self._last_release:
+            raise ValueError(
+                f"task {task.tid} released at {task.release} submitted after a task "
+                f"released at {self._last_release}; online submission must follow release order"
+            )
+        self._last_release = task.release
+        eligible = task.eligible(self.m)
+        if not eligible:
+            raise ValueError(f"task {task.tid} has an empty processing set")
+        machine, tie_set = self.choose(task)
+        if machine not in eligible:
+            raise ValueError(
+                f"{type(self).__name__} picked machine {machine} outside the "
+                f"processing set {sorted(eligible)} of task {task.tid}"
+            )
+        start = max(task.release, self.completions[machine])
+        self.completions[machine] = start + task.proc
+        self.task_counts[machine] += 1
+        record = DispatchRecord(task=task, machine=machine, start=start, tie_set=tie_set)
+        self.history.append(record)
+        self._placements[task.tid] = (machine, start)
+        self._tasks.append(task)
+        return record
+
+    def submit_batch(self, tasks: Sequence[Task]) -> list[DispatchRecord]:
+        """Dispatch several tasks released (nearly) simultaneously, in order."""
+        return [self.submit(t) for t in tasks]
+
+    # -- state inspection ---------------------------------------------------
+    def waiting_work(self, t: float) -> dict[int, float]:
+        """Remaining allocated work per machine at time ``t``:
+        :math:`w_t(j) = \\max(0, C_{j} - t)` (the *schedule profile*
+        of Theorem 8, up to the in-service task convention)."""
+        return {j: max(0.0, c - t) for j, c in self.completions.items()}
+
+    def schedule(self) -> Schedule:
+        """Materialise the schedule of everything submitted so far."""
+        inst = Instance(m=self.m, tasks=tuple(self._tasks))
+        return Schedule(inst, self._placements)
+
+    @property
+    def n_dispatched(self) -> int:
+        return len(self.history)
+
+    def run(self, instance: Instance) -> Schedule:
+        """Replay a full instance in release order and return the schedule."""
+        if instance.m != self.m:
+            raise ValueError(f"instance has m={instance.m}, scheduler has m={self.m}")
+        for task in instance:
+            self.submit(task)
+        return Schedule(instance, self._placements)
+
+
+def run_online(instance: Instance, scheduler: ImmediateDispatchScheduler) -> Schedule:
+    """Convenience wrapper: run ``scheduler`` over ``instance``."""
+    return scheduler.run(instance)

@@ -1,0 +1,171 @@
+"""FIFO — central-queue pull scheduling (Algorithm 1 of the paper).
+
+FIFO keeps a single global queue.  Whenever machines are idle and the
+queue is non-empty, the tie-break policy selects which idle machine
+pulls the next task.  FIFO is **not** immediate dispatch — a task may
+sit in the queue — which is exactly why the paper prefers EFT and
+proves them equivalent (Proposition 1) on
+``P | online-r_i | Fmax``.
+
+This module implements FIFO as a genuine event-driven simulation so
+that Proposition 1 is a *checked* property of two independent
+implementations (see ``tests/core/test_equivalence.py``), plus a
+restricted-set variant (:class:`RestrictedFIFO`) used as a baseline:
+an idle machine pulls the oldest *compatible* queued task.  The paper
+notes extending FIFO to processing sets is cumbersome; this variant is
+the natural attempt and serves as an experimental comparator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .schedule import Schedule
+from .task import Instance
+from .tiebreak import TieBreak, get_tiebreak
+
+__all__ = ["FIFO", "RestrictedFIFO", "fifo_schedule"]
+
+# Comparisons are exact on purpose: FIFO and EFT manipulate the same
+# float values (release times and completion sums), so exact `<=` keeps
+# the two implementations tie-for-tie identical (Proposition 1); a
+# tolerance here would disagree with EFT's exact tie sets on values
+# within the tolerance of an event time.
+_EPS = 0.0
+
+
+class FIFO:
+    """Event-driven FIFO scheduler for the unrestricted problem.
+
+    Raises if the instance carries proper processing-set restrictions —
+    plain FIFO is only defined without them (use
+    :class:`RestrictedFIFO` or :class:`~repro.core.eft.EFT` instead).
+    """
+
+    name = "FIFO"
+
+    def __init__(
+        self,
+        m: int,
+        tiebreak: str | TieBreak = "min",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if m < 1:
+            raise ValueError("need at least one machine")
+        self.m = m
+        self.tiebreak = get_tiebreak(tiebreak, rng)
+
+    def run(self, instance: Instance) -> Schedule:
+        """Simulate the pull loop over the whole instance."""
+        if instance.m != self.m:
+            raise ValueError(f"instance has m={instance.m}, scheduler has m={self.m}")
+        if instance.is_restricted:
+            raise ValueError(
+                "plain FIFO does not support processing-set restrictions; "
+                "use RestrictedFIFO or EFT"
+            )
+        completions = {j: 0.0 for j in range(1, self.m + 1)}
+        placements: dict[int, tuple[int, float]] = {}
+        queue: deque = deque()
+        tasks = instance.tasks
+        i = 0
+        n = len(tasks)
+        t = 0.0
+        while i < n or queue:
+            # Release everything due at the current time.
+            while i < n and tasks[i].release <= t + _EPS:
+                queue.append(tasks[i])
+                i += 1
+            if queue:
+                idle = [j for j in range(1, self.m + 1) if completions[j] <= t + _EPS]
+                if idle:
+                    u = self.tiebreak(idle, completions)
+                    task = queue.popleft()
+                    placements[task.tid] = (u, t)
+                    completions[u] = t + task.proc
+                    continue
+                # All machines busy: wake at the next completion or release.
+                t_next = min(completions.values())
+                if i < n:
+                    t_next = min(t_next, tasks[i].release)
+                t = t_next
+            else:
+                # Queue empty: jump to the next release.
+                t = max(t, tasks[i].release)
+        return Schedule(instance, placements)
+
+
+class RestrictedFIFO:
+    """FIFO with processing sets: an idle machine pulls the oldest
+    queued task it is allowed to run.
+
+    When several (idle machine, compatible task) pairs exist, the
+    oldest compatible task is served first and the tie-break policy
+    picks among the idle machines compatible with it — keeping the
+    "first in, first out" spirit under eligibility constraints.
+    """
+
+    name = "FIFO-restricted"
+
+    def __init__(
+        self,
+        m: int,
+        tiebreak: str | TieBreak = "min",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if m < 1:
+            raise ValueError("need at least one machine")
+        self.m = m
+        self.tiebreak = get_tiebreak(tiebreak, rng)
+
+    def run(self, instance: Instance) -> Schedule:
+        if instance.m != self.m:
+            raise ValueError(f"instance has m={instance.m}, scheduler has m={self.m}")
+        completions = {j: 0.0 for j in range(1, self.m + 1)}
+        placements: dict[int, tuple[int, float]] = {}
+        queue: list = []  # kept in release order; entries removed when served
+        tasks = instance.tasks
+        i = 0
+        n = len(tasks)
+        t = 0.0
+        while i < n or queue:
+            while i < n and tasks[i].release <= t + _EPS:
+                queue.append(tasks[i])
+                i += 1
+            assigned = False
+            if queue:
+                idle = frozenset(j for j in range(1, self.m + 1) if completions[j] <= t + _EPS)
+                if idle:
+                    for pos, task in enumerate(queue):
+                        compat = sorted(idle & task.eligible(self.m))
+                        if compat:
+                            u = self.tiebreak(compat, completions)
+                            placements[task.tid] = (u, t)
+                            completions[u] = t + task.proc
+                            del queue[pos]
+                            assigned = True
+                            break
+            if assigned:
+                continue
+            # Nothing startable now: advance the clock.
+            candidates = []
+            if queue:
+                # A busy machine freeing up may unlock a queued task.
+                candidates.extend(c for c in completions.values() if c > t + _EPS)
+            if i < n:
+                candidates.append(tasks[i].release)
+            if not candidates:
+                raise RuntimeError("deadlock in RestrictedFIFO event loop")  # pragma: no cover
+            t = min(candidates)
+        return Schedule(instance, placements)
+
+
+def fifo_schedule(
+    instance: Instance,
+    tiebreak: str | TieBreak = "min",
+    rng: np.random.Generator | int | None = None,
+) -> Schedule:
+    """Schedule ``instance`` with plain FIFO (unrestricted instances)."""
+    return FIFO(instance.m, tiebreak=tiebreak, rng=rng).run(instance)

@@ -1,0 +1,75 @@
+"""ASCII Gantt rendering of schedules.
+
+Renders schedules as text, one row per machine, in the style of the
+paper's Figures 3–7.  Useful in examples, failing-test output, and the
+adversary-trace benchmark (Figure 3 reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .schedule import Schedule
+
+__all__ = ["render_gantt", "render_profile"]
+
+
+def _label(tid: int) -> str:
+    """Single-cell label for a task id (cycles after 62 ids)."""
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    return alphabet[tid % len(alphabet)]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    until: float | None = None,
+    cell: float = 1.0,
+    width: int = 100,
+    show_ids: bool = True,
+) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    until:
+        Right edge of the time window (defaults to the makespan).
+    cell:
+        Time units per character cell.
+    width:
+        Maximum chart width in cells (the window is truncated).
+    show_ids:
+        Label cells with task-id characters instead of ``#``.
+    """
+    horizon = schedule.makespan if until is None else until
+    if horizon <= 0:
+        return "(empty schedule)"
+    ncells = min(width, max(1, math.ceil(horizon / cell)))
+    lines = []
+    header = "      " + "".join(str(i % 10) for i in range(ncells))
+    lines.append(header + f"   (1 cell = {cell:g} time)")
+    for j in range(1, schedule.m + 1):
+        row = ["."] * ncells
+        for a in schedule.on_machine(j):
+            lo = int(a.start / cell)
+            hi = int(math.ceil(a.completion / cell))
+            for c in range(max(0, lo), min(ncells, hi)):
+                row[c] = _label(a.task.tid) if show_ids else "#"
+        lines.append(f"M{j:<4d} " + "".join(row))
+    lines.append(f"Fmax = {schedule.max_flow:g}, Cmax = {schedule.makespan:g}")
+    return "\n".join(lines)
+
+
+def render_profile(profile, stable=None, *, char: str = "█") -> str:
+    """Render a schedule profile ``w_t`` as horizontal bars, optionally
+    marking a stable profile ``w_tau`` with ``|`` (Figure 4 style)."""
+    lines = []
+    vals = list(profile)
+    for idx, w in enumerate(vals, start=1):
+        bar = char * int(round(w))
+        if stable is not None:
+            target = int(round(stable[idx - 1]))
+            if target > len(bar):
+                bar = bar + " " * (target - len(bar) - 1) + "|"
+        lines.append(f"M{idx:<4d} {bar} ({w:g})")
+    return "\n".join(lines)

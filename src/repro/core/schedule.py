@@ -1,0 +1,215 @@
+"""Schedule container, validity checking and objective evaluation.
+
+A schedule :math:`\\Pi` maps each task :math:`T_i` to a pair
+:math:`(\\mu_i, \\sigma_i)` — the machine it runs on and its start time
+(Section 3).  The completion time is :math:`C_i = \\sigma_i + p_i`, the
+flow time :math:`F_i = C_i - r_i`, and the objective is
+:math:`F_{max} = \\max_i F_i`.
+
+:class:`Schedule` is immutable once built; :meth:`Schedule.validate`
+checks the model's feasibility constraints (no machine runs two tasks
+simultaneously, no preemption — implicit in the representation —,
+start times respect release times, machines respect processing sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from .task import Instance, Task
+
+__all__ = ["Assignment", "Schedule", "ScheduleError"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a feasibility constraint."""
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """Placement of one task: machine :math:`\\mu_i`, start
+    :math:`\\sigma_i`, and (redundantly, for convenience) the task."""
+
+    task: Task
+    machine: int
+    start: float
+
+    @property
+    def completion(self) -> float:
+        """Completion time :math:`C_i = \\sigma_i + p_i`."""
+        return self.start + self.task.proc
+
+    @property
+    def flow(self) -> float:
+        """Flow time :math:`F_i = C_i - r_i` (a.k.a. response time)."""
+        return self.completion - self.task.release
+
+    @property
+    def stretch(self) -> float:
+        """Stretch :math:`F_i / p_i` (flow normalised by size)."""
+        return self.flow / self.task.proc
+
+    @property
+    def wait(self) -> float:
+        """Waiting time :math:`\\sigma_i - r_i`."""
+        return self.start - self.task.release
+
+
+class Schedule:
+    """An assignment of every task of an :class:`Instance`.
+
+    The constructor accepts a mapping ``tid -> (machine, start)``; use
+    :meth:`add`-style construction via a plain dict and build once.
+    """
+
+    def __init__(self, instance: Instance, placements: Mapping[int, tuple[int, float]]) -> None:
+        self.instance = instance
+        missing = [t.tid for t in instance if t.tid not in placements]
+        if missing:
+            raise ScheduleError(f"tasks without placement: {missing[:10]}")
+        extra = set(placements) - {t.tid for t in instance}
+        if extra:
+            raise ScheduleError(f"placements for unknown tasks: {sorted(extra)[:10]}")
+        self._assignments: dict[int, Assignment] = {}
+        for t in instance:
+            machine, start = placements[t.tid]
+            self._assignments[t.tid] = Assignment(task=t, machine=int(machine), start=float(start))
+
+    # -- access ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __iter__(self) -> Iterator[Assignment]:
+        return iter(self._assignments.values())
+
+    def __getitem__(self, tid: int) -> Assignment:
+        return self._assignments[tid]
+
+    @property
+    def m(self) -> int:
+        return self.instance.m
+
+    def machine_of(self, tid: int) -> int:
+        """:math:`\\mu_i` — machine of task ``tid``."""
+        return self._assignments[tid].machine
+
+    def start_of(self, tid: int) -> float:
+        """:math:`\\sigma_i` — start time of task ``tid``."""
+        return self._assignments[tid].start
+
+    def completion_of(self, tid: int) -> float:
+        """:math:`C_i` — completion time of task ``tid``."""
+        return self._assignments[tid].completion
+
+    def flow_of(self, tid: int) -> float:
+        """:math:`F_i` — flow time of task ``tid``."""
+        return self._assignments[tid].flow
+
+    def on_machine(self, machine: int) -> list[Assignment]:
+        """Assignments placed on ``machine``, sorted by start time."""
+        out = [a for a in self if a.machine == machine]
+        out.sort(key=lambda a: (a.start, a.task.tid))
+        return out
+
+    # -- objectives --------------------------------------------------------
+    @property
+    def max_flow(self) -> float:
+        """The objective :math:`F_{max} = \\max_i (C_i - r_i)`."""
+        return max((a.flow for a in self), default=0.0)
+
+    @property
+    def mean_flow(self) -> float:
+        """Average flow time (secondary metric)."""
+        if not self._assignments:
+            return 0.0
+        return float(np.mean([a.flow for a in self]))
+
+    @property
+    def max_stretch(self) -> float:
+        """Maximum stretch :math:`\\max_i F_i / p_i`."""
+        return max((a.stretch for a in self), default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        """:math:`C_{max} = \\max_i C_i`."""
+        return max((a.completion for a in self), default=0.0)
+
+    def flows(self) -> np.ndarray:
+        """Flow times as an array, in task (tid-sorted) order."""
+        return np.array([self._assignments[t.tid].flow for t in self.instance])
+
+    def machine_loads(self) -> np.ndarray:
+        """Total work placed on each machine (index 0 = machine 1)."""
+        loads = np.zeros(self.m)
+        for a in self:
+            loads[a.machine - 1] += a.task.proc
+        return loads
+
+    def machine_busy_fraction(self, horizon: float | None = None) -> np.ndarray:
+        """Fraction of ``[0, horizon]`` each machine spends busy."""
+        if horizon is None:
+            horizon = self.makespan
+        if horizon <= 0:
+            return np.zeros(self.m)
+        return self.machine_loads() / horizon
+
+    # -- validation ---------------------------------------------------------
+    def validate(self, tol: float = 1e-9) -> None:
+        """Check feasibility; raise :class:`ScheduleError` on violation.
+
+        Constraints (Section 3): each machine processes at most one
+        task at a time (no overlap), tasks start at or after their
+        release time, and tasks only run on machines of their
+        processing set.  Non-preemption is structural (one interval per
+        task).
+        """
+        for a in self:
+            if not (1 <= a.machine <= self.m):
+                raise ScheduleError(f"task {a.task.tid}: machine {a.machine} outside 1..{self.m}")
+            if a.start < a.task.release - tol:
+                raise ScheduleError(
+                    f"task {a.task.tid}: starts at {a.start} before release {a.task.release}"
+                )
+            if not a.task.is_eligible(a.machine, self.m):
+                raise ScheduleError(
+                    f"task {a.task.tid}: machine {a.machine} not in processing set "
+                    f"{sorted(a.task.eligible(self.m))}"
+                )
+        for j in range(1, self.m + 1):
+            run = self.on_machine(j)
+            for prev, nxt in zip(run, run[1:]):
+                if nxt.start < prev.completion - tol:
+                    raise ScheduleError(
+                        f"machine {j}: task {nxt.task.tid} starts at {nxt.start} "
+                        f"before task {prev.task.tid} completes at {prev.completion}"
+                    )
+
+    def is_valid(self, tol: float = 1e-9) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(tol=tol)
+        except ScheduleError:
+            return False
+        return True
+
+    # -- comparison ------------------------------------------------------
+    def same_placements(self, other: "Schedule", tol: float = 1e-9) -> bool:
+        """Whether both schedules place every task identically
+        (:math:`\\Pi(i) = \\Pi'(i)` for all tasks — Proposition 1's
+        equality)."""
+        if set(self._assignments) != set(other._assignments):
+            return False
+        for tid, a in self._assignments.items():
+            b = other._assignments[tid]
+            if a.machine != b.machine or abs(a.start - b.start) > tol:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Schedule(n={len(self)}, m={self.m}, Fmax={self.max_flow:.4g}, "
+            f"Cmax={self.makespan:.4g})"
+        )

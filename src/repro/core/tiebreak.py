@@ -1,0 +1,161 @@
+"""Tie-break policies used by EFT and FIFO schedulers.
+
+Both FIFO (Algorithm 1) and EFT (Algorithm 2) delegate the choice among
+tied machines to a ``BreakTie`` policy.  Proposition 1's equivalence
+requires FIFO and EFT to share the same policy, so policies are plain
+objects usable by either scheduler.
+
+A policy receives the set of candidate machine indices (the tie set
+:math:`U_i` of Equation (1)/(2)) plus a read-only view of machine
+completion times, and returns the selected machine.  The paper's
+concrete policies:
+
+* :class:`MinIndex` — EFT-Min (Algorithm 3): smallest machine index.
+* :class:`MaxIndex` — EFT-Max (Section 7.4): largest machine index.
+* :class:`RandomChoice` — EFT-Rand (Algorithm 4): uniform among the tie
+  set (every candidate has positive probability, the condition of
+  Theorem 9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TieBreak",
+    "MinIndex",
+    "MaxIndex",
+    "RandomChoice",
+    "LeastLoadedFirst",
+    "FunctionTieBreak",
+    "get_tiebreak",
+]
+
+
+class TieBreak(Protocol):
+    """Callable protocol: choose one machine among tied candidates."""
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        """Return the chosen machine index from ``candidates``.
+
+        ``completions`` maps machine index to its current completion
+        time :math:`C_{j,i-1}` (time the machine finishes its already
+        assigned work).
+        """
+        ...
+
+
+class MinIndex:
+    """Pick the candidate with the smallest index (EFT-Min)."""
+
+    name = "min"
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        if not candidates:
+            raise ValueError("empty tie set")
+        return min(candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "MinIndex()"
+
+
+class MaxIndex:
+    """Pick the candidate with the largest index (EFT-Max)."""
+
+    name = "max"
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        if not candidates:
+            raise ValueError("empty tie set")
+        return max(candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "MaxIndex()"
+
+
+class RandomChoice:
+    """Pick uniformly at random among the candidates (EFT-Rand).
+
+    Satisfies the Theorem 9 condition: every candidate is selected with
+    positive probability (here ``1/|U_i|``), so no machine is ever
+    systematically discarded during a tie.
+    """
+
+    name = "rand"
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        if not candidates:
+            raise ValueError("empty tie set")
+        ordered = sorted(candidates)
+        return ordered[int(self.rng.integers(len(ordered)))]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "RandomChoice()"
+
+
+class LeastLoadedFirst:
+    """Pick the candidate whose completion time is smallest, breaking
+    residual ties by index.
+
+    Within an EFT tie set all completion times are ``<= t_min`` but not
+    necessarily equal (a machine may have been idle for a while); this
+    policy prefers the longest-idle machine.  Not studied by the paper;
+    provided as an ablation policy.
+    """
+
+    name = "least_loaded"
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        if not candidates:
+            raise ValueError("empty tie set")
+        return min(candidates, key=lambda j: (completions.get(j, 0.0), j))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "LeastLoadedFirst()"
+
+
+class FunctionTieBreak:
+    """Adapter wrapping an arbitrary function as a tie-break policy."""
+
+    def __init__(self, fn: Callable[[Sequence[int], Mapping[int, float]], int], name: str = "custom") -> None:
+        self.fn = fn
+        self.name = name
+
+    def __call__(self, candidates: Sequence[int], completions: Mapping[int, float]) -> int:
+        choice = self.fn(candidates, completions)
+        if choice not in set(candidates):
+            raise ValueError(f"tie-break returned {choice}, not a candidate in {sorted(candidates)}")
+        return choice
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"FunctionTieBreak({self.name!r})"
+
+
+_REGISTRY: dict[str, Callable[..., TieBreak]] = {
+    "min": MinIndex,
+    "max": MaxIndex,
+    "rand": RandomChoice,
+    "least_loaded": LeastLoadedFirst,
+}
+
+
+def get_tiebreak(name: str | TieBreak, rng: np.random.Generator | int | None = None) -> TieBreak:
+    """Resolve a tie-break policy by name (``min``/``max``/``rand``/
+    ``least_loaded``) or pass through an existing policy object."""
+    if not isinstance(name, str):
+        return name
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown tie-break {name!r}; known: {sorted(_REGISTRY)}") from None
+    if factory is RandomChoice:
+        return RandomChoice(rng)
+    return factory()

@@ -1,0 +1,99 @@
+"""Shared infrastructure of the experiment harness.
+
+Every paper table/figure module exposes a ``run(...)`` returning a
+:class:`TextTable` (or a small dataclass of them): the same rows/series
+the paper reports, printable from the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TextTable", "render_heatmap"]
+
+
+@dataclass
+class TextTable:
+    """A printable result table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}".rstrip("0").rstrip(".") if cell == cell else "nan"
+        return str(cell)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[self._fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, c in enumerate(row):
+                widths[i] = max(widths[i], len(c))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+_SHADES = " ░▒▓█"
+
+
+def render_heatmap(
+    grid,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D grid as a shaded ASCII heatmap (Figure 10 style).
+
+    Values map linearly onto five shade characters between ``vmin``
+    and ``vmax`` (defaulting to the grid's own range); row/column
+    labels annotate the axes.
+    """
+    import numpy as np
+
+    a = np.asarray(grid, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("heatmap needs a 2-D grid")
+    if a.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {a.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    lo = float(a.min()) if vmin is None else vmin
+    hi = float(a.max()) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    label_w = max(len(str(r)) for r in row_labels)
+    lines = [title, "=" * len(title)]
+    for r, row_label in enumerate(row_labels):
+        cells = []
+        for c in range(len(col_labels)):
+            level = (a[r, c] - lo) / span
+            idx = min(len(_SHADES) - 1, max(0, int(round(level * (len(_SHADES) - 1)))))
+            cells.append(_SHADES[idx] * 2)
+        lines.append(f"{str(row_label):>{label_w}} |" + "".join(cells) + "|")
+    footer = " " * label_w + "  " + "".join(f"{str(c):<2.2s}" for c in col_labels)
+    lines.append(footer)
+    lines.append(f"scale: '{_SHADES[0]}'={lo:g} .. '{_SHADES[-1]}'={hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Figure 10 — theoretical maximum load of the replication strategies.
+
+Figure 10a: median max-load (percent) of the LP (15) over shuffled
+permutations, on the grid :math:`s \\in [0, 5]` (step 0.25) ×
+:math:`k \\in [1, m]`, for overlapping and disjoint intervals,
+``m = 15``.  Figure 10b: the ratio of the two strategies' medians.
+
+:func:`run` executes the sweep and renders both grids as text heatmap
+tables; key paper shapes are summarised in the notes (equality at
+``s = 0`` and ``k = m``, peak gain ≈ 1.5 near ``s ≈ 1.25``,
+``k ≈ 6``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..maxload.sweep import SweepResult, overlap_gain_ratio, sweep_max_load
+from .common import TextTable
+
+__all__ = ["Fig10Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Sweep data plus rendered tables."""
+
+    sweep: SweepResult
+    table_overlapping: TextTable
+    table_disjoint: TextTable
+    table_ratio: TextTable
+    peak_gain: float
+    peak_at: tuple[float, int]
+
+    def to_text(self) -> str:
+        return "\n\n".join(
+            [
+                self.table_overlapping.to_text(),
+                self.table_disjoint.to_text(),
+                self.table_ratio.to_text(),
+                self.to_heatmaps(),
+                f"peak overlapping/disjoint gain: {self.peak_gain:.3f} at "
+                f"(s={self.peak_at[0]:g}, k={self.peak_at[1]})",
+            ]
+        )
+
+    def to_heatmaps(self) -> str:
+        """Shaded ASCII heatmaps of the two max-load grids — the
+        closest text rendering of the paper's Figure 10a."""
+        from .common import render_heatmap
+
+        rows = [f"{s:g}" for s in self.sweep.s_values]
+        cols = [str(int(k)) for k in self.sweep.k_values]
+        parts = []
+        for name in ("overlapping", "disjoint"):
+            parts.append(
+                render_heatmap(
+                    self.sweep.loads[name],
+                    rows,
+                    cols,
+                    f"Figure 10a heatmap ({name}): max-load % by s (rows) x k (cols)",
+                    vmin=0.0,
+                    vmax=100.0,
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def _grid_table(title: str, sweep: SweepResult, grid: np.ndarray, fmt: str) -> TextTable:
+    table = TextTable(
+        title=title,
+        headers=["s \\ k"] + [str(int(k)) for k in sweep.k_values],
+    )
+    for si, s in enumerate(sweep.s_values):
+        table.add_row(f"{s:g}", *[format(grid[si, ki], fmt) for ki in range(sweep.k_values.size)])
+    return table
+
+
+def run(
+    m: int = 15,
+    s_values=None,
+    k_values=None,
+    n_permutations: int = 100,
+    rng_seed: int = 1234,
+) -> Fig10Result:
+    """Run the Figure 10 sweep (paper-scale by default; pass smaller
+    grids for quick benchmarks)."""
+    sweep = sweep_max_load(
+        m=m,
+        s_values=s_values,
+        k_values=k_values,
+        n_permutations=n_permutations,
+        rng=rng_seed,
+    )
+    ratio = sweep.ratio()
+    peak = float(ratio.max())
+    si, ki = np.unravel_index(int(ratio.argmax()), ratio.shape)
+    result = Fig10Result(
+        sweep=sweep,
+        table_overlapping=_grid_table(
+            f"Figure 10a (overlapping): median max-load % (m={m}, {n_permutations} permutations)",
+            sweep,
+            sweep.loads["overlapping"],
+            ".0f",
+        ),
+        table_disjoint=_grid_table(
+            f"Figure 10a (disjoint): median max-load % (m={m}, {n_permutations} permutations)",
+            sweep,
+            sweep.loads["disjoint"],
+            ".0f",
+        ),
+        table_ratio=_grid_table(
+            "Figure 10b: overlapping / disjoint median max-load ratio",
+            sweep,
+            ratio,
+            ".2f",
+        ),
+        peak_gain=peak,
+        peak_at=(float(sweep.s_values[si]), int(sweep.k_values[ki])),
+    )
+    assert abs(overlap_gain_ratio(sweep) - peak) < 1e-12
+    return result

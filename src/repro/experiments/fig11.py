@@ -1,0 +1,148 @@
+"""Figure 11 — max flow time vs average load (simulation).
+
+For ``m = 15``, ``k = 3``, 10 000 unit tasks released by a Poisson
+process: max-flow of EFT-Min and EFT-Max under both replication
+strategies, in the three popularity cases (Uniform; Shuffled and
+Worst-case with ``s = 1``), median over 10 runs per point.  Each facet
+also reports the theoretical max-load of both strategies from the LP —
+the red vertical lines of the paper (≈ 100 for Uniform; ≈ 66/52 for
+Shuffled; ≈ 59/36 for Worst-case, overlapping/disjoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.eft import eft_schedule
+from ..maxload.lp import max_load_lp
+from ..simulation.popularity import MachinePopularity, shuffled_case, uniform_case, worst_case
+from ..simulation.workload import WorkloadSpec, generate_workload
+from .common import TextTable
+
+__all__ = ["Fig11Point", "Fig11Result", "run", "DEFAULT_LOADS"]
+
+#: Load grids (percent) per case, matching the paper's facet axes.
+DEFAULT_LOADS: dict[str, tuple[int, ...]] = {
+    "uniform": (20, 30, 40, 50, 60, 70, 80, 90, 100),
+    "shuffled": (10, 20, 30, 40, 50, 60),
+    "worst": (10, 20, 30, 40, 50, 60),
+}
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    """One (case, strategy, heuristic, load) measurement."""
+
+    case: str
+    strategy: str
+    heuristic: str
+    load_percent: float
+    fmax_median: float
+    fmax_runs: tuple[float, ...]
+
+
+@dataclass
+class Fig11Result:
+    """All series of Figure 11 plus the per-case LP red lines."""
+
+    m: int
+    k: int
+    n: int
+    repeats: int
+    points: list[Fig11Point] = field(default_factory=list)
+    max_load_lines: dict = field(default_factory=dict)  # case -> {strategy: percent}
+
+    def series(self, case: str, strategy: str, heuristic: str) -> list[tuple[float, float]]:
+        """(load %, median Fmax) pairs of one curve."""
+        return [
+            (p.load_percent, p.fmax_median)
+            for p in self.points
+            if p.case == case and p.strategy == strategy and p.heuristic == heuristic
+        ]
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            title=(
+                f"Figure 11: median Fmax vs average load "
+                f"(m={self.m}, k={self.k}, n={self.n}, {self.repeats} runs)"
+            ),
+            headers=["case", "strategy", "heuristic", "load %", "median Fmax"],
+        )
+        for p in self.points:
+            table.add_row(p.case, p.strategy, p.heuristic, p.load_percent, p.fmax_median)
+        for case, lines in self.max_load_lines.items():
+            table.notes.append(
+                f"{case}: LP max load overlapping={lines['overlapping']:.0f}%, "
+                f"disjoint={lines['disjoint']:.0f}%"
+            )
+        return table
+
+    def to_text(self) -> str:
+        return self.to_table().to_text()
+
+
+def _popularity(case: str, m: int, s: float, rng: np.random.Generator) -> MachinePopularity:
+    if case == "uniform":
+        return uniform_case(m)
+    if case == "worst":
+        return worst_case(m, s)
+    return shuffled_case(m, s, rng)
+
+
+def run(
+    m: int = 15,
+    k: int = 3,
+    n: int = 10_000,
+    repeats: int = 10,
+    s: float = 1.0,
+    loads: dict[str, tuple[int, ...]] | None = None,
+    cases: tuple[str, ...] = ("uniform", "shuffled", "worst"),
+    rng_seed: int = 2022,
+) -> Fig11Result:
+    """Run the Figure 11 simulation campaign.
+
+    Paper-scale by default (``n = 10000``, ``repeats = 10``); pass
+    smaller values for quick runs.  Within one repeat the same
+    popularity (and, for Shuffled, the same permutation) is shared by
+    every curve, as in the paper.
+    """
+    loads = dict(DEFAULT_LOADS) if loads is None else loads
+    rng = np.random.default_rng(rng_seed)
+    result = Fig11Result(m=m, k=k, n=n, repeats=repeats)
+    for case in cases:
+        # Red lines: median LP max-load over the repeat popularities.
+        pops = [_popularity(case, m, s, rng) for _ in range(repeats)]
+        result.max_load_lines[case] = {
+            strat: float(
+                np.median([max_load_lp(pop, strat, k).load_percent for pop in pops])
+            )
+            for strat in ("overlapping", "disjoint")
+        }
+        for strategy in ("overlapping", "disjoint"):
+            for heuristic in ("min", "max"):
+                for load in loads[case]:
+                    lam = load / 100.0 * m
+                    runs = []
+                    for rep in range(repeats):
+                        spec = WorkloadSpec(
+                            m=m, n=n, lam=lam, k=k, strategy=strategy, case=case, s=s
+                        )
+                        inst = generate_workload(
+                            spec,
+                            rng=np.random.default_rng(rng_seed + 1000 * rep + load),
+                            popularity=pops[rep],
+                        )
+                        runs.append(eft_schedule(inst, tiebreak=heuristic).max_flow)
+                    result.points.append(
+                        Fig11Point(
+                            case=case,
+                            strategy=strategy,
+                            heuristic=f"EFT-{heuristic.capitalize()}",
+                            load_percent=float(load),
+                            fmax_median=float(np.median(runs)),
+                            fmax_runs=tuple(runs),
+                        )
+                    )
+    return result

@@ -1,0 +1,20 @@
+"""Future-work exploration: replication strategies beyond the paper."""
+
+from .evaluate import StrategyScore, adversarial_probe, evaluate_strategies, score_strategy
+from .strategies import (
+    EXPLORATION_STRATEGIES,
+    DualPartition,
+    MirroredIntervals,
+    RandomKSets,
+)
+
+__all__ = [
+    "DualPartition",
+    "EXPLORATION_STRATEGIES",
+    "MirroredIntervals",
+    "RandomKSets",
+    "StrategyScore",
+    "adversarial_probe",
+    "evaluate_strategies",
+    "score_strategy",
+]

@@ -1,0 +1,180 @@
+"""Evaluation harness for candidate replication strategies.
+
+Scores every strategy on the two axes the paper's conclusion cares
+about:
+
+1. **Average-case capacity** — median LP (Equation 15) max-load over
+   shuffled Zipf popularities, at several biases;
+2. **Worst-case latency** — simulated EFT-Min ``Fmax`` under the
+   Worst-case popularity near each strategy's own capacity limit, plus
+   an adversarial probe: the Theorem 8 batch pattern generalised to
+   arbitrary replica layouts (batches that saturate the cluster while
+   steering the surplus toward a fixed set of homes).
+
+Also reports structural facts that carry guarantees: a disjoint layout
+inherits EFT's ``3 − 2/k`` bound (Corollary 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.eft import EFT, eft_schedule
+from ..core.task import Instance, Task
+from ..experiments.common import TextTable
+from ..maxload.lp import max_load_lp
+from ..psets.replication import ReplicationStrategy
+from ..psets.structures import classify_family
+from ..simulation.arrivals import poisson_release_times
+from ..simulation.popularity import shuffled_case, worst_case
+from .strategies import EXPLORATION_STRATEGIES
+
+__all__ = ["StrategyScore", "score_strategy", "evaluate_strategies", "adversarial_probe"]
+
+
+class StrategyScore:
+    """Scores of one strategy (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        structure: str,
+        median_max_load: float,
+        worst_case_max_load: float,
+        sim_fmax: float,
+        probe_fmax: float,
+        guarantee: str,
+    ) -> None:
+        self.name = name
+        self.structure = structure
+        self.median_max_load = median_max_load
+        self.worst_case_max_load = worst_case_max_load
+        self.sim_fmax = sim_fmax
+        self.probe_fmax = probe_fmax
+        self.guarantee = guarantee
+
+
+def adversarial_probe(strategy: ReplicationStrategy, steps: int = 200) -> float:
+    """Generalised Theorem 8 probe.
+
+    At each integer time, release exactly ``m`` unit tasks: one homed
+    on each machine, submitted in *decreasing* home order except that
+    the last ``k`` submissions are all homed on machine 1 (the paper's
+    batch, expressed through the strategy's own layout).  Under EFT-Min
+    this recreates the cascade for overlapping intervals and measures
+    how far other layouts let it go.
+    """
+    m, k = strategy.m, strategy.k
+    scheduler = EFT(m, tiebreak="min")
+    tid = 0
+    # Homes per batch: m-k+1 down to 2 (m-k tasks), then k tasks homed
+    # on machine 1 — exactly the Theorem 8 type sequence.
+    order = list(range(m - k + 1, 1, -1)) + [1] * k
+    for t in range(steps):
+        for u in order:
+            scheduler.submit(
+                Task(tid=tid, release=float(t), proc=1.0, machines=strategy.replicas(u))
+            )
+            tid += 1
+    return scheduler.schedule().max_flow
+
+
+def score_strategy(
+    name: str,
+    m: int = 15,
+    k: int = 3,
+    s: float = 1.0,
+    n_permutations: int = 20,
+    sim_tasks: int = 3000,
+    rng_seed: int = 0,
+) -> StrategyScore:
+    """Score one strategy by name (see
+    :data:`repro.explore.strategies.EXPLORATION_STRATEGIES`)."""
+    cls = EXPLORATION_STRATEGIES[name]
+    strategy = cls(m, k)
+    rng = np.random.default_rng(rng_seed)
+
+    # average-case capacity
+    pops = [shuffled_case(m, s, rng) for _ in range(n_permutations)]
+    med_load = float(np.median([max_load_lp(p, strategy).load_percent for p in pops]))
+    worst_load = max_load_lp(worst_case(m, s), strategy).load_percent
+
+    # simulated latency at 80% of own worst-case capacity
+    lam = 0.8 * worst_load / 100.0 * m
+    pop = worst_case(m, s)
+    fmaxes = []
+    for rep in range(3):
+        homes = pop.sample_homes(sim_tasks, np.random.default_rng(rng_seed + rep))
+        releases = poisson_release_times(lam, sim_tasks, np.random.default_rng(100 + rep))
+        tasks = tuple(
+            Task(
+                tid=i,
+                release=float(releases[i]),
+                proc=1.0,
+                machines=strategy.replicas(int(homes[i])),
+            )
+            for i in range(sim_tasks)
+        )
+        inst = Instance(m=m, tasks=tasks)
+        fmaxes.append(eft_schedule(inst, tiebreak="min").max_flow)
+    sim_fmax = float(np.median(fmaxes))
+
+    probe = adversarial_probe(strategy, steps=10 * m)
+    family = strategy.all_sets()
+    structure = classify_family(family, m)
+    if structure in ("disjoint", "inclusive"):
+        guarantee = f"EFT <= {3 - 2 / k:.2f} (Cor 1)"
+    else:
+        guarantee = "none known"
+    return StrategyScore(
+        name=name,
+        structure=structure,
+        median_max_load=med_load,
+        worst_case_max_load=worst_load,
+        sim_fmax=sim_fmax,
+        probe_fmax=probe,
+        guarantee=guarantee,
+    )
+
+
+def evaluate_strategies(
+    m: int = 15,
+    k: int = 3,
+    s: float = 1.0,
+    names: tuple[str, ...] | None = None,
+    **kwargs,
+) -> TextTable:
+    """Compare all (or the named) strategies; returns a report table."""
+    names = tuple(EXPLORATION_STRATEGIES) if names is None else names
+    table = TextTable(
+        title=f"Replication strategy exploration (m={m}, k={k}, s={s:g})",
+        headers=[
+            "strategy",
+            "structure",
+            "median max-load %",
+            "worst-case max-load %",
+            "sim Fmax @80% own cap",
+            "probe Fmax",
+            "guarantee",
+        ],
+    )
+    for name in names:
+        sc = score_strategy(name, m=m, k=k, s=s, **kwargs)
+        table.add_row(
+            sc.name,
+            sc.structure,
+            round(sc.median_max_load, 1),
+            round(sc.worst_case_max_load, 1),
+            round(sc.sim_fmax, 2),
+            round(sc.probe_fmax, 1),
+            sc.guarantee,
+        )
+    table.notes.append(
+        "probe = generalized Theorem 8 batch pattern under EFT-Min "
+        f"({10 * m} steps); overlapping collapses to m-k+1"
+    )
+    table.notes.append(
+        "disjoint's probe value is capacity divergence (the pattern's home "
+        "mix exceeds its max-load), not a scheduling pathology"
+    )
+    return table

@@ -1,0 +1,107 @@
+"""Instance and schedule (de)serialisation.
+
+Experiments need durable artifacts: instances round-trip through JSON
+(already on :class:`~repro.core.task.Instance`); this module adds
+schedule round-trips, CSV trace export for external analysis (one row
+per task: release, start, completion, machine, flow), and a combined
+experiment-record format that stores the instance, the placements and
+the metrics together with provenance (algorithm name, seed).
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from typing import Mapping
+
+from .core.metrics import summarize
+from .core.schedule import Schedule
+from .core.task import Instance
+
+__all__ = [
+    "schedule_to_json",
+    "schedule_from_json",
+    "schedule_to_csv",
+    "experiment_record",
+    "load_experiment_record",
+]
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialise a schedule (instance + placements) to JSON."""
+    payload = {
+        "instance": json.loads(schedule.instance.to_json()),
+        "placements": {
+            str(a.task.tid): [a.machine, a.start] for a in schedule
+        },
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(payload: str) -> Schedule:
+    """Inverse of :func:`schedule_to_json`; validates the result."""
+    data = json.loads(payload)
+    instance = Instance.from_json(json.dumps(data["instance"]))
+    placements = {
+        int(tid): (int(mach), float(start))
+        for tid, (mach, start) in data["placements"].items()
+    }
+    schedule = Schedule(instance, placements)
+    schedule.validate()
+    return schedule
+
+
+def schedule_to_csv(schedule: Schedule) -> str:
+    """Export one row per task: ``tid, machine, release, start,
+    completion, flow, proc`` (sorted by tid)."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["tid", "machine", "release", "start", "completion", "flow", "proc"])
+    for t in schedule.instance:
+        a = schedule[t.tid]
+        writer.writerow(
+            [t.tid, a.machine, t.release, a.start, a.completion, a.flow, t.proc]
+        )
+    return buf.getvalue()
+
+
+def experiment_record(
+    schedule: Schedule,
+    algorithm: str,
+    seed: int | None = None,
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    """Bundle a run into a self-describing JSON record: provenance,
+    instance, placements and summary metrics."""
+    stats = summarize(schedule)
+    payload = {
+        "format": "repro-experiment-v1",
+        "algorithm": algorithm,
+        "seed": seed,
+        "metrics": stats.as_dict(),
+        "schedule": json.loads(schedule_to_json(schedule)),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    return json.dumps(payload)
+
+
+def load_experiment_record(payload: str) -> tuple[Schedule, dict]:
+    """Load a record; returns the validated schedule and the metadata
+    (algorithm, seed, metrics, extra).  Recomputed metrics must match
+    the stored ones (guards against tampered/corrupted records)."""
+    data = json.loads(payload)
+    if data.get("format") != "repro-experiment-v1":
+        raise ValueError(f"unknown record format {data.get('format')!r}")
+    schedule = schedule_from_json(json.dumps(data["schedule"]))
+    recomputed = summarize(schedule).as_dict()
+    stored = data["metrics"]
+    for key in ("max_flow", "makespan", "total_work"):
+        if abs(recomputed[key] - stored[key]) > 1e-9:
+            raise ValueError(
+                f"stored metric {key}={stored[key]} does not match "
+                f"recomputed {recomputed[key]} — corrupted record?"
+            )
+    meta = {k: v for k, v in data.items() if k != "schedule"}
+    return schedule, meta

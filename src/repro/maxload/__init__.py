@@ -1,0 +1,19 @@
+"""Theoretical maximum-load analysis (Equation 15, Figure 10)."""
+
+from .closedform import max_load_disjoint_closed_form, max_load_hall
+from .flow import Dinic
+from .lp import MaxLoadSolution, max_load_flow, max_load_lp, max_load_percent
+from .sweep import SweepResult, overlap_gain_ratio, sweep_max_load
+
+__all__ = [
+    "Dinic",
+    "MaxLoadSolution",
+    "SweepResult",
+    "max_load_disjoint_closed_form",
+    "max_load_flow",
+    "max_load_hall",
+    "max_load_lp",
+    "max_load_percent",
+    "overlap_gain_ratio",
+    "sweep_max_load",
+]

@@ -1,0 +1,90 @@
+"""Closed-form and combinatorial solutions of the max-load problem.
+
+Two independent characterisations of the LP (15) optimum:
+
+* **Disjoint strategy** — work cannot cross group boundaries, so the
+  binding constraint is the heaviest group:
+
+  .. math::
+
+      \\lambda^* = \\min_{g} \\frac{|g|}{\\sum_{j \\in g} P(E_j)}.
+
+* **Any strategy, small m** — by the Gale–Hoffman/Hall condition for
+  transportation feasibility, :math:`\\lambda` is feasible iff for
+  every machine subset :math:`S`,
+  :math:`\\lambda \\sum_{j \\in S} P(E_j) \\le |N(S)|` with
+  :math:`N(S) = \\bigcup_{j \\in S} I_k(j)`; hence
+
+  .. math::
+
+      \\lambda^* = \\min_{\\emptyset \\ne S}
+          \\frac{|N(S)|}{\\sum_{j \\in S} P(E_j)}.
+
+  Enumerated exactly for :math:`m \\le 20` (the paper's clusters have
+  :math:`m = 15`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..psets.replication import DisjointIntervals, ReplicationStrategy, get_strategy
+from ..simulation.popularity import MachinePopularity
+
+__all__ = ["max_load_disjoint_closed_form", "max_load_hall"]
+
+
+def _weights(popularity) -> np.ndarray:
+    if isinstance(popularity, MachinePopularity):
+        return popularity.weights
+    return np.asarray(popularity, dtype=float)
+
+
+def max_load_disjoint_closed_form(popularity, k: int) -> float:
+    """:math:`\\lambda^*` for the disjoint strategy, in closed form."""
+    w = _weights(popularity)
+    m = w.size
+    strat = DisjointIntervals(m, k)
+    best = np.inf
+    for group in strat.groups():
+        mass = float(sum(w[j - 1] for j in group))
+        if mass > 0:
+            best = min(best, len(group) / mass)
+    return float(best)
+
+
+def max_load_hall(
+    popularity, strategy: str | ReplicationStrategy, k: int | None = None
+) -> float:
+    """:math:`\\lambda^*` via exhaustive Hall-condition enumeration.
+
+    Exponential in :math:`m`; guarded to :math:`m \\le 20`.
+    """
+    w = _weights(popularity)
+    m = w.size
+    if m > 20:
+        raise ValueError("Hall enumeration limited to m <= 20")
+    if isinstance(strategy, str):
+        if k is None:
+            raise ValueError("k required when passing a strategy name")
+        strat = get_strategy(strategy, m, k)
+    else:
+        strat = strategy
+    # Bitmask of each home's replica set.
+    replica_mask = [0] * (m + 1)
+    for j in range(1, m + 1):
+        mask = 0
+        for i in strat.replicas(j):
+            mask |= 1 << (i - 1)
+        replica_mask[j] = mask
+    best = np.inf
+    for subset in range(1, 1 << m):
+        mass = 0.0
+        nbhd = 0
+        for j in range(1, m + 1):
+            if subset & (1 << (j - 1)):
+                mass += w[j - 1]
+                nbhd |= replica_mask[j]
+        if mass > 0:
+            best = min(best, bin(nbhd).count("1") / mass)
+    return float(best)

@@ -1,0 +1,75 @@
+"""Dinic maximum flow (own implementation).
+
+Substrate for the transportation-feasibility cross-checks of the
+max-load LP (Section 7.2): the LP's optimum equals the largest
+:math:`\\lambda` for which the popularity mass routes through the
+replication bipartite graph into unit-capacity machines.  Tested
+against :mod:`networkx` and against the Hall-condition enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["Dinic"]
+
+
+class Dinic:
+    """Max-flow solver on a directed graph with float capacities."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("need at least 2 nodes")
+        self.n = n
+        self.graph: list[list[list]] = [[] for _ in range(n)]  # [to, cap, rev_index]
+
+    def add_edge(self, u: int, v: int, cap: float) -> None:
+        """Add a directed edge ``u -> v`` with capacity ``cap``."""
+        if cap < 0:
+            raise ValueError("capacity must be >= 0")
+        self.graph[u].append([v, cap, len(self.graph[v])])
+        self.graph[v].append([u, 0.0, len(self.graph[u]) - 1])
+
+    def _bfs(self, s: int, t: int) -> list[int]:
+        level = [-1] * self.n
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for edge in self.graph[u]:
+                v, cap, _ = edge
+                if cap > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs(self, u: int, t: int, f: float, level: list[int], it: list[int]) -> float:
+        if u == t:
+            return f
+        while it[u] < len(self.graph[u]):
+            edge = self.graph[u][it[u]]
+            v, cap, rev = edge
+            if cap > 1e-12 and level[v] == level[u] + 1:
+                d = self._dfs(v, t, min(f, cap), level, it)
+                if d > 1e-12:
+                    edge[1] -= d
+                    self.graph[v][rev][1] += d
+                    return d
+            it[u] += 1
+        return 0.0
+
+    def max_flow(self, s: int, t: int) -> float:
+        """Maximum ``s -> t`` flow value."""
+        if s == t:
+            raise ValueError("source equals sink")
+        flow = 0.0
+        while True:
+            level = self._bfs(s, t)
+            if level[t] < 0:
+                return flow
+            it = [0] * self.n
+            while True:
+                f = self._dfs(s, t, float("inf"), level, it)
+                if f <= 1e-12:
+                    break
+                flow += f

@@ -1,0 +1,171 @@
+"""The maximum-load linear program (Equation 15 of the paper).
+
+Given a machine popularity :math:`P(E_j)` and a replication strategy
+with replica sets :math:`I_k(j)`, the LP finds the largest arrival rate
+:math:`\\lambda` such that the popularity-weighted work can be routed
+to machines without exceeding unit capacity:
+
+.. math::
+
+    \\max \\lambda \\quad \\text{s.t.} \\quad
+    \\sum_i a_{ij} = \\lambda P(E_j) \\;\\; \\forall j, \\qquad
+    \\sum_j a_{ij} \\le 1 \\;\\; \\forall i, \\qquad
+    a_{ij} = 0 \\text{ if } M_i \\notin I_k(j), \\qquad
+    a, \\lambda \\ge 0.
+
+:math:`a_{ij}` is the rate of work homed on :math:`M_j` that machine
+:math:`M_i` eventually serves.  The *max-load percentage* plotted in
+Figure 10 is :math:`100 \\lambda^* / m`.
+
+Solved with ``scipy.optimize.linprog`` (HiGHS).  Cross-checks:
+:func:`max_load_flow` (binary search + own Dinic max-flow) and the
+closed forms of :mod:`repro.maxload.closedform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..psets.replication import ReplicationStrategy, get_strategy
+from ..simulation.popularity import MachinePopularity
+from .flow import Dinic
+
+__all__ = ["MaxLoadSolution", "max_load_lp", "max_load_flow", "max_load_percent"]
+
+
+@dataclass(frozen=True)
+class MaxLoadSolution:
+    """Result of the max-load LP."""
+
+    lam: float  #: optimal arrival rate lambda*
+    m: int
+    transfer: np.ndarray  #: optimal a_{ij} matrix, shape (m, m)
+
+    @property
+    def load_percent(self) -> float:
+        """Maximum average cluster load, in percent
+        (:math:`100\\,\\lambda^*/m`)."""
+        return 100.0 * self.lam / self.m
+
+    def machine_rates(self) -> np.ndarray:
+        """Per-machine served work rate :math:`\\sum_j a_{ij}`."""
+        return self.transfer.sum(axis=1)
+
+
+def _weights(popularity) -> np.ndarray:
+    if isinstance(popularity, MachinePopularity):
+        return popularity.weights
+    w = np.asarray(popularity, dtype=float)
+    if w.ndim != 1 or np.any(w < 0) or not np.isclose(w.sum(), 1.0):
+        raise ValueError("popularity must be a probability vector")
+    return w
+
+
+def max_load_lp(
+    popularity,
+    strategy: str | ReplicationStrategy,
+    k: int | None = None,
+) -> MaxLoadSolution:
+    """Solve Equation (15) exactly.
+
+    ``popularity`` is a :class:`MachinePopularity` or a probability
+    vector; ``strategy`` a name (with ``k``) or a bound strategy.
+    """
+    w = _weights(popularity)
+    m = w.size
+    if isinstance(strategy, str):
+        if k is None:
+            raise ValueError("k required when passing a strategy name")
+        strat = get_strategy(strategy, m, k)
+    else:
+        strat = strategy
+        if strat.m != m:
+            raise ValueError(f"strategy has m={strat.m}, popularity has m={m}")
+    allowed = strat.transfer_matrix()  # allowed[i-1, j-1]
+
+    # Variables: a_{ij} flattened row-major (i major), then lambda.
+    nvar = m * m + 1
+    c = np.zeros(nvar)
+    c[-1] = -1.0  # maximize lambda
+
+    # Equality: sum_i a_ij - lambda P(E_j) = 0  for each j.
+    a_eq = np.zeros((m, nvar))
+    for j in range(m):
+        for i in range(m):
+            a_eq[j, i * m + j] = 1.0
+        a_eq[j, -1] = -w[j]
+    b_eq = np.zeros(m)
+
+    # Inequality: sum_j a_ij <= 1 for each i.
+    a_ub = np.zeros((m, nvar))
+    for i in range(m):
+        a_ub[i, i * m : (i + 1) * m] = 1.0
+    b_ub = np.ones(m)
+
+    bounds = []
+    for i in range(m):
+        for j in range(m):
+            bounds.append((0.0, None) if allowed[i, j] else (0.0, 0.0))
+    bounds.append((0.0, float(m) / w.max() if w.max() > 0 else None))
+
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - LP is always feasible (lambda = 0)
+        raise RuntimeError(f"max-load LP failed: {res.message}")
+    transfer = np.asarray(res.x[:-1]).reshape(m, m)
+    return MaxLoadSolution(lam=float(res.x[-1]), m=m, transfer=transfer)
+
+
+def max_load_flow(
+    popularity,
+    strategy: str | ReplicationStrategy,
+    k: int | None = None,
+    tol: float = 1e-7,
+) -> float:
+    """The same optimum via binary search on :math:`\\lambda` with a
+    max-flow feasibility oracle (own Dinic) — an independent
+    cross-check of the LP.
+
+    Network: source → home ``j`` with capacity :math:`\\lambda P(E_j)`,
+    home ``j`` → server ``i`` (∞) for :math:`M_i \\in I_k(j)`, server
+    ``i`` → sink (1).  :math:`\\lambda` is feasible iff the max flow
+    saturates the source.
+    """
+    w = _weights(popularity)
+    m = w.size
+    if isinstance(strategy, str):
+        if k is None:
+            raise ValueError("k required when passing a strategy name")
+        strat = get_strategy(strategy, m, k)
+    else:
+        strat = strategy
+
+    def feasible(lam: float) -> bool:
+        # nodes: 0 source, 1..m homes, m+1..2m servers, 2m+1 sink
+        net = Dinic(2 * m + 2)
+        sink = 2 * m + 1
+        for j in range(1, m + 1):
+            net.add_edge(0, j, lam * w[j - 1])
+            for i in strat.replicas(j):
+                net.add_edge(j, m + i, float("inf"))
+        for i in range(1, m + 1):
+            net.add_edge(m + i, sink, 1.0)
+        return net.max_flow(0, sink) >= lam - tol
+
+    lo, hi = 0.0, float(m) / w.max()
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_load_percent(
+    popularity, strategy: str | ReplicationStrategy, k: int | None = None
+) -> float:
+    """Maximum average cluster load in percent (Figure 10's scale)."""
+    return max_load_lp(popularity, strategy, k).load_percent

@@ -1,0 +1,85 @@
+"""Parameter sweeps for the Figure 10 heatmaps.
+
+Figure 10a sweeps the popularity bias :math:`s \\in [0, 5]` (steps of
+0.25) and the interval size :math:`k \\in [1, m]` for both replication
+strategies in the Shuffled case, reporting the **median** max-load over
+100 random permutations of the weights; Figure 10b is the ratio of the
+two strategies' medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.popularity import shuffled_case, worst_case
+from .lp import max_load_lp
+
+__all__ = ["SweepResult", "sweep_max_load", "overlap_gain_ratio"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Max-load grids for both strategies.
+
+    ``loads[strategy]`` has shape ``(len(s_values), len(k_values))``
+    and holds max-load percentages (:math:`100 \\lambda^*/m`).
+    """
+
+    m: int
+    s_values: np.ndarray
+    k_values: np.ndarray
+    n_permutations: int
+    loads: dict = field(default_factory=dict)
+
+    def ratio(self) -> np.ndarray:
+        """Figure 10b's grid: overlapping / disjoint median max-load."""
+        return self.loads["overlapping"] / self.loads["disjoint"]
+
+
+def sweep_max_load(
+    m: int = 15,
+    s_values=None,
+    k_values=None,
+    n_permutations: int = 100,
+    rng: np.random.Generator | int | None = None,
+    case: str = "shuffled",
+) -> SweepResult:
+    """Run the Figure 10a sweep.
+
+    For the Shuffled case each grid point is the median over
+    ``n_permutations`` permutations; permutations are shared across
+    grid points (one batch per ``s``), matching the paper's setup of
+    permuting the weights :math:`P(E_j)`.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    s_values = np.arange(0.0, 5.01, 0.25) if s_values is None else np.asarray(s_values, dtype=float)
+    k_values = np.arange(1, m + 1) if k_values is None else np.asarray(k_values, dtype=int)
+    loads = {
+        "overlapping": np.zeros((s_values.size, k_values.size)),
+        "disjoint": np.zeros((s_values.size, k_values.size)),
+    }
+    for si, s in enumerate(s_values):
+        if case == "shuffled" and s > 0:
+            pops = [shuffled_case(m, float(s), gen) for _ in range(n_permutations)]
+        else:
+            # s = 0 is permutation-invariant; worst case needs no shuffle.
+            pops = [worst_case(m, float(s))]
+        for ki, k in enumerate(k_values):
+            for name in ("overlapping", "disjoint"):
+                vals = [max_load_lp(pop, name, int(k)).load_percent for pop in pops]
+                loads[name][si, ki] = float(np.median(vals))
+    return SweepResult(
+        m=m,
+        s_values=s_values,
+        k_values=k_values,
+        n_permutations=n_permutations,
+        loads=loads,
+    )
+
+
+def overlap_gain_ratio(result: SweepResult) -> float:
+    """Peak of Figure 10b: the maximum gain of overlapping over
+    disjoint across the grid (the paper reports up to ≈ 1.5)."""
+    return float(result.ratio().max())

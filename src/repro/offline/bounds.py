@@ -1,0 +1,90 @@
+"""Lower bounds on the offline optimum ``OPT``'s maximum flow time.
+
+Used to bound competitive ratios from below on instances too large for
+the exact solvers.  The bounds implemented:
+
+* :func:`lb_pmax` — Equation (3): :math:`F^{OPT}_{max} \\ge p_{max}`
+  (some task must run entirely).
+* :func:`lb_volume` — Equation (4)-style work argument: tasks released
+  from time :math:`t_0` onward carry total work :math:`V`; even a
+  perfectly balanced cluster finishes them no earlier than
+  :math:`t_0 + V/m`, and the last one was released at most at
+  :math:`r_{max}`, hence :math:`F_{max} \\ge t_0 + V/m - r_{max}`.
+* :func:`lb_restricted_volume` — the same argument confined to a
+  machine subset :math:`J`: tasks with :math:`\\mathcal{M}_i \\subseteq
+  J` can only use :math:`|J|` machines.  Enumerates candidate
+  :math:`J` from the distinct processing sets (and unions of
+  overlapping ones) — exact enough for structured families.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.task import Instance
+
+__all__ = ["lb_pmax", "lb_volume", "lb_restricted_volume", "opt_lower_bound"]
+
+
+def lb_pmax(instance: Instance) -> float:
+    """Equation (3): ``OPT >= pmax``."""
+    return instance.pmax
+
+
+def lb_volume(instance: Instance) -> float:
+    """Work-volume bound over every release-time suffix.
+
+    :math:`\\max_{t_0} \\bigl( t_0 + V_{\\ge t_0}/m - r_{max,\\ge t_0} \\bigr)`
+    where the max runs over distinct release times :math:`t_0` and
+    :math:`V_{\\ge t_0}` is the work of tasks released at or after
+    :math:`t_0`.  Always at least :math:`p_{min}`.
+    """
+    if instance.n == 0:
+        return 0.0
+    releases = sorted({t.release for t in instance})
+    best = min(t.proc for t in instance)
+    for t0 in releases:
+        suffix = [t for t in instance if t.release >= t0]
+        vol = sum(t.proc for t in suffix)
+        rmax = max(t.release for t in suffix)
+        best = max(best, t0 + vol / instance.m - rmax)
+    return best
+
+
+def lb_restricted_volume(instance: Instance, max_union: int = 3) -> float:
+    """Volume bound restricted to machine subsets.
+
+    For each candidate machine set :math:`J` (distinct processing sets
+    of the instance and unions of up to ``max_union`` of them) and each
+    release-time suffix, tasks with :math:`\\mathcal{M}_i \\subseteq J`
+    give :math:`F_{max} \\ge t_0 + V/|J| - r_{max}`.
+    """
+    if instance.n == 0:
+        return 0.0
+    psets = sorted({t.eligible(instance.m) for t in instance}, key=sorted)
+    candidates: set[frozenset[int]] = set(psets)
+    for r in range(2, max_union + 1):
+        if len(psets) > 12 and r > 2:
+            break  # keep enumeration polynomial on wide families
+        for combo in combinations(psets, r):
+            u = frozenset().union(*combo)
+            candidates.add(u)
+    releases = sorted({t.release for t in instance})
+    best = 0.0
+    for J in candidates:
+        tasks_j = [t for t in instance if t.eligible(instance.m) <= J]
+        if not tasks_j:
+            continue
+        for t0 in releases:
+            suffix = [t for t in tasks_j if t.release >= t0]
+            if not suffix:
+                continue
+            vol = sum(t.proc for t in suffix)
+            rmax = max(t.release for t in suffix)
+            best = max(best, t0 + vol / len(J) - rmax)
+    return best
+
+
+def opt_lower_bound(instance: Instance) -> float:
+    """Best available lower bound on ``OPT``'s maximum flow time."""
+    return max(lb_pmax(instance), lb_volume(instance), lb_restricted_volume(instance))

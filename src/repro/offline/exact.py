@@ -1,0 +1,151 @@
+"""Exact offline optimum by branch-and-bound (small instances).
+
+``P | r_i, M_i | Fmax`` is strongly NP-hard; this solver explores
+left-aligned schedules — for a fixed assignment of tasks to machines
+and a fixed order per machine, starting every task as early as possible
+is optimal for :math:`F_{max}`, so the search space is "append the next
+task to some machine's end".  Intended for :math:`n \\lesssim 12`;
+used by tests to measure true competitive ratios on arbitrary
+(non-unit) instances.
+
+Pruning:
+
+* incumbent bound — partial max-flow already ≥ best known;
+* per-task bound — a remaining task's flow is at least
+  :math:`\\max(p_i,\\; \\min_{j \\in \\mathcal{M}_i} \\max(r_i, C_j) + p_i - r_i)`;
+* global volume bound via :func:`repro.offline.bounds.opt_lower_bound`;
+* symmetry — identical machines with equal completion time 0 are
+  interchangeable for unrestricted tasks, so only the first empty
+  machine is tried.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+from ..core.task import Instance
+from .bounds import opt_lower_bound
+
+__all__ = ["ExactSolver", "optimal_fmax", "optimal_schedule"]
+
+
+class ExactSolver:
+    """Branch-and-bound solver for the offline max-flow problem."""
+
+    def __init__(self, instance: Instance, node_limit: int = 2_000_000) -> None:
+        self.instance = instance
+        self.node_limit = node_limit
+        self.nodes = 0
+        self._best_value = float("inf")
+        self._best_placement: dict[int, tuple[int, float]] | None = None
+
+    def solve(self) -> tuple[float, Schedule]:
+        """Return ``(OPT, optimal schedule)``.
+
+        Raises ``RuntimeError`` if the node limit is exhausted before
+        the search completes (instance too large for exact solving).
+        """
+        inst = self.instance
+        if inst.n == 0:
+            return 0.0, Schedule(inst, {})
+        # Seed the incumbent with EFT, a feasible online solution.
+        from ..core.eft import eft_schedule
+
+        seed = eft_schedule(inst, tiebreak="min")
+        self._best_value = seed.max_flow
+        self._best_placement = {a.task.tid: (a.machine, a.start) for a in seed}
+        self._global_lb = opt_lower_bound(inst)
+
+        tasks = list(inst.tasks)
+        completions = [0.0] * (inst.m + 1)  # index 0 unused
+        placement: dict[int, tuple[int, float]] = {}
+        self._dfs(tasks, completions, placement, 0.0)
+        if self.nodes >= self.node_limit:
+            raise RuntimeError(
+                f"ExactSolver exhausted its node limit ({self.node_limit}); instance too large"
+            )
+        assert self._best_placement is not None
+        sched = Schedule(inst, self._best_placement)
+        sched.validate()
+        return self._best_value, sched
+
+    # -- search ------------------------------------------------------------
+    def _remaining_lb(self, tasks: list, completions: list[float]) -> float:
+        lb = 0.0
+        m = self.instance.m
+        for t in tasks:
+            eligible = t.eligible(m)
+            start = min(max(t.release, completions[j]) for j in eligible)
+            lb = max(lb, start + t.proc - t.release)
+        return lb
+
+    def _dfs(
+        self,
+        remaining: list,
+        completions: list[float],
+        placement: dict[int, tuple[int, float]],
+        current_max: float,
+    ) -> None:
+        self.nodes += 1
+        if self.nodes >= self.node_limit:
+            return
+        if not remaining:
+            if current_max < self._best_value:
+                self._best_value = current_max
+                self._best_placement = dict(placement)
+            return
+        if current_max >= self._best_value:
+            return
+        if max(current_max, self._remaining_lb(remaining, completions)) >= self._best_value:
+            return
+        if self._best_value <= self._global_lb:
+            return  # incumbent already optimal
+        m = self.instance.m
+        # Dominance: per-machine release order is optimal for Fmax (the
+        # adjacent-swap argument of Theorem 2 extends to arbitrary p_i on
+        # a single machine because deadlines r_i + F are agreeable with
+        # releases), so appending tasks in global release order reaches
+        # an optimal schedule.  Branch over all tasks sharing the minimum
+        # release (their relative per-machine order matters), deduping
+        # fully identical ones (same p_i and processing set).
+        min_release = min(t.release for t in remaining)
+        branch_tasks = []
+        seen_sig = set()
+        for t in remaining:
+            if t.release != min_release:
+                continue
+            sig = (t.proc, t.machines)
+            if sig in seen_sig:
+                continue
+            seen_sig.add(sig)
+            branch_tasks.append(t)
+        for t in branch_tasks:
+            rest = [x for x in remaining if x.tid != t.tid]
+            tried_fresh = False
+            for j in sorted(t.eligible(m)):
+                if completions[j] == 0.0 and t.machines is None:
+                    if tried_fresh:
+                        continue  # identical empty machines are symmetric
+                    tried_fresh = True
+                start = max(t.release, completions[j])
+                flow = start + t.proc - t.release
+                new_max = max(current_max, flow)
+                if new_max >= self._best_value:
+                    continue
+                old = completions[j]
+                completions[j] = start + t.proc
+                placement[t.tid] = (j, start)
+                self._dfs(rest, completions, placement, new_max)
+                completions[j] = old
+                del placement[t.tid]
+
+
+def optimal_fmax(instance: Instance, node_limit: int = 2_000_000) -> float:
+    """Exact offline optimum value (small instances only)."""
+    value, _ = ExactSolver(instance, node_limit).solve()
+    return value
+
+
+def optimal_schedule(instance: Instance, node_limit: int = 2_000_000) -> Schedule:
+    """An exact offline-optimal schedule (small instances only)."""
+    _, sched = ExactSolver(instance, node_limit).solve()
+    return sched

@@ -1,0 +1,94 @@
+"""Exact offline optimum for unit tasks with processing sets.
+
+``P | r_i, p_i = 1, M_i | Fmax`` is polynomial (Section 6, via Brucker
+et al.): binary-search the answer :math:`F` and check feasibility of
+the deadline problem :math:`d_i = r_i + F` with a bipartite matching
+between tasks and (machine, time-slot) pairs.
+
+Restrictions: processing times must all equal 1 and release times must
+be integral — every adversary instance of the paper satisfies this,
+and any integral-release unit instance does.  The returned schedule is
+a true optimum, so tests can measure *exact* competitive ratios.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+from ..core.task import Instance
+from .matching import hopcroft_karp
+
+__all__ = ["optimal_unit_fmax", "unit_feasible_with_flow", "optimal_unit_schedule"]
+
+
+def _check_unit_integral(instance: Instance) -> None:
+    for t in instance:
+        if t.proc != 1:
+            raise ValueError(f"task {t.tid} has p={t.proc}; unit OPT requires p_i = 1")
+        if float(t.release) != int(t.release):
+            raise ValueError(
+                f"task {t.tid} has non-integral release {t.release}; unit OPT requires integral releases"
+            )
+
+
+def unit_feasible_with_flow(instance: Instance, flow: int) -> dict[int, tuple[int, int]] | None:
+    """Feasibility of max-flow ``flow`` for a unit, integral instance.
+
+    Returns ``tid -> (machine, start)`` placements if every task can
+    complete within ``r_i + flow``, else ``None``.  Start slots are the
+    integers in ``[r_i, r_i + flow - 1]``; a matching of all tasks to
+    distinct (machine, slot) pairs is exactly a feasible schedule
+    because unit tasks occupy one slot each.
+    """
+    if flow < 1:
+        return None
+    _check_unit_integral(instance)
+    adjacency: dict[int, list[tuple[int, int]]] = {}
+    for t in instance:
+        r = int(t.release)
+        slots = []
+        for s in range(r, r + flow):
+            for j in sorted(t.eligible(instance.m)):
+                slots.append((j, s))
+        adjacency[t.tid] = slots
+    matching = hopcroft_karp(adjacency)
+    if len(matching) < instance.n:
+        return None
+    return {tid: (pair[0], pair[1]) for tid, pair in matching.items()}
+
+
+def optimal_unit_fmax(instance: Instance) -> int:
+    """Optimal (offline) maximum flow time of a unit, integral instance."""
+    fmax, _ = optimal_unit_schedule(instance)
+    return fmax
+
+
+def optimal_unit_schedule(instance: Instance) -> tuple[int, Schedule]:
+    """Optimal offline max-flow value *and* a witnessing schedule.
+
+    Binary-searches :math:`F` between 1 and the value achieved by an
+    arbitrary feasible online schedule (EFT), which is a valid upper
+    bound.
+    """
+    _check_unit_integral(instance)
+    if instance.n == 0:
+        return 0, Schedule(instance, {})
+    from ..core.eft import eft_schedule
+
+    hi = int(round(eft_schedule(instance, tiebreak="min").max_flow))
+    lo = 1
+    best: dict[int, tuple[int, int]] | None = None
+    best_f = hi
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        placement = unit_feasible_with_flow(instance, mid)
+        if placement is not None:
+            best, best_f = placement, mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:  # the EFT bound itself must be feasible
+        best = unit_feasible_with_flow(instance, best_f)
+        assert best is not None, "EFT upper bound not feasible — internal error"
+    sched = Schedule(instance, {tid: (mach, float(start)) for tid, (mach, start) in best.items()})
+    sched.validate()
+    return best_f, sched

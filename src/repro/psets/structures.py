@@ -1,0 +1,202 @@
+"""Structure predicates and classification for processing-set families.
+
+Section 3 of the paper defines four special structures over the
+*family* of processing sets of an instance:
+
+* ``interval`` — every set is an interval of consecutive machines (or a
+  wrapped/ring interval);
+* ``nested`` — any two sets are disjoint or one contains the other
+  (a laminar family);
+* ``inclusive`` — any two sets are comparable by inclusion (a chain);
+* ``disjoint`` — any two sets are equal or disjoint (a partition-like
+  family).
+
+Their reduction graph (Figure 1)::
+
+    inclusive ─→ nested ─→ interval ─→ (general) M_i
+    disjoint  ─→ nested
+
+``inclusive`` and ``disjoint`` are special cases of ``nested``; nested
+families can always be renumbered into intervals, so ``nested`` is a
+special case of ``interval`` *up to machine reordering* — the predicate
+:func:`is_interval_family` therefore optionally searches for a
+permutation (exactly the paper's "it is always possible to reorder the
+machines").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .sets import is_circular_interval, is_contiguous
+
+__all__ = [
+    "STRUCTURES",
+    "REDUCTION_GRAPH",
+    "is_disjoint_family",
+    "is_inclusive_family",
+    "is_nested_family",
+    "is_interval_family",
+    "classify_family",
+    "specializes",
+    "nested_interval_order",
+]
+
+#: Names of the recognised structures, from most to least specific.
+STRUCTURES = ("inclusive", "disjoint", "nested", "interval", "general")
+
+#: Edges A -> B meaning "A is a special case of B" (Figure 1).
+REDUCTION_GRAPH: dict[str, tuple[str, ...]] = {
+    "inclusive": ("nested",),
+    "disjoint": ("nested",),
+    "nested": ("interval",),
+    "interval": ("general",),
+    "general": (),
+}
+
+
+def _as_sets(family: Iterable[Iterable[int]]) -> list[frozenset[int]]:
+    sets = [frozenset(s) for s in family]
+    for s in sets:
+        if not s:
+            raise ValueError("processing sets may not be empty")
+    return sets
+
+
+def is_disjoint_family(family: Iterable[Iterable[int]]) -> bool:
+    """All pairs of sets are equal or disjoint (``M_i(disjoint)``)."""
+    sets = set(_as_sets(family))
+    seen: dict[int, frozenset[int]] = {}
+    for s in sets:
+        for j in s:
+            if j in seen and seen[j] != s:
+                return False
+            seen[j] = s
+    return True
+
+
+def is_inclusive_family(family: Iterable[Iterable[int]]) -> bool:
+    """All pairs of sets are comparable by inclusion
+    (``M_i(inclusive)`` — a chain)."""
+    sets = sorted(set(_as_sets(family)), key=len)
+    for a, b in zip(sets, sets[1:]):
+        if not a <= b:
+            return False
+    # With distinct sets sorted by size, pairwise chain checks suffice;
+    # equal-size distinct sets are incomparable and already rejected.
+    return True
+
+
+def is_nested_family(family: Iterable[Iterable[int]]) -> bool:
+    """All pairs are nested or disjoint (``M_i(nested)`` — laminar)."""
+    sets = sorted(set(_as_sets(family)), key=lambda s: (-len(s), sorted(s)))
+    for i, a in enumerate(sets):
+        for b in sets[i + 1 :]:
+            inter = a & b
+            if inter and not (b <= a):
+                return False
+    return True
+
+
+def is_interval_family(
+    family: Iterable[Iterable[int]],
+    m: int,
+    *,
+    allow_ring: bool = True,
+    allow_reorder: bool = False,
+) -> bool:
+    """Every set is an interval of machines (``M_i(interval)``).
+
+    With ``allow_ring`` the wrapped form ``{j <= a or b <= j}`` counts
+    (the paper's second branch).  With ``allow_reorder`` the predicate
+    asks whether *some* machine permutation makes every set contiguous
+    — the consecutive-ones property of the set/machine incidence
+    matrix, decided via PQ-tree-free booth detection on small inputs
+    (here: a simple laminar/greedy search adequate for families that
+    are nested, plus a brute-force fallback for m <= 8).
+    """
+    sets = _as_sets(family)
+    if any(max(s) > m for s in sets):
+        raise ValueError("set exceeds machine count")
+    ok = all(
+        is_circular_interval(s, m) if allow_ring else is_contiguous(s) for s in sets
+    )
+    if ok or not allow_reorder:
+        return ok
+    # Nested families always admit an interval renumbering (paper, §3).
+    if is_nested_family(sets):
+        return True
+    if m <= 8:
+        from itertools import permutations
+
+        for perm in permutations(range(1, m + 1)):
+            relabel = {old: new + 1 for new, old in enumerate(perm)}
+            if all(is_contiguous({relabel[j] for j in s}) for s in sets):
+                return True
+        return False
+    return False
+
+
+def classify_family(family: Sequence[Iterable[int]], m: int) -> str:
+    """Most specific structure name of the family, following Figure 1.
+
+    Returns one of :data:`STRUCTURES`.  ``inclusive`` is checked before
+    ``disjoint``; a family that is both (all sets equal) reports
+    ``inclusive``.
+    """
+    sets = _as_sets(family)
+    if is_inclusive_family(sets):
+        return "inclusive"
+    if is_disjoint_family(sets):
+        return "disjoint"
+    if is_nested_family(sets):
+        return "nested"
+    if is_interval_family(sets, m):
+        return "interval"
+    return "general"
+
+
+def specializes(a: str, b: str) -> bool:
+    """Whether structure ``a`` is a special case of structure ``b``
+    (reflexive-transitive closure of :data:`REDUCTION_GRAPH`)."""
+    if a not in REDUCTION_GRAPH or b not in REDUCTION_GRAPH:
+        raise ValueError(f"unknown structure: {a!r} or {b!r}")
+    frontier = {a}
+    seen = set()
+    while frontier:
+        cur = frontier.pop()
+        if cur == b:
+            return True
+        seen.add(cur)
+        frontier.update(x for x in REDUCTION_GRAPH[cur] if x not in seen)
+    return False
+
+
+def nested_interval_order(family: Sequence[Iterable[int]], m: int) -> list[int]:
+    """Machine permutation making a *nested* family contiguous.
+
+    Returns machines ``1..m`` reordered so that every set of the family
+    maps to consecutive positions — a constructive witness of the
+    "nested ⊂ interval (after reordering)" edge of Figure 1.  Machines
+    in no set are appended at the end.  Raises if the family is not
+    nested.
+    """
+    sets = _as_sets(family)
+    if not is_nested_family(sets):
+        raise ValueError("family is not nested")
+    distinct = sorted(set(sets), key=lambda s: (-len(s), sorted(s)))
+
+    def lay_out(universe: list[int], children: list[frozenset[int]]) -> list[int]:
+        # children are maximal sets strictly inside `universe`'s set.
+        order: list[int] = []
+        used: set[int] = set()
+        for child in children:
+            grand = [s for s in distinct if s < child]
+            maximal = [s for s in grand if not any(s < t for t in grand)]
+            order.extend(lay_out(sorted(child), maximal))
+            used |= child
+        order.extend(j for j in universe if j not in used)
+        return order
+
+    top = [s for s in distinct if not any(s < t for t in distinct)]
+    return lay_out(list(range(1, m + 1)), top)

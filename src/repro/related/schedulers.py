@@ -1,0 +1,139 @@
+"""Online schedulers for related machines (Table 1's ``Q`` rows).
+
+Both schedulers are immediate dispatch and clairvoyant, like EFT.  The
+``proc`` field of incoming tasks is interpreted as *work*; the
+schedulers divide by the chosen machine's speed, and the returned
+:class:`~repro.core.schedule.Schedule` is built over a derived
+instance whose processing times are the realised execution times, so
+all standard metrics and validation apply.
+
+* :class:`GreedyRelated` — the natural generalisation of EFT: place
+  each task on the machine finishing it earliest
+  (:math:`\\min_j \\max(r_i, C_j) + w_i/s_j`).  Bansal & Cloostermans
+  show Greedy is at least :math:`\\Omega(\\log m)`-competitive for
+  max-flow on related machines: it happily burns fast machines on work
+  slow machines could have absorbed.
+* :class:`SlowFitRelated` — the classic Slow-Fit discipline with
+  doubling: keep an estimate :math:`\\Lambda` of the achievable flow
+  bound and place each task on the *slowest* machine that still
+  completes it by :math:`r_i + 2\\Lambda`, doubling :math:`\\Lambda`
+  when nobody fits.  Protects fast machines for tasks that need them
+  (but is at least :math:`\\Omega(m)`-competitive in the worst case —
+  the two failure modes are complementary, which is why Double-Fit
+  interleaves them).
+
+With identical speeds, Greedy coincides with EFT-Min — property-tested
+in ``tests/related/test_schedulers.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.schedule import Schedule
+from ..core.task import Instance, Task
+from .model import SpeedCluster
+
+__all__ = ["GreedyRelated", "SlowFitRelated"]
+
+
+class _RelatedBase:
+    """Shared driver: completion-time state and schedule building."""
+
+    def __init__(self, cluster: SpeedCluster) -> None:
+        self.cluster = cluster
+        self.m = cluster.m
+        self.completions: dict[int, float] = {j: 0.0 for j in range(1, self.m + 1)}
+        self._placements: dict[int, tuple[int, float]] = {}
+        self._derived_tasks: list[Task] = []
+        self._last_release = 0.0
+
+    def choose(self, task: Task) -> int:
+        raise NotImplementedError
+
+    def submit(self, task: Task) -> tuple[int, float]:
+        """Dispatch one task (``task.proc`` = work); returns
+        ``(machine, start)``."""
+        if task.release < self._last_release:
+            raise ValueError("online submission must follow release order")
+        self._last_release = task.release
+        machine = self.choose(task)
+        if task.machines is not None and machine not in task.machines:
+            raise ValueError(f"chose machine {machine} outside processing set")
+        start = max(task.release, self.completions[machine])
+        exec_time = self.cluster.exec_time(task.proc, machine)
+        self.completions[machine] = start + exec_time
+        self._placements[task.tid] = (machine, start)
+        self._derived_tasks.append(replace(task, proc=exec_time))
+        return machine, start
+
+    def run(self, instance: Instance) -> Schedule:
+        """Schedule a whole instance (``proc`` fields = work)."""
+        if instance.m != self.m:
+            raise ValueError(f"instance has m={instance.m}, cluster has m={self.m}")
+        for task in instance:
+            self.submit(task)
+        return self.schedule()
+
+    def schedule(self) -> Schedule:
+        """Materialise the realised schedule (execution times divided
+        by speeds)."""
+        derived = Instance(m=self.m, tasks=tuple(self._derived_tasks))
+        sched = Schedule(derived, self._placements)
+        return sched
+
+    def _eligible(self, task: Task) -> list[int]:
+        return sorted(task.eligible(self.m))
+
+
+class GreedyRelated(_RelatedBase):
+    """Greedy / EFT on related machines: earliest finish time wins
+    (ties: faster machine, then lower index)."""
+
+    name = "Greedy(Q)"
+
+    def choose(self, task: Task) -> int:
+        best = None
+        best_key = None
+        for j in self._eligible(task):
+            finish = max(task.release, self.completions[j]) + self.cluster.exec_time(
+                task.proc, j
+            )
+            key = (finish, -self.cluster.speed(j), j)
+            if best_key is None or key < best_key:
+                best, best_key = j, key
+        assert best is not None
+        return best
+
+
+class SlowFitRelated(_RelatedBase):
+    """Slow-Fit with doubling: slowest machine completing the task by
+    ``r_i + 2 * Lambda``; double ``Lambda`` until someone fits."""
+
+    name = "SlowFit(Q)"
+
+    def __init__(self, cluster: SpeedCluster, initial_bound: float | None = None) -> None:
+        super().__init__(cluster)
+        self._bound = initial_bound  # Lambda; lazily initialised
+        self.doublings = 0
+
+    def choose(self, task: Task) -> int:
+        eligible = self._eligible(task)
+        fastest_time = min(self.cluster.exec_time(task.proc, j) for j in eligible)
+        if self._bound is None:
+            self._bound = fastest_time
+        while True:
+            deadline = task.release + 2 * self._bound
+            # slowest machine (ties: lower index) that meets the deadline
+            candidates = []
+            for j in eligible:
+                finish = max(task.release, self.completions[j]) + self.cluster.exec_time(
+                    task.proc, j
+                )
+                if finish <= deadline + 1e-12:
+                    candidates.append((self.cluster.speed(j), j))
+            if candidates:
+                candidates.sort()  # slowest speed first, then index
+                return candidates[0][1]
+            self._bound *= 2
+            self.doublings += 1

@@ -1,0 +1,71 @@
+"""Discrete-event simulation substrate and workload models."""
+
+from .arrivals import batch_release_times, load_to_rate, poisson_release_times, rate_to_load
+from .collector import ProfileSampler, QueueSampler, steady_state_reached, trim_warmup
+from .engine import MachineState, SimulationResult, Simulator
+from .events import Event, EventKind, EventQueue
+from .suites import SUITES, WorkloadSuite, get_suite, suite_names
+from .kvstore import BlockPlacement, HashRingPlacement, KeyPlacement, KeyValueStore
+from .preemptive import (
+    PreemptiveEngine,
+    PreemptiveResult,
+    fifo_priority,
+    preemptive_fifo_fmax,
+    srpt_priority,
+)
+from .popularity import (
+    MachinePopularity,
+    generalized_harmonic,
+    shuffled_case,
+    uniform_case,
+    worst_case,
+    zipf_weights,
+)
+from .workload import (
+    WorkloadSpec,
+    generate_workload,
+    inject_outage,
+    popularity_for_case,
+    sample_sizes,
+)
+
+__all__ = [
+    "BlockPlacement",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "HashRingPlacement",
+    "KeyPlacement",
+    "KeyValueStore",
+    "MachinePopularity",
+    "MachineState",
+    "PreemptiveEngine",
+    "PreemptiveResult",
+    "ProfileSampler",
+    "QueueSampler",
+    "SUITES",
+    "SimulationResult",
+    "Simulator",
+    "WorkloadSpec",
+    "WorkloadSuite",
+    "batch_release_times",
+    "fifo_priority",
+    "generalized_harmonic",
+    "generate_workload",
+    "get_suite",
+    "inject_outage",
+    "load_to_rate",
+    "preemptive_fifo_fmax",
+    "sample_sizes",
+    "srpt_priority",
+    "suite_names",
+    "poisson_release_times",
+    "popularity_for_case",
+    "rate_to_load",
+    "shuffled_case",
+    "steady_state_reached",
+    "trim_warmup",
+    "uniform_case",
+    "worst_case",
+    "zipf_weights",
+]

@@ -1,0 +1,52 @@
+"""Arrival processes.
+
+Section 7.1: tasks are released according to a Poisson process with
+rate :math:`\\lambda` (on average :math:`\\lambda` tasks per time
+unit); :math:`\\lambda/m` is the average cluster load, so
+:math:`\\lambda = m` loads the cluster at 100%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["poisson_release_times", "batch_release_times", "load_to_rate", "rate_to_load"]
+
+
+def poisson_release_times(
+    lam: float, n: int, rng: np.random.Generator | int | None = None, start: float = 0.0
+) -> np.ndarray:
+    """``n`` release times of a Poisson process with rate ``lam``.
+
+    Inter-arrival gaps are i.i.d. ``Exponential(1/lam)``; times are the
+    cumulative sums offset by ``start``.
+    """
+    if lam <= 0:
+        raise ValueError("arrival rate must be > 0")
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    gaps = gen.exponential(scale=1.0 / lam, size=n)
+    return start + np.cumsum(gaps)
+
+
+def batch_release_times(batch_size: int, n_batches: int, period: float = 1.0) -> np.ndarray:
+    """Deterministic batched releases: ``batch_size`` tasks at every
+    multiple of ``period`` (the adversaries' release pattern)."""
+    if batch_size < 1 or n_batches < 1:
+        raise ValueError("batch_size and n_batches must be >= 1")
+    times = np.repeat(np.arange(n_batches, dtype=float) * period, batch_size)
+    return times
+
+
+def load_to_rate(load: float, m: int) -> float:
+    """Average cluster load (0..1 scale, unit tasks) to arrival rate:
+    :math:`\\lambda = \\text{load} \\cdot m`."""
+    if load <= 0:
+        raise ValueError("load must be > 0")
+    return load * m
+
+
+def rate_to_load(lam: float, m: int) -> float:
+    """Arrival rate to average cluster load: :math:`\\lambda / m`."""
+    return lam / m

@@ -1,0 +1,90 @@
+"""Metric collectors for simulator runs.
+
+Collectors are OBSERVE callbacks sampling the simulator state on a
+fixed cadence, plus post-hoc utilities (warm-up trimming, steady-state
+checks) used when measuring steady-state max-flow as in Figure 11
+("10 000 generated unit tasks, which is sufficient to reach a steady
+state").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .engine import Simulator
+
+__all__ = ["ProfileSampler", "QueueSampler", "trim_warmup", "steady_state_reached"]
+
+
+@dataclass
+class ProfileSampler:
+    """Samples the waiting-work profile :math:`w_t` every ``period``.
+
+    Attach with :meth:`install`; after the run, ``times`` and
+    ``profiles`` hold the series (``profiles[i][j-1]`` = work waiting
+    on machine ``j`` at ``times[i]``).
+    """
+
+    period: float = 1.0
+    times: list[float] = field(default_factory=list)
+    profiles: list[list[float]] = field(default_factory=list)
+
+    def install(self, sim: Simulator, horizon: float) -> None:
+        """Schedule sampling callbacks on ``sim`` up to ``horizon``."""
+        t = self.period
+        while t <= horizon:
+            sim.at(t, self._sample)
+            t += self.period
+
+    def _sample(self, sim: Simulator) -> None:
+        self.times.append(sim.now)
+        self.profiles.append(sim.waiting_profile())
+
+    def as_array(self) -> np.ndarray:
+        """Profiles as a ``(n_samples, m)`` array."""
+        return np.array(self.profiles, dtype=float)
+
+
+@dataclass
+class QueueSampler:
+    """Samples total queued tasks (released, not yet started)."""
+
+    period: float = 1.0
+    times: list[float] = field(default_factory=list)
+    queued: list[int] = field(default_factory=list)
+
+    def install(self, sim: Simulator, horizon: float) -> None:
+        t = self.period
+        while t <= horizon:
+            sim.at(t, self._sample)
+            t += self.period
+
+    def _sample(self, sim: Simulator) -> None:
+        self.times.append(sim.now)
+        self.queued.append(sum(len(m.queue) for m in sim.machines.values()))
+
+
+def trim_warmup(values: np.ndarray, fraction: float = 0.1) -> np.ndarray:
+    """Drop the first ``fraction`` of samples (transient warm-up)."""
+    if not (0.0 <= fraction < 1.0):
+        raise ValueError("fraction must be in [0, 1)")
+    values = np.asarray(values)
+    start = int(len(values) * fraction)
+    return values[start:]
+
+
+def steady_state_reached(series: np.ndarray, window: int = 100, rel_tol: float = 0.25) -> bool:
+    """Heuristic steady-state check: the means of the last two
+    ``window``-sized blocks differ by less than ``rel_tol`` relative to
+    their pooled mean (always False with < 2 windows of data)."""
+    series = np.asarray(series, dtype=float)
+    if len(series) < 2 * window:
+        return False
+    a = series[-2 * window : -window].mean()
+    b = series[-window:].mean()
+    pooled = (a + b) / 2
+    if pooled == 0:
+        return True
+    return abs(a - b) / pooled < rel_tol

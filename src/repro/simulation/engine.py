@@ -1,0 +1,192 @@
+"""Discrete-event simulator for online dispatch scheduling.
+
+The engine models ``m`` machines, each with a local FIFO run queue, and
+an immediate-dispatch scheduler deciding the target machine the moment
+a task is released (the push model of Section 3).  It exists alongside
+the analytic driver of :mod:`repro.core.dispatch` for three reasons:
+
+1. it observes the system *in time* (queue lengths, waiting work,
+   utilisation) for the Section 7 experiments;
+2. it hosts adaptive adversaries: an ``OBSERVE`` callback may inspect
+   the state and inject new tasks at the current instant;
+3. it validates the analytic driver — for any instance and tie-break,
+   the event-driven execution must reproduce the analytic schedule
+   exactly (an integration test).
+
+The engine is deliberately single-threaded and deterministic; all the
+randomness lives in the workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.schedule import Schedule
+from ..core.task import Instance, Task
+from .events import EventKind, EventQueue
+
+__all__ = ["MachineState", "SimulationResult", "Simulator"]
+
+
+@dataclass(slots=True)
+class MachineState:
+    """Run-time state of one machine."""
+
+    index: int
+    busy_until: float = 0.0
+    current: Task | None = None
+    queue: list[Task] = field(default_factory=list)
+    busy_time: float = 0.0
+    tasks_done: int = 0
+
+    def waiting_work(self, now: float) -> float:
+        """Remaining work at ``now``: residual of the running task plus
+        everything queued (the :math:`w_t(j)` of Theorem 8)."""
+        residual = max(0.0, self.busy_until - now) if self.current is not None else 0.0
+        return residual + sum(t.proc for t in self.queue)
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    schedule: Schedule
+    max_flow: float
+    mean_flow: float
+    makespan: float
+    n_completed: int
+    utilization: float
+
+
+class Simulator:
+    """Event-driven execution of an immediate-dispatch scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        The dispatch policy (e.g. :class:`repro.core.eft.EFT`).  The
+        simulator calls ``scheduler.submit`` at each release so the
+        scheduler's own bookkeeping stays authoritative; the engine
+        then enacts the decision with explicit START/COMPLETE events.
+    """
+
+    def __init__(self, scheduler: ImmediateDispatchScheduler) -> None:
+        self.scheduler = scheduler
+        self.m = scheduler.m
+        self.machines = {j: MachineState(index=j) for j in range(1, self.m + 1)}
+        self.events = EventQueue()
+        self.now = 0.0
+        self.completions: dict[int, float] = {}
+        self.starts: dict[int, float] = {}
+        self.assigned_machine: dict[int, int] = {}
+        self._tasks: list[Task] = []
+        self._observers: list[Callable[["Simulator"], None]] = []
+
+    # -- workload feeding ---------------------------------------------------
+    def add_tasks(self, tasks: Iterable[Task]) -> None:
+        """Schedule RELEASE events for ``tasks`` (any order; the queue
+        sorts by time)."""
+        for t in tasks:
+            self.events.push(t.release, EventKind.RELEASE, t)
+
+    def add_instance(self, instance: Instance) -> None:
+        """Feed a whole instance."""
+        if instance.m != self.m:
+            raise ValueError(f"instance has m={instance.m}, simulator has m={self.m}")
+        self.add_tasks(instance.tasks)
+
+    def at(self, time: float, callback: Callable[["Simulator"], None]) -> None:
+        """Run ``callback(sim)`` when the clock reaches ``time``.
+
+        The callback may inject tasks at the current instant (adaptive
+        adversaries) or record observations (collectors).  Within the
+        same instant, OBSERVE events fire in scheduling order relative
+        to releases, so schedule observers *before* adding same-time
+        tasks if they must see the pre-release state.
+        """
+        self.events.push(time, EventKind.OBSERVE, callback)
+
+    # -- event handlers ------------------------------------------------------
+    def _handle_release(self, task: Task) -> None:
+        record = self.scheduler.submit(task)
+        mach = self.machines[record.machine]
+        self.assigned_machine[task.tid] = record.machine
+        self._tasks.append(task)
+        mach.queue.append(task)
+        self._try_start(mach)
+
+    def _try_start(self, mach: MachineState) -> None:
+        if mach.current is None and mach.queue and mach.busy_until <= self.now:
+            task = mach.queue.pop(0)
+            mach.current = task
+            mach.busy_until = self.now + task.proc
+            mach.busy_time += task.proc
+            self.starts[task.tid] = self.now
+            self.events.push(mach.busy_until, EventKind.COMPLETE, (mach.index, task))
+
+    def _handle_complete(self, machine_index: int, task: Task) -> None:
+        mach = self.machines[machine_index]
+        mach.current = None
+        mach.tasks_done += 1
+        self.completions[task.tid] = self.now
+        self._try_start(mach)
+
+    # -- run ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Drain the event queue (or stop the clock at ``until``)."""
+        while self.events:
+            nxt = self.events.peek_time()
+            if until is not None and nxt is not None and nxt > until:
+                break
+            ev = self.events.pop()
+            self.now = ev.time
+            if ev.kind is EventKind.RELEASE:
+                self._handle_release(ev.payload)
+            elif ev.kind is EventKind.COMPLETE:
+                self._handle_complete(*ev.payload)
+            elif ev.kind is EventKind.OBSERVE:
+                ev.payload(self)
+            else:  # pragma: no cover - START events are implicit
+                raise RuntimeError(f"unexpected event kind {ev.kind}")
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Summarise what has completed so far."""
+        placements = {
+            tid: (self.assigned_machine[tid], self.starts[tid])
+            for tid in self.starts
+        }
+        done_tasks = tuple(t for t in self._tasks if t.tid in self.starts)
+        inst = Instance(m=self.m, tasks=done_tasks)
+        sched = Schedule(inst, placements)
+        flows = [sched.flow_of(t.tid) for t in done_tasks]
+        makespan = max(self.completions.values(), default=0.0)
+        total_busy = sum(m.busy_time for m in self.machines.values())
+        util = total_busy / (self.m * makespan) if makespan > 0 else 0.0
+        return SimulationResult(
+            schedule=sched,
+            max_flow=max(flows, default=0.0),
+            mean_flow=(sum(flows) / len(flows)) if flows else 0.0,
+            makespan=makespan,
+            n_completed=len(self.completions),
+            utilization=util,
+        )
+
+    # -- state inspection -----------------------------------------------------
+    def waiting_profile(self) -> list[float]:
+        """Current :math:`w_t(j)` for every machine, 1-based order."""
+        return [self.machines[j].waiting_work(self.now) for j in range(1, self.m + 1)]
+
+    def uncompleted_on(self, machines: Sequence[int]) -> int:
+        """Number of released-but-uncompleted tasks assigned to
+        ``machines`` (the :math:`|G_{0,k}|` statistic of Theorem 5)."""
+        wanted = set(machines)
+        count = 0
+        for t in self._tasks:
+            if t.tid in self.completions:
+                continue
+            if self.assigned_machine[t.tid] in wanted:
+                count += 1
+        return count

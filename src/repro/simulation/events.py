@@ -1,0 +1,65 @@
+"""Event primitives for the discrete-event simulator.
+
+A minimal, allocation-light event core: events are ``(time, seq,
+kind, payload)`` tuples ordered by time with a monotone sequence
+number for stable FIFO tie-breaking — simultaneous events fire in
+scheduling order, which the paper's adversaries rely on (tasks released
+"in order" at the same instant).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """Kinds of simulator events."""
+
+    RELEASE = auto()  #: a task enters the system
+    START = auto()  #: a machine begins processing a task
+    COMPLETE = auto()  #: a machine finishes a task
+    OBSERVE = auto()  #: a user/adversary callback fires
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled simulator event (orderable by time then seq)."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Binary-heap event queue with stable within-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns the event object."""
+        ev = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,112 @@
+"""Named canonical workload suites.
+
+A registry of reusable, fully specified workload configurations so
+experiments, benchmarks and downstream users draw from the same
+vocabulary:
+
+* ``paper-fig11`` — the paper's Figure 11 setting (m=15, k=3, unit
+  tasks, shuffled Zipf s=1 at 45% load);
+* ``uniform-baseline`` — no popularity bias;
+* ``hot-key`` — severe skew (worst case s=2): one machine's data is
+  requested an order of magnitude more often;
+* ``heavy-tail`` — Pareto request sizes (the tail-latency stressor);
+* ``bursty`` — exponential sizes at high load, near the overlapping
+  strategy's typical capacity.
+
+Each suite yields a :class:`~repro.simulation.workload.WorkloadSpec`
+bound to a popularity so repeated draws share the bias pattern, plus a
+one-line description for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.task import Instance
+from .popularity import MachinePopularity, shuffled_case, uniform_case, worst_case
+from .workload import WorkloadSpec, generate_workload
+
+__all__ = ["WorkloadSuite", "SUITES", "get_suite", "suite_names"]
+
+
+@dataclass(frozen=True)
+class WorkloadSuite:
+    """A named, fully specified workload configuration."""
+
+    name: str
+    description: str
+    spec: WorkloadSpec
+    popularity: MachinePopularity
+
+    def instance(self, rng: np.random.Generator | int | None = None) -> Instance:
+        """Draw one instance of the suite."""
+        return generate_workload(self.spec, rng=rng, popularity=self.popularity)
+
+    def with_load(self, load: float) -> "WorkloadSuite":
+        """Same suite at a different average load (0..1 scale)."""
+        from dataclasses import replace
+
+        return WorkloadSuite(
+            name=self.name,
+            description=self.description,
+            spec=replace(self.spec, lam=load * self.spec.m),
+            popularity=self.popularity,
+        )
+
+
+def _build_registry(m: int = 15, k: int = 3, n: int = 5000) -> dict[str, WorkloadSuite]:
+    return {
+        "paper-fig11": WorkloadSuite(
+            name="paper-fig11",
+            description="the paper's Figure 11 setting: unit tasks, shuffled Zipf s=1, 45% load",
+            spec=WorkloadSpec(m=m, n=n, lam=0.45 * m, k=k, strategy="overlapping", case="shuffled"),
+            popularity=shuffled_case(m, 1.0, rng=2022),
+        ),
+        "uniform-baseline": WorkloadSuite(
+            name="uniform-baseline",
+            description="no popularity bias, 60% load",
+            spec=WorkloadSpec(m=m, n=n, lam=0.6 * m, k=k, strategy="overlapping"),
+            popularity=uniform_case(m),
+        ),
+        "hot-key": WorkloadSuite(
+            name="hot-key",
+            description="severe skew (worst case s=2) at 25% load",
+            spec=WorkloadSpec(m=m, n=n, lam=0.25 * m, k=k, strategy="overlapping", case="worst", s=2.0),
+            popularity=worst_case(m, 2.0),
+        ),
+        "heavy-tail": WorkloadSuite(
+            name="heavy-tail",
+            description="Pareto request sizes, shuffled s=1, 40% load",
+            spec=WorkloadSpec(
+                m=m, n=n, lam=0.4 * m, k=k, strategy="overlapping", size_dist="pareto"
+            ),
+            popularity=shuffled_case(m, 1.0, rng=7),
+        ),
+        "bursty": WorkloadSuite(
+            name="bursty",
+            description="exponential sizes at 55% load (near typical capacity)",
+            spec=WorkloadSpec(
+                m=m, n=n, lam=0.55 * m, k=k, strategy="overlapping", size_dist="exp"
+            ),
+            popularity=shuffled_case(m, 1.0, rng=11),
+        ),
+    }
+
+
+#: The default registry (m=15, k=3, 5000 tasks).
+SUITES: dict[str, WorkloadSuite] = _build_registry()
+
+
+def suite_names() -> tuple[str, ...]:
+    """Names of the registered suites."""
+    return tuple(SUITES)
+
+
+def get_suite(name: str) -> WorkloadSuite:
+    """Look a suite up by name."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError(f"unknown suite {name!r}; known: {sorted(SUITES)}") from None

@@ -1,0 +1,112 @@
+"""Best-known-bounds lookup.
+
+Answers "what does the paper guarantee / forbid for algorithm class X
+on structure Y at (m, k)?" — the programmatic form of Table 2, used by
+the exploration harness and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bounds import (
+    eft_disjoint_ratio,
+    eft_interval_lower_bound,
+    fifo_competitive_ratio,
+    fixed_k_lower_bound,
+    inclusive_lower_bound,
+    nested_lower_bound,
+)
+
+__all__ = ["KnownBounds", "best_known_bounds", "ALGORITHM_CLASSES"]
+
+#: Recognised algorithm classes, from most to least restricted.
+ALGORITHM_CLASSES = ("eft", "immediate-dispatch", "online")
+
+
+@dataclass(frozen=True)
+class KnownBounds:
+    """Best known competitive-ratio bounds for a setting.
+
+    ``lower`` — no algorithm of the class beats this ratio;
+    ``upper`` — some algorithm of the class achieves this ratio
+    (``None`` when the paper gives no guarantee).
+    """
+
+    structure: str
+    algorithm_class: str
+    lower: float
+    upper: float | None
+    lower_ref: str
+    upper_ref: str | None
+
+
+def best_known_bounds(
+    structure: str, algorithm_class: str, m: int, k: int | None = None
+) -> KnownBounds:
+    """Look up the paper's bounds for a setting.
+
+    ``structure`` in ``{"none", "inclusive", "nested", "disjoint",
+    "interval", "general"}`` (``"none"`` = unrestricted); ``k`` is the
+    common set size where the structure uses one.
+    """
+    if algorithm_class not in ALGORITHM_CLASSES:
+        raise ValueError(
+            f"unknown algorithm class {algorithm_class!r}; known: {ALGORITHM_CLASSES}"
+        )
+    is_eft = algorithm_class == "eft"
+    is_imd = algorithm_class in ("eft", "immediate-dispatch")
+
+    if structure == "none":
+        upper = fifo_competitive_ratio(m) if is_eft else None
+        return KnownBounds(
+            structure,
+            algorithm_class,
+            lower=2 - 1 / m,
+            upper=upper,
+            lower_ref="Ambühl & Mastrolilli",
+            upper_ref="Theorem 1 (Bender et al.)" if upper else None,
+        )
+    if structure == "inclusive":
+        lower = float(inclusive_lower_bound(m)) if is_imd else nested_lower_bound(m)
+        ref = "Theorem 3" if is_imd else "Theorem 5 (via nested ⊂ interval chain)"
+        return KnownBounds(structure, algorithm_class, lower, None, ref, None)
+    if structure == "nested":
+        return KnownBounds(
+            structure, algorithm_class, nested_lower_bound(m), None, "Theorem 5", None
+        )
+    if structure == "disjoint":
+        if k is None:
+            raise ValueError("disjoint bounds need k")
+        upper = eft_disjoint_ratio(k) if is_eft else None
+        return KnownBounds(
+            structure,
+            algorithm_class,
+            lower=2 - 1 / k if k >= 1 else 1.0,
+            upper=upper,
+            lower_ref="per-group Ambühl & Mastrolilli",
+            upper_ref="Corollary 1" if upper else None,
+        )
+    if structure == "interval":
+        if k is None:
+            raise ValueError("interval bounds need k")
+        if is_eft and 1 < k < m:
+            return KnownBounds(
+                structure,
+                algorithm_class,
+                lower=float(eft_interval_lower_bound(m, k)),
+                upper=None,
+                lower_ref="Theorems 8-10",
+                upper_ref=None,
+            )
+        return KnownBounds(structure, algorithm_class, 2.0, None, "Theorem 7", None)
+    if structure == "general":
+        if is_imd and k is not None and k >= 2:
+            lower = float(max(fixed_k_lower_bound(m, k), 2))
+            return KnownBounds(
+                structure, algorithm_class, lower, None, "Theorem 4 / Anand et al.", None
+            )
+        return KnownBounds(
+            structure, algorithm_class, m / 2.0, None, "Anand et al. (Omega(m))", None
+        )
+    raise ValueError(f"unknown structure {structure!r}")

@@ -1,0 +1,91 @@
+"""Schedule-profile machinery of Theorem 8 (Lemmas 2–6).
+
+For the EFT-Min adversary, the paper tracks the *schedule profile*
+:math:`w_t(j) = \\max(0, C_{j,mt} - t)` — the work allocated to machine
+:math:`M_j` and still waiting just before the adversary releases the
+:math:`m` tasks of step :math:`t` — and shows EFT-Min converges to the
+stable profile
+
+.. math::
+
+    w_\\tau(j) = \\min(m - j,\\; m - k).
+
+The convergence argument uses the *weighted distance*
+
+.. math::
+
+    \\varphi_t(j) = 2^{w_\\tau(j)} (m - k + 1 - w_t(j)), \\qquad
+    \\Phi_t = \\sum_j \\varphi_t(j),
+
+which Lemma 5 shows non-increasing (strictly decreasing whenever a
+"regular" task misses its last machine).  This module computes all of
+these quantities so tests and benchmarks can check the lemmas
+empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "stable_profile",
+    "weighted_distance",
+    "total_weighted_distance",
+    "profile_leq",
+    "profile_lt",
+    "is_nonincreasing",
+    "find_plateau",
+]
+
+
+def stable_profile(m: int, k: int) -> np.ndarray:
+    """The stable profile :math:`w_\\tau(j) = \\min(m-j, m-k)` for
+    ``j = 1..m`` (index 0 of the array is machine 1)."""
+    if not (1 <= k <= m):
+        raise ValueError(f"k={k} outside 1..{m}")
+    j = np.arange(1, m + 1)
+    return np.minimum(m - j, m - k).astype(float)
+
+
+def weighted_distance(profile: np.ndarray, m: int, k: int) -> np.ndarray:
+    """Per-machine weighted distance
+    :math:`\\varphi_t(j) = 2^{w_\\tau(j)}(m - k + 1 - w_t(j))`."""
+    w = np.asarray(profile, dtype=float)
+    if w.size != m:
+        raise ValueError(f"profile has size {w.size}, expected m={m}")
+    wtau = stable_profile(m, k)
+    return np.power(2.0, wtau) * (m - k + 1 - w)
+
+
+def total_weighted_distance(profile: np.ndarray, m: int, k: int) -> float:
+    """:math:`\\Phi_t = \\sum_j \\varphi_t(j)`."""
+    return float(weighted_distance(profile, m, k).sum())
+
+
+def profile_leq(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    """Definition 1(ii): ``a`` is *behind* ``b`` (componentwise <=)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return bool(np.all(a <= b + tol))
+
+
+def profile_lt(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    """Definition 1(iii): ``a`` is *strictly behind* ``b``
+    (componentwise <= with at least one strict coordinate)."""
+    return profile_leq(a, b, tol) and bool(np.any(np.asarray(a) < np.asarray(b) - tol))
+
+
+def is_nonincreasing(profile: np.ndarray, tol: float = 1e-9) -> bool:
+    """Lemma 2's invariant: :math:`w_t(j+1) \\le w_t(j)` for all ``j``."""
+    w = np.asarray(profile, dtype=float)
+    return bool(np.all(np.diff(w) <= tol))
+
+
+def find_plateau(profile: np.ndarray, tol: float = 1e-9) -> int | None:
+    """First index ``j`` (1-based) with :math:`w_t(j) = w_t(j+1)` —
+    the plateau whose propagation drives Lemma 3 — or ``None``."""
+    w = np.asarray(profile, dtype=float)
+    for j in range(len(w) - 1):
+        if abs(w[j] - w[j + 1]) <= tol:
+            return j + 1
+    return None

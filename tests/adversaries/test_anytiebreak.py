@@ -1,0 +1,65 @@
+"""Tests for the Theorem 10 staggered adversary (EFT, any tie-break)."""
+
+import pytest
+
+from repro.adversaries import AnyTiebreakAdversary, EFTIntervalAdversary
+from repro.core import EFT, FunctionTieBreak
+
+
+class TestConstruction:
+    def test_small_volume(self):
+        adv = AnyTiebreakAdversary(5, 2, steps=50)
+        result = adv.run(lambda m: EFT(m, tiebreak="max"))
+        # opt_fmax = 1 + total small volume, kept tiny by construction
+        assert result.opt_fmax < 1.02
+
+    def test_all_sets_size_k(self):
+        adv = AnyTiebreakAdversary(5, 2, steps=5)
+        result = adv.run(lambda m: EFT(m, tiebreak="max"))
+        assert all(len(t.machines) == 2 for t in result.instance)
+
+    def test_schedule_feasible(self):
+        adv = AnyTiebreakAdversary(5, 2, steps=20)
+        result = adv.run(lambda m: EFT(m, tiebreak="min"))
+        result.schedule.validate()
+
+    def test_delta_constraint(self):
+        with pytest.raises(ValueError, match="delta"):
+            AnyTiebreakAdversary(5, 2, steps=5, delta=0.5)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError, match="1 < k < m"):
+            AnyTiebreakAdversary(5, 5)
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize("tiebreak", ["min", "max", "least_loaded"])
+    def test_forces_all_tiebreaks(self, tiebreak):
+        """Theorem 10: with the stagger, EFT reaches m - k + 1 whatever
+        the tie-break (the plain instance only traps Min)."""
+        m, k = 5, 2
+        adv = AnyTiebreakAdversary(m, k, steps=m**3)
+        result = adv.run(lambda mm: EFT(mm, tiebreak=tiebreak))
+        assert adv.regular_max_flow(result) >= m - k + 1 - 1e-6
+
+    def test_forces_adversarial_custom_tiebreak(self):
+        """Even a tie-break crafted to dodge EFT-Min's trap (pick the
+        largest index) cannot escape: ties never happen."""
+        m, k = 5, 3
+        adv = AnyTiebreakAdversary(m, k, steps=m**3)
+        policy = FunctionTieBreak(lambda cands, comps: max(cands), name="evader")
+        result = adv.run(lambda mm: EFT(mm, tiebreak=policy))
+        assert adv.regular_max_flow(result) >= m - k + 1 - 1e-6
+
+    def test_plain_instance_does_not_force_max(self):
+        """Contrast: EFT-Max escapes the un-staggered instance."""
+        m, k = 5, 2
+        plain = EFTIntervalAdversary(m, k, steps=m**3).run(lambda mm: EFT(mm, tiebreak="max"))
+        assert plain.fmax < m - k + 1
+
+    def test_ratio_close_to_bound(self):
+        m, k = 6, 3
+        adv = AnyTiebreakAdversary(m, k, steps=m**3)
+        result = adv.run(lambda mm: EFT(mm, tiebreak="max"))
+        ratio = adv.regular_max_flow(result) / result.opt_fmax
+        assert ratio > (m - k + 1) * 0.98

@@ -1,0 +1,119 @@
+"""Tests for the Theorem 8/9 adversary and EFT's collapse on it."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries import (
+    EFTIntervalAdversary,
+    eftmin_adversary_instance,
+    optimal_adversary_schedule,
+    run_with_profiles,
+    task_type,
+    type_interval,
+)
+from repro.core import EFT
+from repro.theory import is_nonincreasing, stable_profile
+
+
+class TestInstanceStructure:
+    def test_types_match_paper(self):
+        """For m=6, k=3 the batch types are 4,3,2 then 1,1,1 (Figure 3)."""
+        m, k = 6, 3
+        assert [task_type(i, m, k) for i in range(1, m + 1)] == [4, 3, 2, 1, 1, 1]
+
+    def test_type_interval(self):
+        assert type_interval(4, 6, 3) == {4, 5, 6}
+        assert type_interval(1, 6, 3) == {1, 2, 3}
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            type_interval(5, 6, 3)  # would exceed m
+
+    def test_instance_size(self):
+        inst = eftmin_adversary_instance(6, 3, steps=4)
+        assert inst.n == 24
+        assert inst.all_unit
+
+    def test_all_sets_size_k(self):
+        inst = eftmin_adversary_instance(7, 4, steps=2)
+        assert all(len(t.machines) == 4 for t in inst)
+
+    def test_sets_are_linear_intervals(self):
+        from repro.psets import is_contiguous
+
+        inst = eftmin_adversary_instance(8, 3, steps=2)
+        assert all(is_contiguous(t.machines) for t in inst)
+
+    def test_k_bounds_enforced(self):
+        with pytest.raises(ValueError, match="1 < k < m"):
+            eftmin_adversary_instance(6, 1, 2)
+        with pytest.raises(ValueError, match="1 < k < m"):
+            eftmin_adversary_instance(6, 6, 2)
+
+
+class TestOptimalSchedule:
+    @pytest.mark.parametrize("m,k", [(4, 2), (6, 3), (8, 5)])
+    def test_opt_flow_is_one(self, m, k):
+        sched = optimal_adversary_schedule(m, k, steps=6)
+        sched.validate()
+        assert sched.max_flow == 1.0
+
+    def test_one_task_per_machine_per_step(self):
+        sched = optimal_adversary_schedule(6, 3, steps=3)
+        loads = sched.machine_loads()
+        assert np.allclose(loads, 3.0)
+
+
+class TestEFTMinCollapse:
+    @pytest.mark.parametrize("m,k", [(4, 2), (5, 3), (6, 3), (7, 2)])
+    def test_reaches_m_minus_k_plus_1(self, m, k):
+        """Theorem 8: EFT-Min's Fmax reaches exactly m - k + 1."""
+        result = EFTIntervalAdversary(m, k).run(lambda mm: EFT(mm, tiebreak="min"))
+        assert result.fmax == m - k + 1
+        assert result.ratio == m - k + 1
+
+    def test_profile_converges_to_stable(self):
+        m, k = 6, 3
+        _, profiles = run_with_profiles(m, k, 40, EFT(m, tiebreak="min"))
+        wtau = stable_profile(m, k)
+        assert np.allclose(profiles[-1], wtau)
+        # once reached, the profile stays
+        reached = [t for t in range(40) if np.allclose(profiles[t], wtau)]
+        assert reached
+        assert np.allclose(profiles[reached[0] :], wtau)
+
+    def test_lemma2_profiles_nonincreasing(self):
+        """Lemma 2: w_t(j+1) <= w_t(j) at every step under EFT-Min."""
+        _, profiles = run_with_profiles(7, 3, 60, EFT(7, tiebreak="min"))
+        for t in range(profiles.shape[0]):
+            assert is_nonincreasing(profiles[t])
+
+    def test_lemma4_profiles_behind_stable(self):
+        """Lemma 4(ii): before convergence the profile never exceeds
+        w_tau (no machine accumulates more than m-k waiting work)."""
+        m, k = 6, 3
+        _, profiles = run_with_profiles(m, k, 50, EFT(m, tiebreak="min"))
+        wtau = stable_profile(m, k)
+        assert np.all(profiles <= wtau + 1e-9)
+
+    def test_schedule_remains_feasible(self):
+        result = EFTIntervalAdversary(5, 2, steps=30).run(lambda mm: EFT(mm, tiebreak="min"))
+        result.schedule.validate()
+
+
+class TestEFTRand:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_theorem9_reaches_bound_with_high_probability(self, seed):
+        """Theorem 9 (almost surely in the limit): with a long enough
+        horizon, EFT-Rand's Fmax reaches m - k + 1."""
+        m, k = 5, 2
+        result = EFTIntervalAdversary(m, k, steps=6 * m**3).run(
+            lambda mm: EFT(mm, tiebreak="rand", rng=seed)
+        )
+        assert result.fmax >= m - k + 1
+
+    def test_eft_max_escapes_plain_instance(self):
+        """EFT-Max stays at Fmax = 1 on the *plain* instance — the
+        reason Theorem 10 needs the staggered construction."""
+        result = EFTIntervalAdversary(6, 3, steps=100).run(lambda mm: EFT(mm, tiebreak="max"))
+        assert result.fmax == 1.0

@@ -1,0 +1,44 @@
+"""Tests for the Theorem 7 adversary (any online, ratio 2)."""
+
+import pytest
+
+from repro.adversaries import IntervalTwoAdversary
+from repro.core import EFT, RandomAssign
+
+
+class TestIntervalTwo:
+    def test_three_tasks_emitted(self):
+        result = IntervalTwoAdversary(p=50).run(lambda m: EFT(m, tiebreak="min"))
+        assert result.instance.n == 3
+
+    def test_sets_size_two(self):
+        result = IntervalTwoAdversary(p=50).run(lambda m: EFT(m, tiebreak="min"))
+        assert all(len(t.machines) == 2 for t in result.instance)
+
+    @pytest.mark.parametrize("tiebreak", ["min", "max"])
+    def test_ratio_approaches_two(self, tiebreak):
+        adv = IntervalTwoAdversary(p=10_000)
+        result = adv.run(lambda m: EFT(m, tiebreak=tiebreak))
+        assert result.ratio > 2 - 1e-3
+        assert result.ratio <= 2.0
+
+    def test_adapts_to_first_placement(self):
+        """The follow-up pair targets whichever side the algorithm
+        chose for T1."""
+        res_min = IntervalTwoAdversary(p=10).run(lambda m: EFT(m, tiebreak="min"))
+        res_max = IntervalTwoAdversary(p=10).run(lambda m: EFT(m, tiebreak="max"))
+        sets_min = {t.machines for t in res_min.instance}
+        sets_max = {t.machines for t in res_max.instance}
+        assert frozenset({1, 2}) in sets_min  # T1 went to M2
+        assert frozenset({3, 4}) in sets_max  # T1 went to M3
+
+    def test_binds_random_dispatch(self):
+        adv = IntervalTwoAdversary(p=1000)
+        result = adv.run(lambda m: RandomAssign(m, rng=0))
+        # random dispatch can be even worse than EFT, never better than
+        # the construction's floor
+        assert result.ratio > 2 - 1e-2
+
+    def test_small_p_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalTwoAdversary(p=0.5)

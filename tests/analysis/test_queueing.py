@@ -1,0 +1,122 @@
+"""Tests for the queueing-theoretic prediction module."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    erlang_c,
+    mmc_mean_wait,
+    mmc_wait_quantile,
+    predict_disjoint_curve,
+    predict_fmax,
+    stability_limit,
+)
+from repro.maxload import max_load_lp
+from repro.simulation import shuffled_case, uniform_case, worst_case
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        """M/M/1: P(wait) = rho."""
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_textbook_value(self):
+        """Classic M/M/2 with a = 1 (rho = 0.5): C = 1/3."""
+        assert erlang_c(2, 1.0) == pytest.approx(1 / 3)
+
+    def test_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+
+    def test_saturated(self):
+        assert erlang_c(2, 2.5) == 1.0
+
+    @given(st.integers(1, 30), st.floats(0.01, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_in_unit_interval(self, c, rho):
+        val = erlang_c(c, rho * c)
+        assert 0 <= val <= 1
+
+    @given(st.integers(1, 20), st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_load(self, c, rho):
+        assert erlang_c(c, rho * c) <= erlang_c(c, min(0.999, rho + 0.05) * c) + 1e-12
+
+    def test_more_servers_less_waiting(self):
+        """At equal per-server load, pooling reduces waiting
+        (economies of scale)."""
+        for rho in (0.5, 0.8):
+            vals = [erlang_c(c, rho * c) for c in (1, 2, 4, 8)]
+            assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+
+
+class TestWaits:
+    def test_mm1_mean_wait(self):
+        """M/M/1: Wq = rho / (mu - lambda)."""
+        lam, mu = 0.5, 1.0
+        assert mmc_mean_wait(lam, 1, mu) == pytest.approx(0.5 / 0.5)
+
+    def test_unstable_infinite(self):
+        assert mmc_mean_wait(2.0, 2) == math.inf
+        assert mmc_wait_quantile(2.0, 2, 0.9) == math.inf
+
+    def test_quantile_zero_below_no_wait_mass(self):
+        # P(wait) = 1/3 for c=2, a=1; the 0.5-quantile is 0
+        assert mmc_wait_quantile(1.0, 2, 0.5) == 0.0
+
+    def test_quantile_monotone(self):
+        qs = [mmc_wait_quantile(1.8, 2, q) for q in (0.8, 0.9, 0.99, 0.999)]
+        assert qs == sorted(qs)
+        assert qs[-1] > 0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            mmc_wait_quantile(0.5, 1, 1.0)
+
+
+class TestPredictions:
+    def test_fmax_at_least_service(self):
+        assert predict_fmax(0.1, 4, 1000) >= 1.0
+
+    def test_fmax_grows_with_load(self):
+        vals = [predict_fmax(rho * 3, 3, 10_000) for rho in (0.3, 0.6, 0.9, 0.98)]
+        assert vals == sorted(vals)
+
+    def test_stability_limit_equals_lp(self):
+        """Queueing stability of the disjoint groups reproduces the
+        max-load LP optimum exactly."""
+        for seed in range(5):
+            pop = shuffled_case(15, 1.0, rng=seed)
+            assert stability_limit(pop, 3) == pytest.approx(
+                max_load_lp(pop, "disjoint", 3).lam
+            )
+
+    def test_disjoint_curve_diverges_at_capacity(self):
+        pop = worst_case(15, 1.0)
+        limit_pct = 100 * stability_limit(pop, 3) / 15
+        curve = predict_disjoint_curve(pop, 3, [10, 20, 30, int(limit_pct) + 5])
+        finite = [v for l, v in curve.items() if l <= 30]
+        assert all(np.isfinite(v) for v in finite)
+        assert curve[float(int(limit_pct) + 5)] == math.inf
+
+    def test_uniform_prediction_roughly_matches_simulation(self):
+        """Order-of-magnitude agreement with a real simulation of the
+        disjoint strategy at moderate load (model error is bounded by
+        the M/M vs M/D service-time gap, about 2x)."""
+        from repro.core import eft_schedule
+        from repro.simulation import WorkloadSpec, generate_workload
+
+        m, k, n, load = 15, 3, 6000, 60
+        pop = uniform_case(m)
+        pred = predict_disjoint_curve(pop, k, [load], n=n)[float(load)]
+        spec = WorkloadSpec(m=m, n=n, lam=load / 100 * m, k=k, strategy="disjoint")
+        sims = [
+            eft_schedule(generate_workload(spec, rng=rep, popularity=pop)).max_flow
+            for rep in range(3)
+        ]
+        measured = float(np.median(sims))
+        assert pred / 3 <= measured <= pred * 3

@@ -1,0 +1,77 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import Instance, Task
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_instance(m, releases, procs=1.0, machine_sets=None) -> Instance:
+    """Shorthand instance builder used across test modules."""
+    return Instance.build(m, releases=releases, procs=procs, machine_sets=machine_sets)
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+@st.composite
+def unrestricted_instances(
+    draw,
+    max_m: int = 6,
+    max_n: int = 25,
+    unit: bool = False,
+    integral_releases: bool = False,
+):
+    """Random instances of ``P | online-r_i | Fmax`` (no restrictions)."""
+    m = draw(st.integers(1, max_m))
+    n = draw(st.integers(1, max_n))
+    if integral_releases:
+        releases = draw(
+            st.lists(st.integers(0, 12), min_size=n, max_size=n)
+        )
+        releases = [float(r) for r in releases]
+    else:
+        releases = draw(
+            st.lists(
+                st.floats(0, 20, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    if unit:
+        procs = [1.0] * n
+    else:
+        procs = draw(
+            st.lists(
+                st.floats(0.1, 5, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    tasks = tuple(
+        Task(tid=i, release=releases[i], proc=procs[i]) for i in range(n)
+    )
+    return Instance(m=m, tasks=tasks)
+
+
+@st.composite
+def restricted_unit_instances(draw, max_m: int = 6, max_n: int = 18):
+    """Random unit instances with integral releases and arbitrary
+    non-empty processing sets (exact OPT computable)."""
+    m = draw(st.integers(2, max_m))
+    n = draw(st.integers(1, max_n))
+    tasks = []
+    for i in range(n):
+        release = float(draw(st.integers(0, 8)))
+        subset = draw(
+            st.sets(st.integers(1, m), min_size=1, max_size=m)
+        )
+        tasks.append(Task(tid=i, release=release, proc=1.0, machines=frozenset(subset)))
+    return Instance(m=m, tasks=tuple(tasks))

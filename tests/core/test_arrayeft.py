@@ -1,0 +1,62 @@
+"""The array fast path must be decision-identical to reference EFT."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import eft_schedule
+from repro.core.arrayeft import array_eft_fmax, array_eft_schedule
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+@given(restricted_unit_instances())
+@settings(max_examples=80, deadline=None)
+def test_identical_min(inst):
+    assert array_eft_schedule(inst, "min").same_placements(
+        eft_schedule(inst, tiebreak="min")
+    )
+
+
+@given(restricted_unit_instances())
+@settings(max_examples=50, deadline=None)
+def test_identical_max(inst):
+    assert array_eft_schedule(inst, "max").same_placements(
+        eft_schedule(inst, tiebreak="max")
+    )
+
+
+@given(unrestricted_instances())
+@settings(max_examples=50, deadline=None)
+def test_identical_on_unrestricted(inst):
+    assert array_eft_schedule(inst, "min").same_placements(
+        eft_schedule(inst, tiebreak="min")
+    )
+
+
+@given(restricted_unit_instances())
+@settings(max_examples=40, deadline=None)
+def test_fmax_shortcut_agrees(inst):
+    assert array_eft_fmax(inst, "min") == pytest.approx(
+        eft_schedule(inst, tiebreak="min").max_flow
+    )
+
+
+def test_rand_rejected():
+    from repro.core import Instance
+
+    inst = Instance.build(2, releases=[0])
+    with pytest.raises(ValueError, match="min.*max"):
+        array_eft_schedule(inst, "rand")
+    with pytest.raises(ValueError, match="min.*max"):
+        array_eft_fmax(inst, "rand")
+
+
+def test_workload_scale_sanity():
+    """A Figure-11-sized workload runs through the fast path and
+    matches the reference on the objective."""
+    from repro.simulation import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(m=15, n=4000, lam=0.7 * 15, k=3, strategy="overlapping")
+    inst = generate_workload(spec, rng=3)
+    assert array_eft_fmax(inst, "min") == pytest.approx(
+        eft_schedule(inst, tiebreak="min").max_flow
+    )

@@ -1,0 +1,64 @@
+"""Unit tests for the baseline immediate-dispatch schedulers."""
+
+from hypothesis import given, settings
+
+from repro.core import Instance, LeastWorkAssign, RandomAssign, RoundRobinAssign
+from tests.conftest import restricted_unit_instances
+
+
+class TestRandomAssign:
+    def test_respects_sets(self):
+        inst = Instance.build(3, releases=[0] * 10, machine_sets=[{2, 3}] * 10)
+        sched = RandomAssign(3, rng=0).run(inst)
+        assert all(a.machine in {2, 3} for a in sched)
+
+    def test_seed_deterministic(self):
+        inst = Instance.build(3, releases=[0] * 6)
+        a = RandomAssign(3, rng=4).run(inst)
+        b = RandomAssign(3, rng=4).run(inst)
+        assert a.same_placements(b)
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random(self, inst):
+        RandomAssign(inst.m, rng=1).run(inst).validate()
+
+
+class TestLeastWork:
+    def test_balances_work(self):
+        inst = Instance.build(2, releases=[0, 0, 0, 0], procs=[4, 1, 1, 1])
+        sched = LeastWorkAssign(2).run(inst)
+        loads = sched.machine_loads()
+        # 4 on machine 1, then 1,1,1 pile on machine 2 (still lighter)
+        assert loads.tolist() == [4.0, 3.0]
+
+    def test_ignores_idle_time(self):
+        """Unlike EFT, LeastWork counts total work, not availability:
+        after a long gap it still remembers old work."""
+        inst = Instance.build(2, releases=[0, 100], procs=[5, 1])
+        sched = LeastWorkAssign(2).run(inst)
+        assert sched.machine_of(1) == 2  # machine 1 has 5 units of history
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random(self, inst):
+        LeastWorkAssign(inst.m).run(inst).validate()
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        inst = Instance.build(3, releases=[0] * 5)
+        sched = RoundRobinAssign(3).run(inst)
+        assert [sched.machine_of(i) for i in range(5)] == [1, 2, 3, 1, 2]
+
+    def test_skips_ineligible(self):
+        inst = Instance.build(
+            3, releases=[0, 0, 0], machine_sets=[{1, 2, 3}, {1, 3}, {1, 2}]
+        )
+        sched = RoundRobinAssign(3).run(inst)
+        assert [sched.machine_of(i) for i in range(3)] == [1, 3, 1]
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random(self, inst):
+        RoundRobinAssign(inst.m).run(inst).validate()

@@ -1,0 +1,72 @@
+"""Tests for the Theorem 6 composition scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EFT, Instance, eft_schedule
+from repro.core.composition import ComposedDisjointScheduler
+from repro.offline import optimal_unit_fmax
+from repro.psets import DisjointIntervals
+
+
+def disjoint_instance(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    strat = DisjointIntervals(m, k)
+    homes = rng.integers(1, m + 1, n)
+    return Instance.build(
+        m,
+        releases=sorted(float(x) for x in rng.integers(0, max(2, n // m), n)),
+        procs=1.0,
+        machine_sets=[strat.replicas(int(h)) for h in homes],
+    )
+
+
+class TestComposition:
+    def test_groups_discovered(self):
+        inst = disjoint_instance(6, 3, 12, 0)
+        comp = ComposedDisjointScheduler(6, lambda size: EFT(size, tiebreak="min"))
+        comp.run(inst)
+        assert comp.n_groups <= 2
+
+    def test_rejects_overlapping_sets(self):
+        comp = ComposedDisjointScheduler(4, lambda size: EFT(size, tiebreak="min"))
+        from repro.core import Task
+
+        comp.submit(Task(tid=0, release=0, proc=1, machines=frozenset({1, 2})))
+        with pytest.raises(ValueError, match="not disjoint"):
+            comp.submit(Task(tid=1, release=0, proc=1, machines=frozenset({2, 3})))
+
+    @given(st.integers(2, 4), st.integers(5, 25), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_composed_eft_equals_plain_eft(self, k, n, seed):
+        """Theorem 6 with EFT inner reproduces restriction-aware EFT
+        exactly (EFT's decisions are already group-local)."""
+        m = 2 * k
+        inst = disjoint_instance(m, k, n, seed)
+        plain = eft_schedule(inst, tiebreak="min")
+        comp = ComposedDisjointScheduler(m, lambda size: EFT(size, tiebreak="min"))
+        composed = comp.run(inst)
+        assert composed.same_placements(plain)
+
+    @given(st.integers(2, 3), st.integers(5, 18), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_corollary1_through_composition(self, k, n, seed):
+        """The composed algorithm inherits the 3 - 2/k guarantee."""
+        m = 2 * k
+        inst = disjoint_instance(m, k, n, seed)
+        comp = ComposedDisjointScheduler(m, lambda size: EFT(size, tiebreak="min"))
+        value = comp.run(inst).max_flow
+        opt = optimal_unit_fmax(inst)
+        assert value <= (3 - 2 / k) * opt + 1e-9
+
+    def test_composition_with_other_inner(self):
+        """The construction is generic: compose the round-robin
+        baseline per group."""
+        from repro.core import RoundRobinAssign
+
+        inst = disjoint_instance(6, 3, 12, 3)
+        comp = ComposedDisjointScheduler(6, lambda size: RoundRobinAssign(size))
+        sched = comp.run(inst)
+        sched.validate()

@@ -1,0 +1,124 @@
+"""Unit tests for the EFT scheduler (Algorithm 2, Equations 1-2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import EFT, Instance, Task, eft_schedule
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestTieSet:
+    def test_all_idle_tie(self):
+        eft = EFT(3)
+        task = Task(tid=0, release=0, proc=1)
+        assert eft.tie_set(task) == {1, 2, 3}
+
+    def test_restricted_tie(self):
+        eft = EFT(3)
+        task = Task(tid=0, release=0, proc=1, machines=frozenset({2, 3}))
+        assert eft.tie_set(task) == {2, 3}
+
+    def test_busy_machines_excluded(self):
+        eft = EFT(3)
+        eft.submit(Task(tid=0, release=0, proc=5))  # goes to machine 1
+        task = Task(tid=1, release=0, proc=1)
+        assert eft.tie_set(task) == {2, 3}
+
+    def test_all_busy_min_completion_wins(self):
+        eft = EFT(2)
+        eft.submit(Task(tid=0, release=0, proc=3))
+        eft.submit(Task(tid=1, release=0, proc=1))
+        # machine 1 busy to 3, machine 2 busy to 1; next task ties on {2}
+        task = Task(tid=2, release=0, proc=1)
+        assert eft.tie_set(task) == {2}
+
+    def test_release_after_idle_widens_tie(self):
+        eft = EFT(2)
+        eft.submit(Task(tid=0, release=0, proc=1))
+        eft.submit(Task(tid=1, release=0, proc=2))
+        # at time 3 both machines are free again: full tie
+        task = Task(tid=2, release=3, proc=1)
+        assert eft.tie_set(task) == {1, 2}
+
+
+class TestDispatch:
+    def test_start_time_max_of_release_and_completion(self):
+        eft = EFT(1)
+        eft.submit(Task(tid=0, release=0, proc=2))
+        rec = eft.submit(Task(tid=1, release=1, proc=1))
+        assert rec.start == 2.0  # waits for machine
+        rec2 = eft.submit(Task(tid=2, release=10, proc=1))
+        assert rec2.start == 10.0  # waits for release
+
+    def test_out_of_order_submission_rejected(self):
+        eft = EFT(2)
+        eft.submit(Task(tid=0, release=5, proc=1))
+        with pytest.raises(ValueError, match="release order"):
+            eft.submit(Task(tid=1, release=3, proc=1))
+
+    def test_min_vs_max_tiebreak(self):
+        inst = Instance.build(3, releases=[0], procs=1.0)
+        assert eft_schedule(inst, tiebreak="min").machine_of(0) == 1
+        assert eft_schedule(inst, tiebreak="max").machine_of(0) == 3
+
+    def test_respects_processing_set(self):
+        inst = Instance.build(3, releases=[0, 0], machine_sets=[{3}, {3}])
+        sched = eft_schedule(inst, tiebreak="min")
+        assert sched.machine_of(0) == 3
+        assert sched.machine_of(1) == 3
+        assert sched.start_of(1) == 1.0
+
+    def test_immediate_dispatch_property(self):
+        """Every task is allocated at its release (the scheduler never
+        defers a decision)."""
+        inst = Instance.build(2, releases=[0, 0, 0, 1], procs=2.0)
+        eft = EFT(2)
+        eft.run(inst)
+        assert eft.n_dispatched == 4
+
+    def test_waiting_work(self):
+        eft = EFT(2)
+        eft.submit(Task(tid=0, release=0, proc=3))
+        w = eft.waiting_work(1.0)
+        assert w[1] == 2.0 and w[2] == 0.0
+
+
+class TestScheduleProperties:
+    @given(unrestricted_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_on_random_unrestricted(self, inst):
+        sched = eft_schedule(inst, tiebreak="min")
+        sched.validate()
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_on_random_restricted(self, inst):
+        sched = eft_schedule(inst, tiebreak="min")
+        sched.validate()
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_max_tiebreak_also_valid(self, inst):
+        eft_schedule(inst, tiebreak="max").validate()
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_rand_tiebreak_valid_and_seed_deterministic(self, inst):
+        a = eft_schedule(inst, tiebreak="rand", rng=5)
+        b = eft_schedule(inst, tiebreak="rand", rng=5)
+        a.validate()
+        assert a.same_placements(b)
+
+    @given(unrestricted_instances(unit=True))
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, inst):
+        """No machine idles while a compatible task waits: every task
+        starts at its release or immediately after another task on the
+        same machine (no inserted idle)."""
+        sched = eft_schedule(inst, tiebreak="min")
+        for j in range(1, inst.m + 1):
+            run = sched.on_machine(j)
+            for prev, nxt in zip(run, run[1:]):
+                assert nxt.start == pytest.approx(
+                    max(nxt.task.release, prev.completion)
+                )

@@ -1,0 +1,94 @@
+"""Unit tests for FIFO (Algorithm 1) and the restricted variant."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import FIFO, Instance, RestrictedFIFO, fifo_schedule
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestFIFO:
+    def test_single_machine_is_release_order(self):
+        inst = Instance.build(1, releases=[0, 0, 1], procs=[2, 1, 1])
+        sched = fifo_schedule(inst)
+        assert sched.start_of(0) == 0.0
+        assert sched.start_of(1) == 2.0
+        assert sched.start_of(2) == 3.0
+
+    def test_pulls_when_machine_frees(self):
+        inst = Instance.build(2, releases=[0, 0, 0], procs=[3, 1, 1])
+        sched = fifo_schedule(inst, tiebreak="min")
+        # task 0 -> M1, task 1 -> M2, task 2 waits for M2 (frees at 1)
+        assert sched.machine_of(2) == 2
+        assert sched.start_of(2) == 1.0
+
+    def test_idle_gap_then_release(self):
+        inst = Instance.build(2, releases=[0, 5], procs=[1, 1])
+        sched = fifo_schedule(inst)
+        assert sched.start_of(1) == 5.0
+
+    def test_rejects_restricted_instances(self):
+        inst = Instance.build(2, releases=[0], machine_sets=[{1}])
+        with pytest.raises(ValueError, match="restriction"):
+            FIFO(2).run(inst)
+
+    def test_m_mismatch_rejected(self):
+        inst = Instance.build(2, releases=[0])
+        with pytest.raises(ValueError, match="m="):
+            FIFO(3).run(inst)
+
+    @given(unrestricted_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_on_random(self, inst):
+        fifo_schedule(inst, tiebreak="min").validate()
+
+    @given(unrestricted_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_order_per_start(self, inst):
+        """FIFO starts tasks in release order globally: sorting by
+        (start, release) must never show an inversion where a
+        later-released task starts strictly before an earlier one."""
+        sched = fifo_schedule(inst, tiebreak="min")
+        starts = {t.tid: sched.start_of(t.tid) for t in inst}
+        for a in inst:
+            for b in inst:
+                if a.release < b.release:
+                    assert starts[a.tid] <= starts[b.tid] + 1e-9
+
+
+class TestRestrictedFIFO:
+    def test_oldest_compatible_first(self):
+        inst = Instance.build(
+            2,
+            releases=[0, 0, 0],
+            procs=[5, 1, 1],
+            machine_sets=[{1}, {1}, {2}],
+        )
+        sched = RestrictedFIFO(2).run(inst)
+        # task 1 must wait for machine 1 even though machine 2 idles
+        assert sched.machine_of(1) == 1
+        assert sched.start_of(1) == 5.0
+        assert sched.start_of(2) == 0.0
+
+    def test_skips_head_for_compatible_machine(self):
+        """A machine incompatible with the queue head serves the next
+        compatible task instead of idling."""
+        inst = Instance.build(
+            2,
+            releases=[0, 0, 0],
+            procs=[2, 2, 1],
+            machine_sets=[{1}, {1}, {2}],
+        )
+        sched = RestrictedFIFO(2).run(inst)
+        assert sched.start_of(2) == 0.0  # not blocked behind task 1
+
+    def test_unrestricted_equals_fifo(self):
+        inst = Instance.build(3, releases=[0, 0, 1, 2, 2], procs=[2, 1, 3, 1, 1])
+        a = RestrictedFIFO(3).run(inst)
+        b = fifo_schedule(inst)
+        assert a.same_placements(b)
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_on_random_restricted(self, inst):
+        RestrictedFIFO(inst.m).run(inst).validate()

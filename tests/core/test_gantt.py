@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from repro.core import Instance, eft_schedule, render_gantt, render_profile
+
+
+class TestGantt:
+    def test_contains_machine_rows(self):
+        inst = Instance.build(3, releases=[0, 0, 1], procs=1.0)
+        out = render_gantt(eft_schedule(inst))
+        assert "M1" in out and "M3" in out
+        assert "Fmax" in out
+
+    def test_empty_schedule(self):
+        inst = Instance(m=2, tasks=())
+        from repro.core import Schedule
+
+        out = render_gantt(Schedule(inst, {}))
+        assert "empty" in out
+
+    def test_width_truncation(self):
+        inst = Instance.build(1, releases=[0], procs=500.0)
+        out = render_gantt(eft_schedule(inst), width=20)
+        row = [l for l in out.splitlines() if l.startswith("M1")][0]
+        assert len(row) < 40
+
+    def test_show_ids_toggle(self):
+        inst = Instance.build(1, releases=[0], procs=2.0)
+        out = render_gantt(eft_schedule(inst), show_ids=False)
+        assert "#" in out
+
+    def test_busy_cells_marked(self):
+        inst = Instance.build(2, releases=[0], procs=3.0)
+        out = render_gantt(eft_schedule(inst, tiebreak="min"))
+        m1 = [l for l in out.splitlines() if l.startswith("M1")][0]
+        m2 = [l for l in out.splitlines() if l.startswith("M2")][0]
+        assert "0" in m1.split()[1]
+        assert set(m2.split()[1]) == {"."}
+
+
+class TestProfile:
+    def test_bars_scale_with_values(self):
+        out = render_profile([3, 1, 0])
+        lines = out.splitlines()
+        assert lines[0].count("█") == 3
+        assert lines[1].count("█") == 1
+        assert lines[2].count("█") == 0
+
+    def test_stable_marker(self):
+        out = render_profile([1, 0], stable=[3, 2])
+        assert "|" in out

@@ -1,0 +1,92 @@
+"""Tests for schedule/trace serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import eft_schedule
+from repro.io import (
+    experiment_record,
+    load_experiment_record,
+    schedule_from_json,
+    schedule_to_csv,
+    schedule_to_json,
+)
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestScheduleJson:
+    @given(restricted_unit_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, inst):
+        sched = eft_schedule(inst, tiebreak="min")
+        back = schedule_from_json(schedule_to_json(sched))
+        assert back.same_placements(sched)
+        assert back.max_flow == sched.max_flow
+
+    @given(unrestricted_instances(max_n=10))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_general(self, inst):
+        sched = eft_schedule(inst, tiebreak="max")
+        back = schedule_from_json(schedule_to_json(sched))
+        assert back.same_placements(sched)
+
+    def test_deserialisation_validates(self):
+        from repro.core import Instance
+
+        inst = Instance.build(2, releases=[0, 0], procs=1.0)
+        sched = eft_schedule(inst)
+        payload = json.loads(schedule_to_json(sched))
+        payload["placements"]["0"] = [1, -5.0]  # start before release
+        with pytest.raises(Exception):
+            schedule_from_json(json.dumps(payload))
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        from repro.core import Instance
+
+        inst = Instance.build(2, releases=[0, 1], procs=[2, 1])
+        csv_text = schedule_to_csv(eft_schedule(inst))
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "tid,machine,release,start,completion,flow,proc"
+        assert len(lines) == 3
+
+    def test_flow_column_consistent(self):
+        from repro.core import Instance
+
+        inst = Instance.build(1, releases=[0, 0], procs=1.0)
+        sched = eft_schedule(inst)
+        rows = schedule_to_csv(sched).strip().splitlines()[1:]
+        for row in rows:
+            tid, machine, release, start, completion, flow, proc = row.split(",")
+            assert float(flow) == pytest.approx(float(completion) - float(release))
+
+
+class TestExperimentRecord:
+    def test_roundtrip_with_provenance(self):
+        from repro.core import Instance
+
+        inst = Instance.build(3, releases=[0, 0, 1], procs=1.0)
+        sched = eft_schedule(inst, tiebreak="min")
+        record = experiment_record(sched, algorithm="EFT-min", seed=7, extra={"case": "demo"})
+        back, meta = load_experiment_record(record)
+        assert back.same_placements(sched)
+        assert meta["algorithm"] == "EFT-min"
+        assert meta["seed"] == 7
+        assert meta["extra"] == {"case": "demo"}
+        assert meta["metrics"]["max_flow"] == sched.max_flow
+
+    def test_corruption_detected(self):
+        from repro.core import Instance
+
+        inst = Instance.build(2, releases=[0, 0], procs=1.0)
+        record = json.loads(experiment_record(eft_schedule(inst), algorithm="EFT"))
+        record["metrics"]["max_flow"] = 42.0
+        with pytest.raises(ValueError, match="does not match"):
+            load_experiment_record(json.dumps(record))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown record format"):
+            load_experiment_record(json.dumps({"format": "v0"}))

@@ -1,0 +1,73 @@
+"""Unit tests for schedule metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Instance,
+    Schedule,
+    eft_schedule,
+    flow_percentiles,
+    summarize,
+    waiting_profile,
+)
+
+
+def two_machine_schedule() -> Schedule:
+    inst = Instance.build(2, releases=[0, 0, 1], procs=[2, 1, 2])
+    return Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize(two_machine_schedule())
+        assert stats.n == 3
+        assert stats.m == 2
+        assert stats.max_flow == 2.0
+        assert stats.makespan == 3.0
+        assert stats.total_work == 5.0
+        assert stats.avg_utilization == pytest.approx(5.0 / 6.0)
+        assert stats.max_machine_load == 3.0
+        assert stats.min_machine_load == 2.0
+
+    def test_as_dict_roundtrip(self):
+        stats = summarize(two_machine_schedule())
+        d = stats.as_dict()
+        assert d["max_flow"] == stats.max_flow
+        assert set(d) >= {"p95_flow", "p99_flow", "max_stretch"}
+
+    def test_percentiles_ordered(self):
+        inst = Instance.build(1, releases=[0] * 10, procs=1.0)
+        sched = eft_schedule(inst)
+        stats = summarize(sched)
+        assert stats.p50_flow <= stats.p95_flow <= stats.p99_flow <= stats.max_flow
+
+
+class TestFlowPercentiles:
+    def test_max_is_100th(self):
+        sched = two_machine_schedule()
+        pct = flow_percentiles(sched)
+        assert pct[100] == sched.max_flow
+
+    def test_monotone(self):
+        sched = two_machine_schedule()
+        pct = flow_percentiles(sched, qs=(10, 50, 90))
+        assert pct[10] <= pct[50] <= pct[90]
+
+
+class TestWaitingProfile:
+    def test_profile_values(self):
+        sched = two_machine_schedule()
+        # At t=1: M1 has 1 unit left of task 0; M2 has task 2 ending at 3.
+        profile = waiting_profile(sched, 1.0)
+        assert np.allclose(profile, [1.0, 2.0])
+
+    def test_future_time_empty(self):
+        sched = two_machine_schedule()
+        assert np.allclose(waiting_profile(sched, 100.0), [0.0, 0.0])
+
+    def test_ignores_unreleased(self):
+        sched = two_machine_schedule()
+        profile = waiting_profile(sched, 0.5)
+        # task 2 (released at 1) not counted at t=0.5
+        assert np.allclose(profile, [1.5, 0.5])

@@ -1,0 +1,48 @@
+"""Additional metric edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Schedule, eft_schedule, summarize
+
+
+class TestBusyFraction:
+    def test_full_utilisation(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[2.0, 2.0])
+        sched = eft_schedule(inst)
+        assert np.allclose(sched.machine_busy_fraction(), [1.0, 1.0])
+
+    def test_horizon_override(self):
+        inst = Instance.build(1, releases=[0], procs=[1.0])
+        sched = eft_schedule(inst)
+        assert sched.machine_busy_fraction(horizon=4.0)[0] == pytest.approx(0.25)
+
+    def test_zero_horizon(self):
+        sched = Schedule(Instance(m=2, tasks=()), {})
+        assert np.allclose(sched.machine_busy_fraction(), [0.0, 0.0])
+
+
+class TestEmptySchedule:
+    def test_summary_of_empty(self):
+        sched = Schedule(Instance(m=3, tasks=()), {})
+        stats = summarize(sched)
+        assert stats.n == 0
+        assert stats.max_flow == 0.0
+        assert stats.avg_utilization == 0.0
+
+    def test_objectives_of_empty(self):
+        sched = Schedule(Instance(m=1, tasks=()), {})
+        assert sched.max_flow == 0.0
+        assert sched.mean_flow == 0.0
+        assert sched.makespan == 0.0
+        assert sched.max_stretch == 0.0
+
+
+class TestStretch:
+    def test_stretch_vs_flow(self):
+        """With non-unit tasks, stretch differs from flow: a waiting
+        short task has a huge stretch."""
+        inst = Instance.build(1, releases=[0, 0], procs=[10.0, 0.1])
+        sched = eft_schedule(inst)  # long task first (EFT keeps order)
+        assert sched.max_flow == pytest.approx(10.1)
+        assert sched.max_stretch == pytest.approx(10.1 / 0.1)

@@ -1,0 +1,94 @@
+"""Tests for the non-clairvoyant replica-selection policies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, Task, eft_schedule
+from repro.core.nonclairvoyant import C3Like, LeastOutstanding
+from tests.conftest import restricted_unit_instances
+
+
+class TestLeastOutstanding:
+    def test_spreads_simultaneous_arrivals(self):
+        inst = Instance.build(3, releases=[0, 0, 0], procs=2.0)
+        sched = LeastOutstanding(3).run(inst)
+        assert sorted(sched.machine_of(i) for i in range(3)) == [1, 2, 3]
+
+    def test_counts_decay_over_time(self):
+        """Requests dispatched long ago no longer count as
+        outstanding."""
+        lor = LeastOutstanding(2)
+        lor.submit(Task(tid=0, release=0, proc=1))
+        lor.submit(Task(tid=1, release=0, proc=1))
+        # both machines outstanding=1 at t=0; at t=5 both are free
+        rec = lor.submit(Task(tid=2, release=5, proc=1))
+        assert rec.machine == 1  # tie broken by index among zero counts
+
+    def test_respects_processing_sets(self):
+        inst = Instance.build(
+            3, releases=[0, 0], procs=1.0, machine_sets=[{2, 3}, {2, 3}]
+        )
+        sched = LeastOutstanding(3).run(inst)
+        assert {sched.machine_of(0), sched.machine_of(1)} == {2, 3}
+
+    def test_nonclairvoyance(self):
+        """LOR ignores task sizes: two queued tasks of very different
+        lengths count the same, so it can pick the machine EFT
+        avoids."""
+        lor = LeastOutstanding(2)
+        lor.submit(Task(tid=0, release=0, proc=100))  # M1 long
+        lor.submit(Task(tid=1, release=0, proc=1))  # M2 short
+        rec = lor.submit(Task(tid=2, release=0.5, proc=1))
+        # counts: both 1 -> index tie -> machine 1 despite its backlog
+        assert rec.machine == 1
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random(self, inst):
+        LeastOutstanding(inst.m).run(inst).validate()
+
+
+class TestC3Like:
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            C3Like(2, alpha=0.0)
+        with pytest.raises(ValueError):
+            C3Like(2, alpha=1.5)
+
+    def test_penalises_queue_buildup(self):
+        c3 = C3Like(2)
+        c3.submit(Task(tid=0, release=0, proc=5))
+        c3.submit(Task(tid=1, release=0, proc=5))
+        c3.submit(Task(tid=2, release=0, proc=5))  # M1 now has 2 outstanding
+        rec = c3.submit(Task(tid=3, release=0, proc=5))
+        assert rec.machine == 2  # (1+q)^3 strongly favours the shorter queue
+
+    def test_ewma_feedback(self):
+        """A machine observed to be slow gets deprioritised even at
+        equal queue lengths."""
+        c3 = C3Like(2, alpha=1.0)
+        # machine 1 serves a long task, machine 2 a short one
+        c3.submit(Task(tid=0, release=0, proc=10))  # -> M1 (tie, score equal, index)
+        c3.submit(Task(tid=1, release=0, proc=1))  # -> M2
+        # at t=20 both are idle and feedback has arrived:
+        # ewma M1 = 10, M2 = 1
+        rec = c3.submit(Task(tid=2, release=20, proc=1))
+        assert rec.machine == 2
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random(self, inst):
+        C3Like(inst.m).run(inst).validate()
+
+
+class TestAgainstEFT:
+    def test_unit_uniform_load_close_to_eft(self):
+        """With unit tasks, outstanding count == waiting work, so LOR
+        approximates EFT; its Fmax stays within a small factor."""
+        from repro.simulation import WorkloadSpec, generate_workload
+
+        spec = WorkloadSpec(m=8, n=2000, lam=0.6 * 8, k=3, strategy="overlapping")
+        inst = generate_workload(spec, rng=1)
+        eft_val = eft_schedule(inst, tiebreak="min").max_flow
+        lor_val = LeastOutstanding(8).run(inst).max_flow
+        assert lor_val <= 3 * eft_val + 2

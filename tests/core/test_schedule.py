@@ -1,0 +1,108 @@
+"""Unit tests for the schedule container and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Schedule, ScheduleError, Task
+
+
+def simple_instance() -> Instance:
+    return Instance.build(2, releases=[0, 0, 1], procs=[2, 1, 1])
+
+
+class TestConstruction:
+    def test_missing_placement_rejected(self):
+        inst = simple_instance()
+        with pytest.raises(ScheduleError, match="without placement"):
+            Schedule(inst, {0: (1, 0.0)})
+
+    def test_unknown_placement_rejected(self):
+        inst = simple_instance()
+        with pytest.raises(ScheduleError, match="unknown"):
+            Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (1, 2.0), 9: (1, 0.0)})
+
+    def test_accessors(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        assert sched.machine_of(0) == 1
+        assert sched.start_of(2) == 1.0
+        assert sched.completion_of(0) == 2.0
+        assert sched.flow_of(2) == 1.0
+        assert len(sched) == 3
+
+
+class TestObjectives:
+    def test_max_flow(self):
+        inst = simple_instance()
+        # task 1 waits behind task 0 on machine 1
+        sched = Schedule(inst, {0: (1, 0.0), 1: (1, 2.0), 2: (2, 1.0)})
+        assert sched.max_flow == 3.0  # task 1: completes 3, released 0
+        assert sched.makespan == 3.0
+
+    def test_mean_flow_and_stretch(self):
+        inst = Instance.build(1, releases=[0, 0], procs=[1, 1])
+        sched = Schedule(inst, {0: (1, 0.0), 1: (1, 1.0)})
+        assert sched.mean_flow == pytest.approx(1.5)
+        assert sched.max_stretch == pytest.approx(2.0)
+
+    def test_machine_loads(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        assert np.allclose(sched.machine_loads(), [2.0, 2.0])
+
+    def test_flows_array_order(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        assert sched.flows().tolist() == [2.0, 1.0, 1.0]
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        sched.validate()
+        assert sched.is_valid()
+
+    def test_start_before_release_rejected(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 0.5)})
+        with pytest.raises(ScheduleError, match="before release"):
+            sched.validate()
+
+    def test_overlap_rejected(self):
+        inst = simple_instance()
+        sched = Schedule(inst, {0: (1, 0.0), 1: (1, 1.0), 2: (2, 1.0)})
+        with pytest.raises(ScheduleError, match="before task"):
+            sched.validate()
+
+    def test_eligibility_rejected(self):
+        inst = Instance.build(2, releases=[0], machine_sets=[{1}])
+        sched = Schedule(inst, {0: (2, 0.0)})
+        with pytest.raises(ScheduleError, match="not in processing set"):
+            sched.validate()
+
+    def test_machine_out_of_range_rejected(self):
+        inst = Instance.build(2, releases=[0])
+        sched = Schedule(inst, {0: (3, 0.0)})
+        with pytest.raises(ScheduleError, match="outside"):
+            sched.validate()
+
+    def test_back_to_back_allowed(self):
+        inst = Instance.build(1, releases=[0, 0], procs=[1, 1])
+        sched = Schedule(inst, {0: (1, 0.0), 1: (1, 1.0)})
+        sched.validate()
+
+
+class TestComparison:
+    def test_same_placements(self):
+        inst = simple_instance()
+        a = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        b = Schedule(inst, {0: (1, 0.0), 1: (2, 0.0), 2: (2, 1.0)})
+        c = Schedule(inst, {0: (2, 0.0), 1: (1, 0.0), 2: (2, 1.0)})
+        assert a.same_placements(b)
+        assert not a.same_placements(c)
+
+    def test_on_machine_sorted(self):
+        inst = Instance.build(1, releases=[0, 0, 0], procs=1.0)
+        sched = Schedule(inst, {0: (1, 2.0), 1: (1, 0.0), 2: (1, 1.0)})
+        assert [a.task.tid for a in sched.on_machine(1)] == [1, 2, 0]

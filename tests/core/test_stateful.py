@@ -1,0 +1,67 @@
+"""Stateful property test of the online EFT scheduler.
+
+A hypothesis rule-based state machine drives an EFT scheduler through
+an arbitrary online task sequence, checking the machine-level
+invariants after every submission — the strongest correctness net for
+the scheduler's incremental state.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import EFT, Task
+
+
+class EFTMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.m = 4
+        self.eft = EFT(self.m, tiebreak="min")
+        self.clock = 0.0
+        self.tid = 0
+
+    @rule(
+        dt=st.floats(0, 3, allow_nan=False),
+        proc=st.floats(0.1, 4, allow_nan=False),
+        set_kind=st.integers(0, 3),
+    )
+    def submit_task(self, dt, proc, set_kind):
+        self.clock += dt
+        if set_kind == 0:
+            machines = None
+        elif set_kind == 1:
+            machines = frozenset({1 + (self.tid % self.m)})
+        elif set_kind == 2:
+            start = 1 + (self.tid % (self.m - 1))
+            machines = frozenset({start, start + 1})
+        else:
+            machines = frozenset(range(1, self.m + 1))
+        record = self.eft.submit(
+            Task(tid=self.tid, release=self.clock, proc=proc, machines=machines)
+        )
+        self.tid += 1
+        # dispatch-level postconditions
+        assert record.start >= self.clock
+        assert record.machine in (machines or frozenset(range(1, self.m + 1)))
+        assert record.machine in record.tie_set
+
+    @invariant()
+    def completions_consistent(self):
+        # completion times never precede the last release handled
+        for j, c in self.eft.completions.items():
+            assert c >= 0.0
+        # the materialised schedule is always feasible
+        if self.eft.n_dispatched:
+            self.eft.schedule().validate()
+
+    @invariant()
+    def waiting_work_nonnegative(self):
+        w = self.eft.waiting_work(self.clock)
+        assert all(v >= 0 for v in w.values())
+
+
+EFTMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestEFTStateMachine = EFTMachine.TestCase

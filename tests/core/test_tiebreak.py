@@ -1,0 +1,87 @@
+"""Unit tests for tie-break policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FunctionTieBreak,
+    LeastLoadedFirst,
+    MaxIndex,
+    MinIndex,
+    RandomChoice,
+    get_tiebreak,
+)
+
+COMPLETIONS = {1: 3.0, 2: 1.0, 3: 1.0, 4: 0.0}
+
+
+class TestMinMax:
+    def test_min_picks_smallest(self):
+        assert MinIndex()([3, 1, 2], COMPLETIONS) == 1
+
+    def test_max_picks_largest(self):
+        assert MaxIndex()([3, 1, 2], COMPLETIONS) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MinIndex()([], COMPLETIONS)
+        with pytest.raises(ValueError):
+            MaxIndex()([], COMPLETIONS)
+
+
+class TestRandom:
+    def test_all_candidates_reachable(self):
+        """Theorem 9's condition: every candidate has positive
+        probability."""
+        policy = RandomChoice(rng=0)
+        seen = {policy([1, 2, 3], COMPLETIONS) for _ in range(200)}
+        assert seen == {1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        a = [RandomChoice(rng=7)([1, 2, 3, 4], COMPLETIONS) for _ in range(10)]
+        b = [RandomChoice(rng=7)([1, 2, 3, 4], COMPLETIONS) for _ in range(10)]
+        assert a == b
+
+    def test_singleton(self):
+        assert RandomChoice(rng=0)([5], COMPLETIONS) == 5
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(3)
+        assert RandomChoice(rng=gen)([1, 2], COMPLETIONS) in {1, 2}
+
+
+class TestLeastLoaded:
+    def test_prefers_smallest_completion(self):
+        assert LeastLoadedFirst()([1, 2, 4], COMPLETIONS) == 4
+
+    def test_ties_by_index(self):
+        assert LeastLoadedFirst()([2, 3], COMPLETIONS) == 2
+
+
+class TestFunctionTieBreak:
+    def test_wraps_callable(self):
+        policy = FunctionTieBreak(lambda cands, comps: sorted(cands)[-1], name="last")
+        assert policy([1, 2, 3], COMPLETIONS) == 3
+
+    def test_rejects_non_candidate(self):
+        policy = FunctionTieBreak(lambda cands, comps: 99)
+        with pytest.raises(ValueError, match="not a candidate"):
+            policy([1, 2], COMPLETIONS)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [("min", MinIndex), ("max", MaxIndex), ("least_loaded", LeastLoadedFirst)])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_tiebreak(name), cls)
+
+    def test_rand_lookup_threads_rng(self):
+        p = get_tiebreak("rand", rng=11)
+        assert isinstance(p, RandomChoice)
+
+    def test_passthrough(self):
+        p = MinIndex()
+        assert get_tiebreak(p) is p
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown tie-break"):
+            get_tiebreak("bogus")

@@ -1,0 +1,59 @@
+"""Tests for the strategy-exploration harness."""
+
+import pytest
+
+from repro.explore import adversarial_probe, evaluate_strategies, score_strategy
+from repro.psets import OverlappingIntervals
+
+
+class TestProbe:
+    def test_overlapping_collapses_to_bound(self):
+        """The generalised probe reduces to the Theorem 8 instance on
+        overlapping intervals: Fmax = m - k + 1."""
+        m, k = 8, 3
+        assert adversarial_probe(OverlappingIntervals(m, k), steps=m**3) == m - k + 1
+
+    def test_mirrored_resists_better(self):
+        """The alternating-direction layout breaks the cascade: the
+        probe lands strictly below m - k + 1."""
+        from repro.explore import MirroredIntervals
+
+        m, k = 10, 3
+        over = adversarial_probe(OverlappingIntervals(m, k), steps=5 * m**2)
+        mirr = adversarial_probe(MirroredIntervals(m, k), steps=5 * m**2)
+        assert over == m - k + 1
+        assert mirr < over
+
+
+class TestScore:
+    @pytest.fixture(scope="class")
+    def score(self):
+        return score_strategy("overlapping", m=8, k=3, n_permutations=6, sim_tasks=600)
+
+    def test_fields(self, score):
+        assert score.name == "overlapping"
+        assert score.structure == "interval"
+        assert 0 < score.median_max_load <= 100
+        assert 0 < score.worst_case_max_load <= 100
+        assert score.sim_fmax >= 1
+        assert score.guarantee == "none known"
+
+    def test_disjoint_reports_guarantee(self):
+        sc = score_strategy("disjoint", m=6, k=3, n_permutations=4, sim_tasks=400)
+        assert "Cor 1" in sc.guarantee
+
+
+class TestEvaluate:
+    def test_table_contains_all_strategies(self):
+        table = evaluate_strategies(
+            m=6, k=3, n_permutations=4, sim_tasks=400, names=("disjoint", "overlapping")
+        )
+        names = [row[0] for row in table.rows]
+        assert names == ["disjoint", "overlapping"]
+
+    def test_overlapping_capacity_dominates_disjoint(self):
+        table = evaluate_strategies(
+            m=9, k=3, n_permutations=6, sim_tasks=400, names=("disjoint", "overlapping")
+        )
+        by_name = {row[0]: row for row in table.rows}
+        assert by_name["overlapping"][2] >= by_name["disjoint"][2]

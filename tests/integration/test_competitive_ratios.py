@@ -1,0 +1,99 @@
+"""Integration tests: the paper's guarantees against exact optima.
+
+These are the end-to-end checks of the upper bounds:
+
+* Theorem 1 / Proposition 1: EFT within ``3 - 2/m`` of OPT on
+  unrestricted instances;
+* Theorem 2: FIFO (= EFT) *optimal* for unit tasks;
+* Corollary 1: EFT within ``3 - 2/k`` on disjoint size-``k`` sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, eft_schedule, fifo_schedule
+from repro.offline import optimal_fmax, optimal_unit_fmax
+from repro.psets import DisjointIntervals
+from tests.conftest import unrestricted_instances
+
+
+class TestTheorem1:
+    @given(unrestricted_instances(max_m=3, max_n=7))
+    @settings(max_examples=40, deadline=None)
+    def test_eft_within_3_minus_2_over_m(self, inst):
+        opt = optimal_fmax(inst)
+        online = eft_schedule(inst, tiebreak="min").max_flow
+        assert online <= (3 - 2 / inst.m) * opt + 1e-6
+
+    def test_single_machine_fifo_optimal(self):
+        """Corollary of Theorem 1: 3 - 2/1 = 1, FIFO optimal on m=1."""
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(1, 8))
+            inst = Instance.build(
+                1,
+                releases=np.sort(rng.uniform(0, 5, n)),
+                procs=rng.uniform(0.2, 2, n),
+            )
+            assert eft_schedule(inst).max_flow == pytest.approx(optimal_fmax(inst))
+
+
+class TestTheorem2:
+    @given(
+        st.integers(1, 4),
+        st.lists(st.integers(0, 6), min_size=1, max_size=14),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_optimal_for_unit_tasks(self, m, releases):
+        """Theorem 2: FIFO solves P|online-r_i, p_i=p|Fmax optimally."""
+        inst = Instance.build(m, releases=sorted(float(r) for r in releases), procs=1.0)
+        fifo_val = fifo_schedule(inst, tiebreak="min").max_flow
+        assert fifo_val == pytest.approx(float(optimal_unit_fmax(inst)))
+
+    def test_scaled_unit_tasks(self):
+        """The theorem covers any common p (here p = 3) — scale time."""
+        inst = Instance.build(2, releases=[0, 0, 0, 3.0], procs=3.0)
+        fifo_val = fifo_schedule(inst).max_flow
+        scaled = Instance.build(2, releases=[0, 0, 0, 1.0], procs=1.0)
+        assert fifo_val == pytest.approx(3.0 * optimal_unit_fmax(scaled))
+
+
+class TestCorollary1:
+    @pytest.mark.parametrize("m,k", [(4, 2), (6, 2), (6, 3), (8, 4)])
+    def test_eft_within_3_minus_2_over_k(self, m, k):
+        """Corollary 1 on random disjoint instances vs exact unit OPT."""
+        rng = np.random.default_rng(42 + m + k)
+        strat = DisjointIntervals(m, k)
+        for _ in range(8):
+            n = int(rng.integers(4, 5 * m))
+            releases = np.sort(rng.integers(0, max(2, n // m), size=n)).astype(float)
+            homes = rng.integers(1, m + 1, size=n)
+            inst = Instance.build(
+                m,
+                releases=releases,
+                procs=1.0,
+                machine_sets=[strat.replicas(int(h)) for h in homes],
+            )
+            opt = optimal_unit_fmax(inst)
+            online = eft_schedule(inst, tiebreak="min").max_flow
+            assert online <= (3 - 2 / k) * opt + 1e-9
+
+    def test_tiebreak_does_not_break_guarantee(self):
+        rng = np.random.default_rng(7)
+        strat = DisjointIntervals(6, 3)
+        for tiebreak in ("min", "max"):
+            for _ in range(5):
+                n = 24
+                releases = np.sort(rng.integers(0, 4, size=n)).astype(float)
+                homes = rng.integers(1, 7, size=n)
+                inst = Instance.build(
+                    6,
+                    releases=releases,
+                    procs=1.0,
+                    machine_sets=[strat.replicas(int(h)) for h in homes],
+                )
+                opt = optimal_unit_fmax(inst)
+                online = eft_schedule(inst, tiebreak=tiebreak).max_flow
+                assert online <= (3 - 2 / 3) * opt + 1e-9

@@ -1,0 +1,55 @@
+"""The example scripts must run end-to-end.
+
+Only the fast examples execute here (the heavier studies are covered
+by the benchmark suite, which exercises the same code paths at
+controlled scale).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "EFT-min" in out
+        assert "exact offline optimum" in out
+        assert "Fmax" in out
+
+    def test_adversary_gantt(self, capsys):
+        out = run_example("adversary_gantt.py", capsys)
+        assert "stable profile" in out
+        assert "m-k+1" in out
+
+    def test_preemption_study(self, capsys):
+        out = run_example("preemption_study.py", capsys)
+        assert "preemptive" in out
+        assert "SRPT" in out
+
+    def test_all_examples_exist_and_compile(self):
+        expected = {
+            "quickstart.py",
+            "kvstore_simulation.py",
+            "adversary_gantt.py",
+            "maxload_analysis.py",
+            "competitive_ratio_study.py",
+            "tail_latency_study.py",
+            "preemption_study.py",
+        }
+        found = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= found
+        import py_compile
+
+        for name in sorted(found):
+            py_compile.compile(str(EXAMPLES / name), doraise=True)

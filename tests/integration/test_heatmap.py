@@ -1,0 +1,41 @@
+"""Tests for the ASCII heatmap renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import render_heatmap
+
+
+class TestRenderHeatmap:
+    def test_extremes_map_to_end_shades(self):
+        out = render_heatmap(np.array([[0.0, 100.0]]), ["r"], ["a", "b"], "t", vmin=0, vmax=100)
+        body = out.splitlines()[2]
+        assert "█" in body
+        assert "  " in body  # the low cell renders as spaces
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="does not match"):
+            render_heatmap(np.zeros((2, 2)), ["a"], ["x", "y"], "t")
+        with pytest.raises(ValueError, match="2-D"):
+            render_heatmap(np.zeros(3), ["a", "b", "c"], ["x"], "t")
+
+    def test_constant_grid(self):
+        out = render_heatmap(np.ones((2, 2)), ["a", "b"], ["x", "y"], "t")
+        assert "scale" in out  # no div-by-zero on flat grids
+
+    def test_row_labels_rendered(self):
+        out = render_heatmap(np.zeros((2, 3)), ["first", "second"], [1, 2, 3], "t")
+        assert "first" in out and "second" in out
+
+    def test_fig10_heatmaps(self):
+        from repro.experiments import fig10
+
+        r = fig10.run(
+            m=8,
+            s_values=np.array([0.0, 1.0]),
+            k_values=np.array([1, 4, 8]),
+            n_permutations=5,
+        )
+        maps = r.to_heatmaps()
+        assert "overlapping" in maps and "disjoint" in maps
+        assert "█" in maps  # the k=m column is always at 100%

@@ -1,0 +1,29 @@
+"""The README quickstart snippet must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def extract_python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_quickstart_snippet_runs(capsys):
+    blocks = extract_python_blocks(README.read_text())
+    assert blocks, "README lost its quickstart snippet"
+    namespace: dict = {}
+    exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert "Fmax" in out  # the gantt footer printed
+
+
+def test_architecture_tree_mentions_every_package():
+    text = README.read_text()
+    import repro
+
+    root = Path(repro.__file__).parent
+    packages = {p.parent.name for p in root.glob("*/__init__.py")}
+    for pkg in packages:
+        assert pkg in text, f"README architecture section misses {pkg!r}"

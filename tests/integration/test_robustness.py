@@ -1,0 +1,92 @@
+"""Robustness at scale extremes and awkward numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EFT, Instance, Task, eft_schedule
+from repro.maxload import max_load_lp
+from repro.offline import optimal_preemptive_fmax, optimal_unit_fmax
+from repro.simulation import WorkloadSpec, generate_workload, zipf_weights
+
+
+class TestScaleExtremes:
+    def test_large_cluster(self):
+        """m = 100, 5000 tasks — the dispatch path must stay linear-ish."""
+        spec = WorkloadSpec(m=100, n=5000, lam=50.0, k=3, strategy="overlapping")
+        inst = generate_workload(spec, rng=0)
+        sched = eft_schedule(inst, tiebreak="min")
+        sched.validate()
+        assert len(sched) == 5000
+
+    def test_single_machine_everything(self):
+        inst = Instance.build(1, releases=[0] * 20, procs=1.0)
+        assert eft_schedule(inst).max_flow == 20.0
+        assert optimal_unit_fmax(inst) == 20
+
+    def test_m_one_k_edge(self):
+        """k = m degenerates interval adversary preconditions; the
+        strategies must still behave."""
+        from repro.psets import DisjointIntervals, OverlappingIntervals
+
+        for cls in (OverlappingIntervals, DisjointIntervals):
+            strat = cls(4, 4)
+            assert strat.replicas(2) == {1, 2, 3, 4}
+
+    def test_large_lp(self):
+        pop = zipf_weights(40, 1.2)
+        sol = max_load_lp(pop, "overlapping", 5)
+        assert 0 < sol.lam <= 40
+
+    def test_huge_release_times(self):
+        """Far-future releases must not break float comparisons."""
+        inst = Instance.build(2, releases=[1e9, 1e9, 1e9 + 1], procs=1.0)
+        sched = eft_schedule(inst, tiebreak="min")
+        sched.validate()
+        # the first pair fills both machines exactly until the third
+        # release, so every flow is 1 — even at 1e9 magnitudes
+        assert sched.max_flow == pytest.approx(1.0)
+
+    def test_tiny_processing_times(self):
+        inst = Instance.build(2, releases=[0.0, 0.0, 0.0], procs=1e-9)
+        sched = eft_schedule(inst)
+        sched.validate()
+        assert sched.max_flow == pytest.approx(2e-9)
+
+
+class TestAwkwardNumerics:
+    @given(
+        st.lists(
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eft_valid_any_float_releases(self, releases):
+        inst = Instance.build(3, releases=sorted(releases), procs=1.0)
+        eft_schedule(inst, tiebreak="min").validate()
+
+    def test_equal_release_equal_proc_determinism(self):
+        """Fully degenerate instance: schedule must be reproducible."""
+        inst = Instance.build(4, releases=[0.0] * 16, procs=1.0)
+        a = eft_schedule(inst, tiebreak="min")
+        b = eft_schedule(inst, tiebreak="min")
+        assert a.same_placements(b)
+
+    def test_preemptive_with_coincident_events(self):
+        """Releases equal to deadlines of others produce zero-length
+        intervals the solver must skip."""
+        inst = Instance.build(2, releases=[0.0, 1.0, 1.0, 2.0], procs=1.0)
+        val = optimal_preemptive_fmax(inst)
+        assert 1.0 - 1e-6 <= val <= 2.0
+
+    def test_adversary_numeric_stability_long_run(self):
+        """The Theorem 10 stagger survives thousands of float
+        accumulations without violating its own construction."""
+        from repro.adversaries import AnyTiebreakAdversary
+
+        adv = AnyTiebreakAdversary(4, 2, steps=400)
+        result = adv.run(lambda m: EFT(m, tiebreak="max"))
+        assert adv.regular_max_flow(result) >= 3 - 1e-6

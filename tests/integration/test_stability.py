@@ -1,0 +1,39 @@
+"""Tests for the stability (phase boundary) experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stability import growth_rate, run
+
+
+class TestGrowthRate:
+    def test_flat_series(self):
+        assert growth_rate([100, 200, 400], [3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_linear_series(self):
+        assert growth_rate([100, 200, 300], [10.0, 20.0, 30.0]) == pytest.approx(0.1)
+
+
+class TestStabilityExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run(m=10, k=2, ns=(400, 800, 1600), repeats=2, rng_seed=5)
+
+    def test_two_regimes(self, table):
+        assert len(table.rows) == 2
+        assert "stable" in table.rows[0][0]
+        assert "unstable" in table.rows[1][0]
+
+    def test_unstable_grows(self, table):
+        row = table.rows[1]
+        # Fmax at the largest n clearly exceeds the smallest n's
+        assert row[-2] > 1.5 * row[2]
+
+    def test_stable_bounded(self, table):
+        row = table.rows[0]
+        assert row[-2] < 3 * max(row[2], 1.0)
+
+    def test_slopes_ordered(self, table):
+        stable_slope = float(table.rows[0][-1])
+        unstable_slope = float(table.rows[1][-1])
+        assert unstable_slope > stable_slope

@@ -1,0 +1,65 @@
+"""Tests for the experiment table renderer."""
+
+import pytest
+
+from repro.experiments.common import TextTable
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(title="T", headers=["a", "longheader"])
+        t.add_row("x", 1)
+        t.add_row("longvalue", 2.5)
+        lines = t.to_text().splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        data_lines = lines[2:]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_cell_count_checked(self):
+        t = TextTable(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError, match="expected 2"):
+            t.add_row("only-one")
+
+    def test_float_formatting(self):
+        t = TextTable(title="T", headers=["v"])
+        t.add_row(1.5)
+        t.add_row(2.0)
+        t.add_row(0.333333333)
+        text = t.to_text()
+        assert "1.5" in text
+        assert " 2 " in text or "2    " in text  # trailing zeros stripped
+        assert "0.333" in text
+
+    def test_notes_rendered(self):
+        t = TextTable(title="T", headers=["a"])
+        t.add_row(1)
+        t.notes.append("hello")
+        assert "note: hello" in t.to_text()
+
+    def test_str_equals_to_text(self):
+        t = TextTable(title="T", headers=["a"])
+        t.add_row(1)
+        assert str(t) == t.to_text()
+
+    def test_nan_rendering(self):
+        t = TextTable(title="T", headers=["v"])
+        t.add_row(float("nan"))
+        assert "nan" in t.to_text()
+
+
+class TestAdversaryResultHelpers:
+    def test_ratio(self):
+        from repro.adversaries import EFTIntervalAdversary
+        from repro.core import EFT
+
+        result = EFTIntervalAdversary(4, 2, steps=4**3).run(lambda m: EFT(m, tiebreak="min"))
+        assert result.ratio == result.fmax / result.opt_fmax
+        assert result.opt_is_exact
+
+    def test_tid_counter(self):
+        from repro.adversaries import TidCounter
+
+        tid = TidCounter()
+        assert [tid() for _ in range(3)] == [0, 1, 2]

@@ -1,0 +1,25 @@
+"""The self-check harness must pass everywhere."""
+
+from repro.experiments import verify
+
+
+def test_all_claims_pass():
+    table = verify.run(rng_seed=0)
+    statuses = {row[0]: row[1] for row in table.rows}
+    assert len(table.rows) == 10
+    assert all(s == "PASS" for s in statuses.values()), statuses
+    assert "all claims verified" in table.notes[0]
+
+
+def test_different_seed_also_passes():
+    table = verify.run(rng_seed=99)
+    assert all(row[1] == "PASS" for row in table.rows)
+
+
+def test_cli_verify(capsys):
+    from repro.cli import main
+
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "FAIL" not in out

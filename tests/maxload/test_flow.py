@@ -1,0 +1,87 @@
+"""Dinic max-flow vs networkx (property-based cross-check)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxload import Dinic
+
+
+class TestDinicBasics:
+    def test_single_edge(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 5.0)
+        assert d.max_flow(0, 1) == 5.0
+
+    def test_series_bottleneck(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5.0)
+        d.add_edge(1, 2, 3.0)
+        assert d.max_flow(0, 2) == 3.0
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2.0)
+        d.add_edge(0, 2, 2.0)
+        d.add_edge(1, 3, 2.0)
+        d.add_edge(2, 3, 2.0)
+        assert d.max_flow(0, 3) == 4.0
+
+    def test_classic_augmenting(self):
+        """The textbook 4-node diamond with a cross edge."""
+        d = Dinic(4)
+        d.add_edge(0, 1, 1.0)
+        d.add_edge(0, 2, 1.0)
+        d.add_edge(1, 2, 1.0)
+        d.add_edge(1, 3, 1.0)
+        d.add_edge(2, 3, 1.0)
+        assert d.max_flow(0, 3) == 2.0
+
+    def test_disconnected(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 1.0)
+        assert d.max_flow(0, 2) == 0.0
+
+    def test_source_equals_sink(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1.0)
+
+
+@st.composite
+def flow_networks(draw):
+    n = draw(st.integers(2, 8))
+    n_edges = draw(st.integers(0, 20))
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        cap = draw(st.integers(0, 10))
+        edges.append((u, v, float(cap)))
+    return n, edges
+
+
+@given(flow_networks())
+@settings(max_examples=80, deadline=None)
+def test_matches_networkx(network):
+    n, edges = network
+    d = Dinic(n)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u, v, cap in edges:
+        d.add_edge(u, v, cap)
+        if g.has_edge(u, v):
+            g[u][v]["capacity"] += cap
+        else:
+            g.add_edge(u, v, capacity=cap)
+    ours = d.max_flow(0, n - 1)
+    theirs = nx.maximum_flow_value(g, 0, n - 1)
+    assert ours == pytest.approx(theirs)

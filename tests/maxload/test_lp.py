@@ -1,0 +1,123 @@
+"""Tests for the max-load LP (Equation 15) and its cross-checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxload import (
+    max_load_disjoint_closed_form,
+    max_load_flow,
+    max_load_hall,
+    max_load_lp,
+    max_load_percent,
+)
+from repro.psets import DisjointIntervals, OverlappingIntervals
+from repro.simulation import shuffled_case, uniform_case, worst_case
+
+
+class TestLPBasics:
+    def test_uniform_full_replication(self):
+        """k = m: everything reaches 100% regardless of bias."""
+        sol = max_load_lp(worst_case(6, 2.0), "overlapping", 6)
+        assert sol.load_percent == pytest.approx(100.0)
+
+    def test_uniform_no_bias(self):
+        """s = 0: both strategies reach 100% at any k (paper §7.3)."""
+        for strat in ("overlapping", "disjoint"):
+            for k in (1, 2, 3, 6):
+                assert max_load_percent(uniform_case(6), strat, k) == pytest.approx(100.0)
+
+    def test_k1_limited_by_hottest_machine(self):
+        """No replication: lambda* = 1 / max_j P(E_j)."""
+        pop = worst_case(5, 1.5)
+        sol = max_load_lp(pop, "overlapping", 1)
+        assert sol.lam == pytest.approx(1.0 / pop.weights.max())
+
+    def test_transfer_matrix_constraints(self):
+        """Optimal a_{ij} respects support, column sums and capacity."""
+        pop = worst_case(6, 1.0)
+        strat = OverlappingIntervals(6, 3)
+        sol = max_load_lp(pop, strat)
+        allowed = strat.transfer_matrix()
+        assert np.all(sol.transfer[~allowed] <= 1e-8)
+        assert np.allclose(sol.transfer.sum(axis=0), sol.lam * pop.weights, atol=1e-6)
+        assert np.all(sol.transfer.sum(axis=1) <= 1 + 1e-8)
+
+    def test_requires_k_with_name(self):
+        with pytest.raises(ValueError, match="k required"):
+            max_load_lp(uniform_case(4), "overlapping")
+
+    def test_m_mismatch(self):
+        with pytest.raises(ValueError, match="m="):
+            max_load_lp(uniform_case(4), OverlappingIntervals(5, 2))
+
+    def test_paper_headline_example(self):
+        """§7.3: s=1, k=5, Shuffled — overlapping tolerates ~100%,
+        disjoint ~70%."""
+        pops = [shuffled_case(15, 1.0, rng=i) for i in range(30)]
+        ov = np.median([max_load_percent(p, "overlapping", 5) for p in pops])
+        dj = np.median([max_load_percent(p, "disjoint", 5) for p in pops])
+        assert ov > 95.0
+        assert 60.0 < dj < 78.0
+
+
+class TestCrossChecks:
+    @given(st.integers(2, 7), st.integers(1, 7), st.floats(0, 3, allow_nan=False), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_lp_equals_hall(self, m, k, s, seed):
+        k = min(k, m)
+        pop = shuffled_case(m, s, rng=seed)
+        for strat in ("overlapping", "disjoint"):
+            lp = max_load_lp(pop, strat, k).lam
+            hall = max_load_hall(pop, strat, k)
+            assert lp == pytest.approx(hall, rel=1e-6, abs=1e-6)
+
+    @given(st.integers(2, 6), st.integers(1, 6), st.floats(0, 2.5, allow_nan=False), st.integers(0, 999))
+    @settings(max_examples=15, deadline=None)
+    def test_lp_equals_flow(self, m, k, s, seed):
+        k = min(k, m)
+        pop = shuffled_case(m, s, rng=seed)
+        lp = max_load_lp(pop, "overlapping", k).lam
+        flow = max_load_flow(pop, "overlapping", k)
+        assert lp == pytest.approx(flow, abs=1e-5)
+
+    @given(st.integers(2, 10), st.integers(1, 10), st.floats(0, 3, allow_nan=False), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_closed_form(self, m, k, s, seed):
+        k = min(k, m)
+        pop = shuffled_case(m, s, rng=seed)
+        lp = max_load_lp(pop, "disjoint", k).lam
+        closed = max_load_disjoint_closed_form(pop, k)
+        assert lp == pytest.approx(closed, rel=1e-6)
+
+
+class TestStructuralInvariants:
+    @given(st.integers(3, 10), st.floats(0, 3, allow_nan=False), st.integers(0, 999))
+    @settings(max_examples=25, deadline=None)
+    def test_overlapping_dominates_disjoint(self, m, s, seed):
+        """The paper's core finding: overlapping >= disjoint for every
+        popularity and k."""
+        pop = shuffled_case(m, s, rng=seed)
+        for k in range(1, m + 1):
+            ov = max_load_lp(pop, "overlapping", k).lam
+            dj = max_load_lp(pop, "disjoint", k).lam
+            assert ov >= dj - 1e-7
+
+    @given(st.integers(3, 8), st.floats(0, 3, allow_nan=False), st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_k_overlapping(self, m, s, seed):
+        """More replication never hurts (supports only grow)."""
+        pop = shuffled_case(m, s, rng=seed)
+        vals = [max_load_lp(pop, "overlapping", k).lam for k in range(1, m + 1)]
+        assert all(b >= a - 1e-7 for a, b in zip(vals, vals[1:]))
+
+    def test_equal_at_k_equals_m(self):
+        pop = worst_case(8, 1.5)
+        ov = max_load_lp(pop, "overlapping", 8).lam
+        dj = max_load_lp(pop, "disjoint", 8).lam
+        assert ov == pytest.approx(dj)
+
+    def test_hall_guard(self):
+        with pytest.raises(ValueError, match="m <= 20"):
+            max_load_hall(np.ones(25) / 25, "overlapping", 3)

@@ -1,0 +1,54 @@
+"""Tests for the Figure 10 sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.maxload import overlap_gain_ratio, sweep_max_load
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep_max_load(
+        m=8,
+        s_values=np.array([0.0, 1.0, 2.0]),
+        k_values=np.array([1, 2, 4, 8]),
+        n_permutations=10,
+        rng=0,
+    )
+
+
+class TestSweep:
+    def test_grid_shapes(self, small_sweep):
+        assert small_sweep.loads["overlapping"].shape == (3, 4)
+        assert small_sweep.loads["disjoint"].shape == (3, 4)
+
+    def test_no_bias_row_is_100(self, small_sweep):
+        assert np.allclose(small_sweep.loads["overlapping"][0], 100.0)
+        assert np.allclose(small_sweep.loads["disjoint"][0], 100.0)
+
+    def test_full_replication_column_is_100(self, small_sweep):
+        assert np.allclose(small_sweep.loads["overlapping"][:, -1], 100.0)
+        assert np.allclose(small_sweep.loads["disjoint"][:, -1], 100.0)
+
+    def test_ratio_at_least_one(self, small_sweep):
+        assert np.all(small_sweep.ratio() >= 1.0 - 1e-9)
+
+    def test_gain_helper(self, small_sweep):
+        assert overlap_gain_ratio(small_sweep) == pytest.approx(small_sweep.ratio().max())
+
+    def test_loads_bounded_by_100(self, small_sweep):
+        for grid in small_sweep.loads.values():
+            assert np.all(grid <= 100.0 + 1e-6)
+
+    def test_paper_peak_region(self):
+        """At m=15 the gain peaks around 1.5 for mid-k, s near 1-1.25
+        (Figure 10b)."""
+        sweep = sweep_max_load(
+            m=15,
+            s_values=np.array([1.0, 1.25]),
+            k_values=np.array([5, 6, 7]),
+            n_permutations=30,
+            rng=7,
+        )
+        peak = overlap_gain_ratio(sweep)
+        assert 1.3 < peak < 1.7

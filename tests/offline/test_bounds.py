@@ -1,0 +1,64 @@
+"""Lower bounds on OPT must never exceed the true optimum."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance
+from repro.offline import (
+    lb_pmax,
+    lb_restricted_volume,
+    lb_volume,
+    opt_lower_bound,
+    optimal_fmax,
+    optimal_unit_fmax,
+)
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestPmax:
+    def test_value(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[3, 1])
+        assert lb_pmax(inst) == 3.0
+
+
+class TestVolume:
+    def test_burst_bound(self):
+        # 4 unit tasks at once on 2 machines: last completes >= 2
+        inst = Instance.build(2, releases=[0, 0, 0, 0], procs=1.0)
+        assert lb_volume(inst) == pytest.approx(2.0)
+
+    def test_suffix_matters(self):
+        # quiet prefix then a burst: the suffix bound must see the burst
+        inst = Instance.build(1, releases=[0, 10, 10, 10], procs=1.0)
+        assert lb_volume(inst) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert lb_volume(Instance(m=2, tasks=())) == 0.0
+
+
+class TestRestrictedVolume:
+    def test_tighter_than_global_on_pinned_tasks(self):
+        # 4 tasks pinned to machine 1 of 4: global volume bound is weak,
+        # the restricted bound sees the hot spot.
+        inst = Instance.build(4, releases=[0] * 4, procs=1.0, machine_sets=[{1}] * 4)
+        assert lb_volume(inst) == pytest.approx(1.0)
+        assert lb_restricted_volume(inst) == pytest.approx(4.0)
+
+    def test_union_of_sets(self):
+        # two groups both confined to {1,2}: bound uses |J| = 2
+        inst = Instance.build(
+            3, releases=[0] * 4, procs=1.0, machine_sets=[{1}, {1, 2}, {2}, {1, 2}]
+        )
+        assert lb_restricted_volume(inst) >= 2.0
+
+
+class TestAgainstExactOPT:
+    @given(unrestricted_instances(max_m=3, max_n=7))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_opt_general(self, inst):
+        assert opt_lower_bound(inst) <= optimal_fmax(inst) + 1e-6
+
+    @given(restricted_unit_instances(max_m=4, max_n=9))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_opt_unit(self, inst):
+        assert opt_lower_bound(inst) <= optimal_unit_fmax(inst) + 1e-6

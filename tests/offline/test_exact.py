@@ -1,0 +1,97 @@
+"""Unit tests for the branch-and-bound exact solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance, Schedule, Task, eft_schedule
+from repro.offline import ExactSolver, optimal_fmax, optimal_schedule, optimal_unit_fmax
+
+
+def brute_force_fmax(instance: Instance) -> float:
+    """Exhaustive optimum over machine assignments with per-machine
+    release order (optimal per the adjacent-swap argument) — the
+    independent oracle the solver is checked against."""
+    best = float("inf")
+    tasks = list(instance.tasks)
+    eligibles = [sorted(t.eligible(instance.m)) for t in tasks]
+    for combo in itertools.product(*eligibles):
+        completions = {j: 0.0 for j in range(1, instance.m + 1)}
+        fmax = 0.0
+        for t, machine in zip(tasks, combo):  # tasks sorted by release
+            start = max(t.release, completions[machine])
+            completions[machine] = start + t.proc
+            fmax = max(fmax, start + t.proc - t.release)
+        best = min(best, fmax)
+    return best
+
+
+class TestExactSolver:
+    def test_single_machine_stack(self):
+        inst = Instance.build(1, releases=[0, 0], procs=[2, 1])
+        # order (2 then 1): flows 2, 3 -> 3; order (1 then 2): flows 1, 3 -> 3
+        assert optimal_fmax(inst) == 3.0
+
+    def test_two_machines_split(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[2, 1])
+        assert optimal_fmax(inst) == 2.0
+
+    def test_respects_processing_sets(self):
+        inst = Instance.build(
+            2, releases=[0, 0], procs=[1, 1], machine_sets=[{1}, {1}]
+        )
+        assert optimal_fmax(inst) == 2.0
+
+    def test_empty(self):
+        assert optimal_fmax(Instance(m=3, tasks=())) == 0.0
+
+    def test_schedule_is_valid_and_witnesses(self):
+        inst = Instance.build(2, releases=[0, 0, 1, 1.5], procs=[2, 1, 1, 0.5])
+        value, sched = ExactSolver(inst).solve()
+        sched.validate()
+        assert sched.max_flow == pytest.approx(value)
+
+    def test_beats_or_ties_eft(self):
+        inst = Instance.build(
+            3,
+            releases=[0, 0, 0, 1, 1],
+            procs=[3, 1, 1, 2, 1],
+            machine_sets=[{1, 2}, {2, 3}, {1}, {3}, {1, 2}],
+        )
+        assert optimal_fmax(inst) <= eft_schedule(inst).max_flow + 1e-9
+
+    def test_node_limit(self):
+        inst = Instance.build(4, releases=[0] * 9, procs=list(range(1, 10)))
+        with pytest.raises(RuntimeError, match="node limit"):
+            ExactSolver(inst, node_limit=5).solve()
+
+    @given(
+        st.integers(1, 3),
+        st.lists(st.integers(0, 4), min_size=1, max_size=6),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, m, releases, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        procs = rng.integers(1, 4, size=len(releases)).astype(float)
+        inst = Instance.build(m, releases=sorted(float(r) for r in releases), procs=procs)
+        assert optimal_fmax(inst) == pytest.approx(brute_force_fmax(inst))
+
+    @given(
+        st.integers(2, 3),
+        st.lists(st.integers(0, 3), min_size=1, max_size=7),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_unit_opt_on_unit_instances(self, m, releases):
+        inst = Instance.build(m, releases=sorted(float(r) for r in releases), procs=1.0)
+        assert optimal_fmax(inst) == pytest.approx(float(optimal_unit_fmax(inst)))
+
+    def test_optimal_schedule_wrapper(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[1, 1])
+        sched = optimal_schedule(inst)
+        assert isinstance(sched, Schedule)
+        assert sched.max_flow == 1.0

@@ -1,0 +1,57 @@
+"""Tests for the FPTAS-style DP approximation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, eft_schedule
+from repro.offline import optimal_fmax
+from repro.offline.fptas import fptas_fmax
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestFptas:
+    def test_eps_validated(self):
+        inst = Instance.build(1, releases=[0], procs=1.0)
+        with pytest.raises(ValueError):
+            fptas_fmax(inst, eps=0.0)
+
+    def test_empty(self):
+        assert fptas_fmax(Instance(m=2, tasks=()), eps=0.1) == 0.0
+
+    def test_exact_on_trivial(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[2.0, 1.0])
+        assert fptas_fmax(inst, eps=0.05) <= 2.0 * 1.05 + 1e-9
+
+    @given(unrestricted_instances(max_m=3, max_n=7))
+    @settings(max_examples=25, deadline=None)
+    def test_within_one_plus_eps_of_opt(self, inst):
+        """The defining guarantee: result <= (1 + eps) * OPT, and never
+        below OPT (it describes a feasible schedule up to rounding)."""
+        eps = 0.25
+        opt = optimal_fmax(inst)
+        approx = fptas_fmax(inst, eps=eps)
+        assert approx <= (1 + eps) * opt + 1e-6
+        # rounding only inflates completions, so the approximation
+        # upper-bounds a feasible value and cannot undercut OPT by more
+        # than numerical noise
+        assert approx >= opt - 1e-6
+
+    @given(restricted_unit_instances(max_m=3, max_n=7))
+    @settings(max_examples=20, deadline=None)
+    def test_restricted_instances(self, inst):
+        eps = 0.3
+        opt = optimal_fmax(inst)
+        approx = fptas_fmax(inst, eps=eps)
+        assert opt - 1e-6 <= approx <= (1 + eps) * opt + 1e-6
+
+    def test_tighter_eps_no_worse(self):
+        inst = Instance.build(
+            2, releases=[0, 0, 1, 1, 2], procs=[2, 1, 2, 1, 1]
+        )
+        loose = fptas_fmax(inst, eps=0.5)
+        tight = fptas_fmax(inst, eps=0.05)
+        assert tight <= loose + 1e-9
+
+    def test_never_exceeds_eft(self):
+        inst = Instance.build(3, releases=[0, 0, 0, 1, 1], procs=[3, 1, 2, 1, 2])
+        assert fptas_fmax(inst, eps=0.2) <= eft_schedule(inst).max_flow + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the assignment-based sum-flow optima."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, eft_schedule
+from repro.offline import (
+    optimal_unit_fmax,
+    optimal_unit_sum_flow,
+    optimal_unit_weighted_flow,
+)
+from tests.conftest import restricted_unit_instances
+
+
+class TestSumFlow:
+    def test_simple_stack(self):
+        # 3 simultaneous unit tasks on 1 machine: flows 1+2+3 = 6
+        inst = Instance.build(1, releases=[0, 0, 0], procs=1.0)
+        total, sched = optimal_unit_sum_flow(inst)
+        assert total == 6.0
+        sched.validate()
+
+    def test_spreading_beats_stacking(self):
+        inst = Instance.build(2, releases=[0, 0], procs=1.0)
+        total, _ = optimal_unit_sum_flow(inst)
+        assert total == 2.0  # one per machine
+
+    def test_respects_processing_sets(self):
+        inst = Instance.build(2, releases=[0, 0], machine_sets=[{1}, {1}])
+        total, sched = optimal_unit_sum_flow(inst)
+        assert total == 3.0
+        assert {sched.machine_of(0), sched.machine_of(1)} == {1}
+
+    def test_empty(self):
+        total, _ = optimal_unit_sum_flow(Instance(m=2, tasks=()))
+        assert total == 0.0
+
+    def test_rejects_non_unit(self):
+        inst = Instance.build(1, releases=[0], procs=[2.0])
+        with pytest.raises(ValueError, match="p_i = 1"):
+            optimal_unit_sum_flow(inst)
+
+    @given(restricted_unit_instances(max_m=3, max_n=8))
+    @settings(max_examples=25, deadline=None)
+    def test_lower_bounds_every_schedule(self, inst):
+        """The optimum total flow bounds EFT's total flow."""
+        total, _ = optimal_unit_sum_flow(inst)
+        eft_total = float(eft_schedule(inst, tiebreak="min").flows().sum())
+        assert total <= eft_total + 1e-9
+
+    @given(restricted_unit_instances(max_m=3, max_n=8))
+    @settings(max_examples=25, deadline=None)
+    def test_consistent_with_bottleneck_opt(self, inst):
+        """Mean-optimal max flow can exceed the bottleneck optimum, but
+        the mean-optimal schedule's *sum* bounds the bottleneck
+        schedule's sum."""
+        total, sum_sched = optimal_unit_sum_flow(inst)
+        _, bottleneck_sched = __import__(
+            "repro.offline.unit_opt", fromlist=["optimal_unit_schedule"]
+        ).optimal_unit_schedule(inst)
+        assert total <= float(bottleneck_sched.flows().sum()) + 1e-9
+        # and conversely the bottleneck value bounds the sum schedule's max
+        assert optimal_unit_fmax(inst) <= sum_sched.max_flow + 1e-9
+
+    def test_hot_spot_instance(self):
+        """Three simultaneous tasks on two machines: one must wait one
+        slot, wherever the flexible task goes."""
+        inst = Instance.build(
+            2,
+            releases=[0, 0, 0],
+            procs=1.0,
+            machine_sets=[{1}, {1, 2}, {2}],
+        )
+        total, sched = optimal_unit_sum_flow(inst)
+        assert total == 4.0  # flows 1 + 1 + 2
+        assert sched.max_flow == 2.0
+        assert optimal_unit_fmax(inst) == 2  # objectives coincide here
+
+
+class TestWeightedFlow:
+    def test_weights_steer_priority(self):
+        """Two tasks on one machine: the heavy one goes first whatever
+        its id."""
+        inst = Instance.build(1, releases=[0, 0], procs=1.0)
+        _, light_first = optimal_unit_weighted_flow(inst, [1.0, 10.0])
+        assert light_first.start_of(1) == 0.0  # heavy task first
+        _, heavy_first = optimal_unit_weighted_flow(inst, [10.0, 1.0])
+        assert heavy_first.start_of(0) == 0.0
+
+    def test_weight_validation(self):
+        inst = Instance.build(1, releases=[0], procs=1.0)
+        with pytest.raises(ValueError, match="weights"):
+            optimal_unit_weighted_flow(inst, [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            optimal_unit_weighted_flow(inst, [-1.0])
+
+    def test_uniform_weights_match_sum(self):
+        inst = Instance.build(2, releases=[0, 0, 1], machine_sets=[{1}, {1, 2}, {2}])
+        total_w, _ = optimal_unit_weighted_flow(inst, np.ones(3))
+        total_s, _ = optimal_unit_sum_flow(inst)
+        assert total_w == pytest.approx(total_s)

@@ -1,0 +1,95 @@
+"""Unit tests for the exact unit-task optimum."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, eft_schedule
+from repro.offline import optimal_unit_fmax, optimal_unit_schedule, unit_feasible_with_flow
+from tests.conftest import restricted_unit_instances
+
+
+class TestFeasibility:
+    def test_flow_one_when_spread_possible(self):
+        inst = Instance.build(2, releases=[0, 0], procs=1.0)
+        assert unit_feasible_with_flow(inst, 1) is not None
+
+    def test_flow_one_impossible_when_stacked(self):
+        inst = Instance.build(1, releases=[0, 0], procs=1.0)
+        assert unit_feasible_with_flow(inst, 1) is None
+        assert unit_feasible_with_flow(inst, 2) is not None
+
+    def test_respects_processing_sets(self):
+        inst = Instance.build(2, releases=[0, 0], machine_sets=[{1}, {1}])
+        assert unit_feasible_with_flow(inst, 1) is None
+
+    def test_nonpositive_flow(self):
+        inst = Instance.build(1, releases=[0], procs=1.0)
+        assert unit_feasible_with_flow(inst, 0) is None
+
+    def test_monotone_in_flow(self):
+        inst = Instance.build(
+            2, releases=[0, 0, 0, 1], machine_sets=[{1}, {1, 2}, {2}, {1}]
+        )
+        feasible = [unit_feasible_with_flow(inst, f) is not None for f in range(1, 6)]
+        # once feasible, always feasible
+        assert feasible == sorted(feasible)
+
+    def test_rejects_non_unit(self):
+        inst = Instance.build(1, releases=[0], procs=[2.0])
+        with pytest.raises(ValueError, match="p_i = 1"):
+            unit_feasible_with_flow(inst, 3)
+
+    def test_rejects_fractional_release(self):
+        inst = Instance.build(1, releases=[0.5], procs=1.0)
+        with pytest.raises(ValueError, match="integral"):
+            unit_feasible_with_flow(inst, 3)
+
+
+class TestOptimum:
+    def test_known_small_value(self):
+        # 3 tasks at time 0 on 1 machine: OPT flow = 3
+        inst = Instance.build(1, releases=[0, 0, 0], procs=1.0)
+        assert optimal_unit_fmax(inst) == 3
+
+    def test_restriction_raises_opt(self):
+        free = Instance.build(2, releases=[0, 0], procs=1.0)
+        pinned = Instance.build(2, releases=[0, 0], machine_sets=[{1}, {1}])
+        assert optimal_unit_fmax(free) == 1
+        assert optimal_unit_fmax(pinned) == 2
+
+    def test_empty_instance(self):
+        fmax, sched = optimal_unit_schedule(Instance(m=2, tasks=()))
+        assert fmax == 0
+
+    def test_schedule_witnesses_value(self):
+        inst = Instance.build(
+            3, releases=[0, 0, 0, 1, 1], machine_sets=[{1, 2}, {2, 3}, {1}, {3}, {1, 2}]
+        )
+        fmax, sched = optimal_unit_schedule(inst)
+        sched.validate()
+        assert sched.max_flow == fmax
+
+    @given(restricted_unit_instances(max_m=4, max_n=10))
+    @settings(max_examples=40, deadline=None)
+    def test_opt_never_exceeds_eft(self, inst):
+        """OPT <= any feasible online schedule's value."""
+        opt = optimal_unit_fmax(inst)
+        online = eft_schedule(inst, tiebreak="min").max_flow
+        assert opt <= online + 1e-9
+
+    @given(restricted_unit_instances(max_m=4, max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_opt_at_least_congestion_bound(self, inst):
+        """Tasks restricted to one machine force flow >= their count
+        when released together."""
+        opt = optimal_unit_fmax(inst)
+        # count simultaneous singleton tasks per (machine, release)
+        from collections import Counter
+
+        c = Counter()
+        for t in inst:
+            ms = t.eligible(inst.m)
+            if len(ms) == 1:
+                c[(next(iter(ms)), t.release)] += 1
+        if c:
+            assert opt >= max(c.values())

@@ -1,0 +1,143 @@
+"""Unit tests for replication strategies (Section 7.2, Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Instance
+from repro.psets import (
+    DisjointIntervals,
+    NoReplication,
+    OverlappingIntervals,
+    classify_family,
+    get_strategy,
+    replicate_instance,
+)
+
+
+class TestOverlapping:
+    def test_figure9_example(self):
+        """Figure 9: a task on M3 with k=3 gets M'={M3, M4, M5}."""
+        strat = OverlappingIntervals(6, 3)
+        assert strat.replicas(3) == {3, 4, 5}
+
+    def test_wraps_around_ring(self):
+        strat = OverlappingIntervals(6, 3)
+        assert strat.replicas(5) == {5, 6, 1}
+        assert strat.replicas(6) == {6, 1, 2}
+
+    def test_m_distinct_sets(self):
+        strat = OverlappingIntervals(6, 3)
+        assert len(set(strat.all_sets())) == 6
+
+    def test_every_set_size_k(self):
+        strat = OverlappingIntervals(7, 4)
+        assert all(len(s) == 4 for s in strat.all_sets())
+
+    def test_each_machine_in_k_sets(self):
+        strat = OverlappingIntervals(6, 3)
+        counts = {j: 0 for j in range(1, 7)}
+        for s in strat.all_sets():
+            for j in s:
+                counts[j] += 1
+        assert all(c == 3 for c in counts.values())
+
+
+class TestDisjoint:
+    def test_figure9_example(self):
+        """Figure 9: a task on M3 with k=3 disjoint gets {M1, M2, M3}."""
+        strat = DisjointIntervals(6, 3)
+        assert strat.replicas(3) == {1, 2, 3}
+        assert strat.replicas(4) == {4, 5, 6}
+
+    def test_groups_partition(self):
+        strat = DisjointIntervals(7, 3)
+        groups = strat.groups()
+        assert [len(g) for g in groups] == [3, 3, 1]
+        union = set().union(*groups)
+        assert union == set(range(1, 8))
+
+    def test_family_is_disjoint_structure(self):
+        strat = DisjointIntervals(9, 3)
+        from repro.psets import is_disjoint_family
+
+        assert is_disjoint_family(strat.all_sets())
+        assert classify_family(strat.all_sets(), 9) in ("disjoint", "inclusive")
+
+    def test_same_group_same_set(self):
+        strat = DisjointIntervals(6, 3)
+        assert strat.replicas(1) == strat.replicas(2) == strat.replicas(3)
+
+
+class TestNoReplication:
+    def test_singleton(self):
+        strat = NoReplication(4)
+        assert strat.replicas(3) == {3}
+        assert strat.k == 1
+
+
+class TestTransferMatrix:
+    def test_overlapping_matrix(self):
+        strat = OverlappingIntervals(4, 2)
+        a = strat.transfer_matrix()
+        # machine i serves home j iff i in {j, j+1 mod m}
+        expected = np.zeros((4, 4), dtype=bool)
+        for j in range(1, 5):
+            for i in strat.replicas(j):
+                expected[i - 1, j - 1] = True
+        assert (a == expected).all()
+        assert a.sum() == 8  # m*k entries
+
+    def test_disjoint_matrix_block_diagonal(self):
+        strat = DisjointIntervals(4, 2)
+        a = strat.transfer_matrix()
+        assert a[:2, :2].all() and a[2:, 2:].all()
+        assert not a[:2, 2:].any() and not a[2:, :2].any()
+
+
+class TestGetStrategy:
+    def test_by_name(self):
+        assert isinstance(get_strategy("overlapping", 6, 3), OverlappingIntervals)
+        assert isinstance(get_strategy("disjoint", 6, 3), DisjointIntervals)
+        assert isinstance(get_strategy("none", 6, 3), NoReplication)
+
+    def test_passthrough(self):
+        s = OverlappingIntervals(6, 3)
+        assert get_strategy(s, 6, 3) is s
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown replication"):
+            get_strategy("bogus", 6, 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k="):
+            OverlappingIntervals(6, 7)
+        with pytest.raises(ValueError, match="k="):
+            DisjointIntervals(6, 0)
+
+
+class TestReplicateInstance:
+    def test_from_singleton_homes(self):
+        inst = Instance.build(
+            6, releases=[0, 1], machine_sets=[{3}, {5}]
+        )
+        out = replicate_instance(inst, "overlapping", 3)
+        assert out[0].machines == {3, 4, 5}
+        assert out[1].machines == {5, 6, 1}
+
+    def test_explicit_homes(self):
+        inst = Instance.build(6, releases=[0, 1])
+        out = replicate_instance(inst, "disjoint", 3, homes=[1, 6])
+        assert out[0].machines == {1, 2, 3}
+        assert out[1].machines == {4, 5, 6}
+
+    def test_requires_singleton_or_homes(self):
+        inst = Instance.build(6, releases=[0], machine_sets=[{1, 2}])
+        with pytest.raises(ValueError, match="homes"):
+            replicate_instance(inst, "overlapping", 3)
+
+    def test_preserves_everything_else(self):
+        inst = Instance.build(6, releases=[0.5], procs=[2.5], machine_sets=[{2}])
+        out = replicate_instance(inst, "overlapping", 2)
+        assert out[0].release == 0.5
+        assert out[0].proc == 2.5
+        assert out[0].tid == inst[0].tid

@@ -1,0 +1,151 @@
+"""Unit and property tests for structure predicates (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.psets import (
+    REDUCTION_GRAPH,
+    classify_family,
+    is_disjoint_family,
+    is_inclusive_family,
+    is_interval_family,
+    is_nested_family,
+    nested_interval_order,
+    random_disjoint_family,
+    random_inclusive_family,
+    random_interval_family,
+    random_nested_family,
+    specializes,
+)
+
+
+class TestPredicates:
+    def test_disjoint(self):
+        assert is_disjoint_family([{1, 2}, {3, 4}, {1, 2}])
+        assert not is_disjoint_family([{1, 2}, {2, 3}])
+
+    def test_inclusive(self):
+        assert is_inclusive_family([{1}, {1, 2}, {1, 2, 3}])
+        assert not is_inclusive_family([{1, 2}, {2, 3}])
+        assert not is_inclusive_family([{1}, {2}])
+
+    def test_nested(self):
+        assert is_nested_family([{1, 2, 3, 4}, {1, 2}, {3, 4}, {3}])
+        assert not is_nested_family([{1, 2}, {2, 3}])
+
+    def test_interval(self):
+        assert is_interval_family([{1, 2}, {3, 4, 5}], m=5)
+        assert not is_interval_family([{1, 3}], m=5)
+
+    def test_interval_ring(self):
+        assert is_interval_family([{5, 6, 1}], m=6, allow_ring=True)
+        assert not is_interval_family([{5, 6, 1}], m=6, allow_ring=False)
+
+    def test_interval_reorder_nested(self):
+        """A nested family becomes intervals after reordering (paper §3)."""
+        family = [{1, 5}, {1, 5, 3}, {2, 4}]
+        assert is_nested_family(family)
+        assert is_interval_family(family, m=5, allow_reorder=True)
+
+    def test_interval_reorder_bruteforce(self):
+        # {1,3} is an interval after swapping machines 2 and 3
+        assert is_interval_family([{1, 3}, {2}], m=3, allow_reorder=True)
+
+    def test_interval_reorder_impossible(self):
+        # Three pairwise-crossing pairs over 4 machines have no
+        # consecutive-ones ordering.
+        family = [{1, 2}, {2, 3}, {3, 1}, {1, 4}, {2, 4}, {3, 4}]
+        assert not is_interval_family(family, m=4, allow_reorder=True)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            is_nested_family([set()])
+
+
+class TestClassify:
+    def test_priority_order(self):
+        assert classify_family([{1, 2}, {1, 2}], m=2) == "inclusive"
+        assert classify_family([{1}, {2}], m=2) == "disjoint"
+        assert classify_family([{1, 2}, {1}, {3}], m=3) == "nested"
+        assert classify_family([{1, 2}, {2, 3}], m=3) == "interval"
+        # {1,3} is not an interval on 4 machines (its complement {2,4}
+        # is not contiguous either), and the family is neither nested
+        # nor disjoint nor inclusive.
+        assert classify_family([{1, 3}, {3, 4}, {1, 2}], m=4) == "general"
+
+    def test_single_set_is_inclusive(self):
+        assert classify_family([{2, 3}], m=4) == "inclusive"
+
+
+class TestReductionGraph:
+    def test_figure1_edges(self):
+        assert specializes("inclusive", "nested")
+        assert specializes("disjoint", "nested")
+        assert specializes("nested", "interval")
+        assert specializes("interval", "general")
+
+    def test_transitivity(self):
+        assert specializes("inclusive", "general")
+        assert specializes("disjoint", "interval")
+
+    def test_non_edges(self):
+        assert not specializes("nested", "inclusive")
+        assert not specializes("inclusive", "disjoint")
+        assert not specializes("disjoint", "inclusive")
+
+    def test_reflexive(self):
+        for s in REDUCTION_GRAPH:
+            assert specializes(s, s)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            specializes("inclusive", "bogus")
+
+
+class TestNestedIntervalOrder:
+    def test_witness_makes_contiguous(self):
+        family = [{1, 5}, {1, 5, 3}, {2, 4}]
+        order = nested_interval_order(family, m=5)
+        assert sorted(order) == [1, 2, 3, 4, 5]
+        position = {machine: idx for idx, machine in enumerate(order)}
+        for s in family:
+            positions = sorted(position[j] for j in s)
+            assert positions == list(range(positions[0], positions[0] + len(s)))
+
+    def test_rejects_non_nested(self):
+        with pytest.raises(ValueError, match="not nested"):
+            nested_interval_order([{1, 2}, {2, 3}], m=3)
+
+    @given(st.integers(2, 8), st.integers(1, 10), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_witness_on_random_nested(self, m, n, seed):
+        family = random_nested_family(n, m, rng=seed)
+        order = nested_interval_order(family, m)
+        position = {machine: idx for idx, machine in enumerate(order)}
+        for s in family:
+            positions = sorted(position[j] for j in s)
+            assert positions == list(range(positions[0], positions[0] + len(s)))
+
+
+class TestGeneratorsProduceClaimedStructure:
+    @given(st.integers(2, 10), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_nested_generator(self, m, n, seed):
+        assert is_nested_family(random_nested_family(n, m, rng=seed))
+
+    @given(st.integers(2, 10), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_inclusive_generator(self, m, n, seed):
+        assert is_inclusive_family(random_inclusive_family(n, m, rng=seed))
+
+    @given(st.integers(2, 10), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_generator(self, m, n, seed):
+        assert is_disjoint_family(random_disjoint_family(n, m, rng=seed))
+
+    @given(st.integers(2, 10), st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_generator(self, m, n, seed):
+        fam = random_interval_family(n, m, rng=seed)
+        assert is_interval_family(fam, m, allow_ring=False)

@@ -1,0 +1,70 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    batch_release_times,
+    load_to_rate,
+    poisson_release_times,
+    rate_to_load,
+)
+
+
+class TestPoisson:
+    def test_monotone(self):
+        times = poisson_release_times(2.0, 100, rng=0)
+        assert np.all(np.diff(times) > 0)
+
+    def test_rate(self):
+        """Mean inter-arrival of a rate-lambda process is 1/lambda."""
+        times = poisson_release_times(4.0, 50_000, rng=1)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.25, rel=0.05)
+
+    def test_start_offset(self):
+        times = poisson_release_times(1.0, 10, rng=0, start=100.0)
+        assert times[0] > 100.0
+
+    def test_deterministic_by_seed(self):
+        a = poisson_release_times(1.0, 10, rng=3)
+        b = poisson_release_times(1.0, 10, rng=3)
+        assert np.allclose(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_release_times(0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_release_times(1.0, -1)
+
+    def test_zero_n(self):
+        assert poisson_release_times(1.0, 0).size == 0
+
+
+class TestBatches:
+    def test_pattern(self):
+        times = batch_release_times(3, 2, period=1.0)
+        assert times.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_period(self):
+        times = batch_release_times(1, 3, period=2.5)
+        assert times.tolist() == [0, 2.5, 5.0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            batch_release_times(0, 1)
+
+
+class TestLoadConversion:
+    def test_roundtrip(self):
+        lam = load_to_rate(0.8, 15)
+        assert lam == pytest.approx(12.0)
+        assert rate_to_load(lam, 15) == pytest.approx(0.8)
+
+    def test_full_load_is_m(self):
+        """lambda = m loads the cluster at 100% (Section 7.1)."""
+        assert load_to_rate(1.0, 15) == 15.0
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            load_to_rate(0.0, 15)

@@ -1,0 +1,87 @@
+"""The event-driven engine must reproduce the analytic EFT schedule."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import EFT, Instance, Task, eft_schedule
+from repro.simulation import Simulator
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestEngineBasics:
+    def test_simple_run(self):
+        inst = Instance.build(2, releases=[0, 0, 1], procs=[2, 1, 1])
+        sim = Simulator(EFT(2, tiebreak="min"))
+        sim.add_instance(inst)
+        result = sim.run()
+        assert result.n_completed == 3
+        result.schedule.validate()
+
+    def test_m_mismatch(self):
+        sim = Simulator(EFT(2))
+        with pytest.raises(ValueError, match="m="):
+            sim.add_instance(Instance.build(3, releases=[0]))
+
+    def test_run_until(self):
+        inst = Instance.build(1, releases=[0, 0], procs=[1, 1])
+        sim = Simulator(EFT(1))
+        sim.add_instance(inst)
+        result = sim.run(until=1.0)
+        assert result.n_completed == 1
+
+    def test_observer_callback(self):
+        inst = Instance.build(1, releases=[0], procs=[2])
+        sim = Simulator(EFT(1))
+        sim.add_instance(inst)
+        seen = {}
+        sim.at(1.0, lambda s: seen.setdefault("profile", s.waiting_profile()))
+        sim.run()
+        assert seen["profile"] == [1.0]
+
+    def test_observer_can_inject_tasks(self):
+        """Adaptive-adversary hook: inject a task at observation time."""
+        sim = Simulator(EFT(1))
+        sim.add_tasks([Task(tid=0, release=0, proc=1)])
+
+        def inject(s):
+            s.add_tasks([Task(tid=1, release=s.now, proc=1)])
+
+        sim.at(5.0, inject)
+        result = sim.run()
+        assert result.n_completed == 2
+        assert result.schedule.start_of(1) == 5.0
+
+    def test_utilization(self):
+        inst = Instance.build(2, releases=[0, 0], procs=[2, 2])
+        sim = Simulator(EFT(2))
+        sim.add_instance(inst)
+        result = sim.run()
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_uncompleted_on(self):
+        sim = Simulator(EFT(1))
+        sim.add_tasks([Task(tid=0, release=0, proc=5), Task(tid=1, release=0, proc=5)])
+        sim.at(1.0, lambda s: None)
+        sim.run(until=1.0)
+        assert sim.uncompleted_on([1]) == 2
+
+
+class TestEngineMatchesAnalyticDriver:
+    @given(unrestricted_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_same_schedule_unrestricted(self, inst):
+        analytic = eft_schedule(inst, tiebreak="min")
+        sim = Simulator(EFT(inst.m, tiebreak="min"))
+        sim.add_instance(inst)
+        result = sim.run()
+        assert result.schedule.same_placements(analytic)
+        assert result.max_flow == pytest.approx(analytic.max_flow)
+
+    @given(restricted_unit_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_same_schedule_restricted(self, inst):
+        analytic = eft_schedule(inst, tiebreak="max")
+        sim = Simulator(EFT(inst.m, tiebreak="max"))
+        sim.add_instance(inst)
+        result = sim.run()
+        assert result.schedule.same_placements(analytic)

@@ -1,0 +1,33 @@
+"""Unit tests for the event queue."""
+
+from repro.simulation import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.RELEASE, "c")
+        q.push(1.0, EventKind.RELEASE, "a")
+        q.push(2.0, EventKind.RELEASE, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stable_within_time(self):
+        """Simultaneous events fire in scheduling order (the adversary
+        batches rely on it)."""
+        q = EventQueue()
+        for i in range(10):
+            q.push(1.0, EventKind.RELEASE, i)
+        assert [q.pop().payload for _ in range(10)] == list(range(10))
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, EventKind.OBSERVE)
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.COMPLETE)
+        assert q

@@ -1,0 +1,117 @@
+"""Tests for the preemptive engine and its policies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Instance, eft_schedule, fifo_schedule
+from repro.offline import optimal_preemptive_fmax
+from repro.simulation.preemptive import (
+    PreemptiveEngine,
+    fifo_priority,
+    preemptive_fifo_fmax,
+    srpt_priority,
+)
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+def piece_volume(result, tid):
+    return sum(b - a for _, a, b in result.pieces[tid])
+
+
+class TestEngineInvariants:
+    @given(unrestricted_instances(max_m=4, max_n=15))
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, inst):
+        """Every task receives exactly its processing time."""
+        result = PreemptiveEngine(srpt_priority).run(inst)
+        for t in inst:
+            assert piece_volume(result, t.tid) == pytest.approx(t.proc, abs=1e-6)
+
+    @given(unrestricted_instances(max_m=4, max_n=12))
+    @settings(max_examples=30, deadline=None)
+    def test_no_machine_overlap(self, inst):
+        result = PreemptiveEngine(srpt_priority).run(inst)
+        per_machine: dict[int, list[tuple[float, float]]] = {}
+        for tid, pieces in result.pieces.items():
+            for j, a, b in pieces:
+                per_machine.setdefault(j, []).append((a, b))
+        for j, spans in per_machine.items():
+            spans.sort()
+            for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+                assert a2 >= b1 - 1e-9
+
+    @given(unrestricted_instances(max_m=4, max_n=12))
+    @settings(max_examples=30, deadline=None)
+    def test_no_task_parallelism(self, inst):
+        """A task never runs on two machines at once."""
+        result = PreemptiveEngine(srpt_priority).run(inst)
+        for tid, pieces in result.pieces.items():
+            spans = sorted((a, b) for _, a, b in pieces)
+            for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+                assert a2 >= b1 - 1e-9
+
+    @given(restricted_unit_instances(max_m=4, max_n=12))
+    @settings(max_examples=30, deadline=None)
+    def test_eligibility_respected(self, inst):
+        result = PreemptiveEngine(fifo_priority).run(inst)
+        for t in inst:
+            for j, a, b in result.pieces[t.tid]:
+                assert t.is_eligible(j, inst.m)
+
+    @given(unrestricted_instances(max_m=4, max_n=12))
+    @settings(max_examples=30, deadline=None)
+    def test_pieces_after_release(self, inst):
+        result = PreemptiveEngine(srpt_priority).run(inst)
+        for t in inst:
+            for j, a, b in result.pieces[t.tid]:
+                assert a >= t.release - 1e-9
+
+
+class TestPolicies:
+    @given(unrestricted_instances(max_m=4, max_n=15))
+    @settings(max_examples=40, deadline=None)
+    def test_preemptive_fifo_matches_nonpreemptive(self, inst):
+        """FIFO priorities never preempt (running tasks were released
+        no later), so the completion profile equals non-preemptive
+        FIFO's on unrestricted instances."""
+        pre = PreemptiveEngine(fifo_priority).run(inst)
+        non = fifo_schedule(inst, tiebreak="min")
+        assert pre.preemptions == 0
+        assert pre.max_flow == pytest.approx(non.max_flow, abs=1e-6)
+
+    def test_srpt_improves_mean_flow(self):
+        """The classic SRPT win: a short task released during a long
+        one finishes immediately under SRPT."""
+        inst = Instance.build(1, releases=[0.0, 1.0], procs=[10.0, 1.0])
+        fifo = PreemptiveEngine(fifo_priority).run(inst)
+        srpt = PreemptiveEngine(srpt_priority).run(inst)
+        assert srpt.preemptions >= 1
+        assert srpt.mean_flow < fifo.mean_flow
+        assert srpt.flows[1] == pytest.approx(1.0)
+
+    def test_srpt_can_hurt_max_flow(self):
+        """...but SRPT starves the long task — its Fmax suffers, which
+        is why the paper's objective favours FIFO-like policies."""
+        inst = Instance.build(
+            1, releases=[0.0] + [float(i) for i in range(1, 8)], procs=[5.0] + [1.0] * 7
+        )
+        fifo = PreemptiveEngine(fifo_priority).run(inst)
+        srpt = PreemptiveEngine(srpt_priority).run(inst)
+        assert srpt.max_flow > fifo.max_flow
+
+    @given(restricted_unit_instances(max_m=4, max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_never_beats_preemptive_opt(self, inst):
+        """Any online preemptive policy is bounded below by the exact
+        preemptive optimum."""
+        online = PreemptiveEngine(fifo_priority).run(inst).max_flow
+        opt = optimal_preemptive_fmax(inst)
+        assert online >= opt - 1e-4
+
+    @given(unrestricted_instances(max_m=3, max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_within_paper_bound_of_preemptive_opt(self, inst):
+        """Table 1: preemptive FIFO is (3 - 2/m)-competitive."""
+        online = preemptive_fifo_fmax(inst)
+        opt = optimal_preemptive_fmax(inst)
+        assert online <= (3 - 2 / inst.m) * opt + 1e-4

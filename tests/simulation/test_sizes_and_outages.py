@@ -1,0 +1,95 @@
+"""Tests for variable service sizes and outage injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import eft_schedule
+from repro.simulation import WorkloadSpec, generate_workload, inject_outage, sample_sizes
+
+
+class TestSampleSizes:
+    @pytest.mark.parametrize("dist", ["unit", "exp", "pareto", "uniform"])
+    def test_mean_approximately_right(self, dist):
+        rng = np.random.default_rng(0)
+        sizes = sample_sizes(dist, 60_000, mean=2.0, rng=rng)
+        assert sizes.mean() == pytest.approx(2.0, rel=0.1)
+        assert np.all(sizes > 0)
+
+    def test_unit_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        assert np.all(sample_sizes("unit", 10, 1.5, rng) == 1.5)
+
+    def test_pareto_is_heavy_tailed(self):
+        rng = np.random.default_rng(1)
+        pareto = sample_sizes("pareto", 50_000, 1.0, rng)
+        exp = sample_sizes("exp", 50_000, 1.0, rng)
+        # the 99.9th percentile of the Pareto dwarfs the exponential's
+        assert np.percentile(pareto, 99.9) > np.percentile(exp, 99.9)
+
+    def test_unknown_dist(self):
+        with pytest.raises(ValueError, match="unknown size"):
+            sample_sizes("weibull", 5, 1.0, np.random.default_rng(0))
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            sample_sizes("unit", 5, 0.0, np.random.default_rng(0))
+
+
+class TestWorkloadSizes:
+    def test_spec_threads_distribution(self):
+        spec = WorkloadSpec(m=4, n=200, lam=2.0, k=2, size_dist="exp")
+        inst = generate_workload(spec, rng=0)
+        procs = np.array([t.proc for t in inst])
+        assert procs.std() > 0  # genuinely variable
+
+    def test_default_stays_unit(self):
+        spec = WorkloadSpec(m=4, n=50, lam=2.0)
+        inst = generate_workload(spec, rng=0)
+        assert all(t.proc == 1.0 for t in inst)
+
+    def test_variable_sizes_schedulable(self):
+        spec = WorkloadSpec(m=6, n=300, lam=3.0, k=3, size_dist="pareto")
+        inst = generate_workload(spec, rng=2)
+        eft_schedule(inst, tiebreak="min").validate()
+
+
+class TestOutageInjection:
+    def test_outage_occupies_machine(self):
+        spec = WorkloadSpec(m=3, n=30, lam=1.0)
+        inst = generate_workload(spec, rng=0)
+        out = inject_outage(inst, machine=2, start=0.0, duration=50.0)
+        sched = eft_schedule(out, tiebreak="min")
+        sched.validate()
+        outage_tid = max(t.tid for t in out)
+        assert sched.machine_of(outage_tid) == 2
+        # while machine 2 is down, no other task runs on it
+        window = [
+            a
+            for a in sched.on_machine(2)
+            if a.task.tid != outage_tid and a.start < sched.completion_of(outage_tid)
+        ]
+        assert all(a.completion <= sched.start_of(outage_tid) + 1e-9 for a in window)
+
+    def test_outage_degrades_fmax(self):
+        spec = WorkloadSpec(m=3, n=600, lam=0.8 * 3, k=2, strategy="overlapping")
+        inst = generate_workload(spec, rng=5)
+        base = eft_schedule(inst, tiebreak="min").max_flow
+        degraded = eft_schedule(
+            inject_outage(inst, machine=1, start=5.0, duration=100.0), tiebreak="min"
+        ).max_flow
+        assert degraded >= base
+
+    def test_validation(self):
+        spec = WorkloadSpec(m=2, n=5, lam=1.0, k=2)
+        inst = generate_workload(spec, rng=0)
+        with pytest.raises(ValueError):
+            inject_outage(inst, machine=5, start=0, duration=1)
+        with pytest.raises(ValueError):
+            inject_outage(inst, machine=1, start=0, duration=0)
+
+    def test_tid_continuation(self):
+        spec = WorkloadSpec(m=2, n=5, lam=1.0, k=2)
+        inst = generate_workload(spec, rng=0)
+        out = inject_outage(inst, machine=1, start=0, duration=1)
+        assert max(t.tid for t in out) == 5
+        assert out.n == 6

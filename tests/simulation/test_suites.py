@@ -1,0 +1,59 @@
+"""Tests for the canonical workload suites."""
+
+import pytest
+
+from repro.core import eft_schedule
+from repro.simulation.suites import SUITES, get_suite, suite_names
+
+
+class TestRegistry:
+    def test_expected_suites_present(self):
+        assert {"paper-fig11", "uniform-baseline", "hot-key", "heavy-tail", "bursty"} <= set(
+            suite_names()
+        )
+
+    def test_lookup(self):
+        suite = get_suite("paper-fig11")
+        assert suite.spec.m == 15
+        assert suite.spec.k == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            get_suite("bogus")
+
+
+class TestSuites:
+    @pytest.mark.parametrize("name", sorted(SUITES))
+    def test_every_suite_schedulable(self, name):
+        suite = get_suite(name)
+        inst = suite.instance(rng=0)
+        assert inst.n == suite.spec.n
+        sched = eft_schedule(inst, tiebreak="min")
+        sched.validate()
+
+    def test_deterministic_by_seed(self):
+        suite = get_suite("hot-key")
+        assert suite.instance(rng=3).to_json() == suite.instance(rng=3).to_json()
+
+    def test_shared_popularity_across_draws(self):
+        """Two draws share the bias pattern (same permutation), unlike
+        fresh `generate_workload` calls with shuffled case."""
+        suite = get_suite("paper-fig11")
+        a = suite.instance(rng=1)
+        b = suite.instance(rng=2)
+        # home distributions drawn from the same weights: the most
+        # popular replica-set start should coincide in expectation; we
+        # check the popularity object is literally shared
+        assert suite.popularity is get_suite("paper-fig11").popularity
+
+    def test_with_load(self):
+        base = get_suite("uniform-baseline")
+        hot = base.with_load(0.9)
+        assert hot.spec.lam == pytest.approx(0.9 * 15)
+        assert hot.spec.n == base.spec.n
+        hot.instance(rng=0)
+
+    def test_heavy_tail_sizes_variable(self):
+        inst = get_suite("heavy-tail").instance(rng=5)
+        procs = [t.proc for t in inst]
+        assert max(procs) > 3 * (sum(procs) / len(procs))

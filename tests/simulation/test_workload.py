@@ -1,0 +1,77 @@
+"""Unit tests for workload generation (the Figure 11 generator)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    WorkloadSpec,
+    generate_workload,
+    popularity_for_case,
+    uniform_case,
+)
+
+
+class TestSpec:
+    def test_average_load(self):
+        spec = WorkloadSpec(m=15, n=100, lam=7.5)
+        assert spec.average_load == pytest.approx(0.5)
+
+
+class TestPopularityForCase:
+    def test_cases(self):
+        assert popularity_for_case(6, "uniform", 1.0).case == "uniform"
+        assert popularity_for_case(6, "worst", 1.0).case == "worst"
+        assert popularity_for_case(6, "shuffled", 1.0, rng=0).case == "shuffled"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown popularity"):
+            popularity_for_case(6, "bogus", 1.0)
+
+
+class TestGenerate:
+    def test_basic_shape(self):
+        spec = WorkloadSpec(m=6, n=50, lam=3.0, k=3, strategy="overlapping")
+        inst = generate_workload(spec, rng=0)
+        assert inst.n == 50
+        assert inst.m == 6
+        assert all(len(t.machines) == 3 for t in inst)
+        assert all(t.proc == 1.0 for t in inst)
+
+    def test_sets_are_ring_intervals(self):
+        from repro.psets import is_circular_interval
+
+        spec = WorkloadSpec(m=6, n=80, lam=3.0, k=3, strategy="overlapping")
+        inst = generate_workload(spec, rng=1)
+        assert all(is_circular_interval(t.machines, 6) for t in inst)
+
+    def test_disjoint_sets_partition(self):
+        from repro.psets import is_disjoint_family
+
+        spec = WorkloadSpec(m=6, n=80, lam=3.0, k=3, strategy="disjoint")
+        inst = generate_workload(spec, rng=1)
+        assert is_disjoint_family([t.machines for t in inst])
+
+    def test_deterministic_by_seed(self):
+        spec = WorkloadSpec(m=6, n=30, lam=2.0)
+        a = generate_workload(spec, rng=9)
+        b = generate_workload(spec, rng=9)
+        assert a.to_json() == b.to_json()
+
+    def test_popularity_override(self):
+        spec = WorkloadSpec(m=4, n=30, lam=2.0, case="shuffled", s=1.0)
+        pop = uniform_case(4)
+        inst = generate_workload(spec, rng=0, popularity=pop)
+        assert inst.n == 30
+
+    def test_popularity_m_mismatch(self):
+        spec = WorkloadSpec(m=4, n=10, lam=2.0)
+        with pytest.raises(ValueError, match="m="):
+            generate_workload(spec, rng=0, popularity=uniform_case(5))
+
+    def test_worst_case_skews_homes(self):
+        """With s large, most tasks home near machine 1 — their
+        overlapping replica sets must start low."""
+        spec = WorkloadSpec(m=8, n=400, lam=4.0, k=2, strategy="overlapping", case="worst", s=3.0)
+        inst = generate_workload(spec, rng=3)
+        starts = [min(t.machines) for t in inst]
+        assert np.mean([s <= 2 for s in starts]) > 0.5

@@ -1,0 +1,85 @@
+"""Tests for the closed-form bound registry (Tables 1 and 2)."""
+
+import math
+
+import pytest
+
+from repro.theory import (
+    TABLE1,
+    TABLE2,
+    eft_disjoint_ratio,
+    eft_interval_lower_bound,
+    fifo_competitive_ratio,
+    fixed_k_lower_bound,
+    inclusive_lower_bound,
+    interval_any_lower_bound,
+    nested_lower_bound,
+)
+
+
+class TestClosedForms:
+    def test_fifo_ratio(self):
+        assert fifo_competitive_ratio(1) == 1.0  # optimal on one machine
+        assert fifo_competitive_ratio(2) == 2.0
+        assert fifo_competitive_ratio(15) == pytest.approx(3 - 2 / 15)
+
+    def test_eft_disjoint(self):
+        assert eft_disjoint_ratio(3) == pytest.approx(3 - 2 / 3)
+        assert eft_disjoint_ratio(1) == 1.0
+
+    def test_inclusive(self):
+        assert inclusive_lower_bound(16) == 5
+        assert inclusive_lower_bound(15) == math.floor(math.log2(15) + 1)
+
+    def test_fixed_k(self):
+        assert fixed_k_lower_bound(16, 2) == 4
+        assert fixed_k_lower_bound(27, 3) == 3
+
+    def test_nested(self):
+        assert nested_lower_bound(16) == pytest.approx(2.0)
+
+    def test_interval_any(self):
+        assert interval_any_lower_bound() == 2.0
+
+    def test_eft_interval(self):
+        assert eft_interval_lower_bound(15, 3) == 13
+        with pytest.raises(ValueError):
+            eft_interval_lower_bound(5, 5)
+        with pytest.raises(ValueError):
+            eft_interval_lower_bound(5, 1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fifo_competitive_ratio(0)
+        with pytest.raises(ValueError):
+            fixed_k_lower_bound(8, 1)
+
+
+class TestRegistries:
+    def test_table1_nonempty_rows(self):
+        assert len(TABLE1) >= 10
+        for e in TABLE1:
+            assert e.kind in ("upper", "lower")
+            assert e.reference
+
+    def test_table2_covers_all_structures(self):
+        structures = {e.setting.split(",")[0] for e in TABLE2}
+        assert {"inclusive", "nested", "disjoint", "interval"} <= structures
+
+    def test_table2_references_all_theorems(self):
+        refs = " ".join(e.reference for e in TABLE2)
+        for thm in ("Theorem 3", "Theorem 4", "Theorem 5", "Corollary 1", "Theorem 7", "Theorems 8"):
+            assert thm in refs
+
+    def test_registry_formulas_evaluate(self):
+        assert TABLE2[0].formula(16) == 5  # inclusive
+        assert TABLE2[1].formula(16, 2) == 4  # fixed-k
+        assert TABLE2[3].formula(3) == pytest.approx(3 - 2 / 3)  # disjoint
+
+    def test_ordering_consistency(self):
+        """Bounds must be internally consistent at m=16, k=3: the EFT
+        interval lower bound dwarfs every log bound."""
+        m, k = 16, 3
+        assert eft_interval_lower_bound(m, k) > inclusive_lower_bound(m)
+        assert eft_interval_lower_bound(m, k) > nested_lower_bound(m)
+        assert inclusive_lower_bound(m) >= nested_lower_bound(m)

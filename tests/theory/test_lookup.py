@@ -1,0 +1,68 @@
+"""Tests for the best-known-bounds lookup."""
+
+import pytest
+
+from repro.theory.lookup import ALGORITHM_CLASSES, best_known_bounds
+
+
+class TestLookup:
+    def test_unrestricted_eft(self):
+        b = best_known_bounds("none", "eft", m=15)
+        assert b.upper == pytest.approx(3 - 2 / 15)
+        assert b.lower == pytest.approx(2 - 1 / 15)
+        assert b.lower <= b.upper
+
+    def test_unrestricted_general_online_has_no_upper(self):
+        b = best_known_bounds("none", "online", m=15)
+        assert b.upper is None
+
+    def test_inclusive_immediate_dispatch(self):
+        b = best_known_bounds("inclusive", "immediate-dispatch", m=16)
+        assert b.lower == 5.0
+        assert "Theorem 3" in b.lower_ref
+
+    def test_inclusive_general_online_weaker(self):
+        imd = best_known_bounds("inclusive", "immediate-dispatch", m=16)
+        onl = best_known_bounds("inclusive", "online", m=16)
+        assert onl.lower <= imd.lower
+
+    def test_disjoint_eft(self):
+        b = best_known_bounds("disjoint", "eft", m=15, k=3)
+        assert b.upper == pytest.approx(3 - 2 / 3)
+        assert "Corollary 1" in b.upper_ref
+
+    def test_interval_eft_is_linear(self):
+        b = best_known_bounds("interval", "eft", m=15, k=3)
+        assert b.lower == 13.0
+        assert b.upper is None
+
+    def test_interval_any_online_is_two(self):
+        b = best_known_bounds("interval", "online", m=15, k=3)
+        assert b.lower == 2.0
+
+    def test_general_structure(self):
+        b = best_known_bounds("general", "online", m=20)
+        assert b.lower == 10.0
+
+    def test_k_required(self):
+        with pytest.raises(ValueError, match="need k"):
+            best_known_bounds("disjoint", "eft", m=10)
+        with pytest.raises(ValueError, match="need k"):
+            best_known_bounds("interval", "eft", m=10)
+
+    def test_unknown_inputs(self):
+        with pytest.raises(ValueError, match="structure"):
+            best_known_bounds("bogus", "eft", m=4)
+        with pytest.raises(ValueError, match="algorithm class"):
+            best_known_bounds("none", "bogus", m=4)
+
+    def test_all_classes_enumerable(self):
+        for cls in ALGORITHM_CLASSES:
+            b = best_known_bounds("nested", cls, m=8)
+            assert b.lower > 1
+
+    def test_consistency_lower_below_upper_everywhere(self):
+        for structure, k in (("none", None), ("disjoint", 3)):
+            b = best_known_bounds(structure, "eft", m=12, k=k)
+            if b.upper is not None:
+                assert b.lower <= b.upper + 1e-9

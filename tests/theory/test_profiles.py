@@ -1,0 +1,97 @@
+"""Tests for the Theorem 8 profile machinery."""
+
+import numpy as np
+import pytest
+
+from repro.adversaries import run_with_profiles
+from repro.core import EFT
+from repro.theory import (
+    find_plateau,
+    is_nonincreasing,
+    profile_leq,
+    profile_lt,
+    stable_profile,
+    total_weighted_distance,
+    weighted_distance,
+)
+
+
+class TestStableProfile:
+    def test_formula(self):
+        """w_tau(j) = min(m - j, m - k)."""
+        assert stable_profile(6, 3).tolist() == [3, 3, 3, 2, 1, 0]
+
+    def test_k2(self):
+        assert stable_profile(4, 2).tolist() == [2, 2, 1, 0]
+
+    def test_last_machine_empty(self):
+        for m, k in [(5, 2), (8, 3), (10, 9)]:
+            assert stable_profile(m, k)[-1] == 0
+
+    def test_first_k_machines_flat(self):
+        w = stable_profile(8, 3)
+        assert np.allclose(w[:3], 5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            stable_profile(4, 5)
+
+
+class TestWeightedDistance:
+    def test_phi_zero_at_stable(self):
+        """phi_t(j) = 2^{w_tau(j)} (m-k+1-w_t(j)) — at w_t = w_tau the
+        per-machine value is 2^{w_tau(j)} (m-k+1-w_tau(j)) > 0; the
+        Phi=0 threshold corresponds to w_t(j) = m-k+1 (flow blown)."""
+        m, k = 6, 3
+        blown = np.full(m, m - k + 1, dtype=float)
+        assert total_weighted_distance(blown, m, k) == 0.0
+
+    def test_empty_profile_positive(self):
+        m, k = 6, 3
+        assert total_weighted_distance(np.zeros(m), m, k) > 0
+
+    def test_size_checked(self):
+        with pytest.raises(ValueError):
+            weighted_distance(np.zeros(3), 4, 2)
+
+    def test_phi_nonincreasing_during_adversary(self):
+        """Lemma 5: Phi_t never increases under EFT (any tie-break) on
+        the adversary instance."""
+        m, k = 6, 3
+        for tiebreak in ("min", "max"):
+            _, profiles = run_with_profiles(m, k, 50, EFT(m, tiebreak=tiebreak))
+            phis = [total_weighted_distance(profiles[t], m, k) for t in range(50)]
+            assert all(b <= a + 1e-9 for a, b in zip(phis, phis[1:]))
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_phi_nonincreasing_under_random_tiebreak(self, seed):
+        """Theorem 9's engine: Phi is non-increasing for EFT-Rand too,
+        whatever the coin flips."""
+        m, k = 5, 2
+        _, profiles = run_with_profiles(m, k, 80, EFT(m, tiebreak="rand", rng=seed))
+        phis = [total_weighted_distance(profiles[t], m, k) for t in range(80)]
+        assert all(b <= a + 1e-9 for a, b in zip(phis, phis[1:]))
+
+
+class TestComparisons:
+    def test_leq_and_lt(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 3.0])
+        assert profile_leq(a, b)
+        assert profile_lt(a, b)
+        assert not profile_lt(a, a)
+        assert profile_leq(a, a)
+        assert not profile_leq(b, a)
+
+
+class TestPlateau:
+    def test_finds_first_plateau(self):
+        assert find_plateau([3, 3, 2, 1]) == 1
+        assert find_plateau([3, 2, 2, 1]) == 2
+
+    def test_none_when_strictly_decreasing(self):
+        assert find_plateau([3, 2, 1, 0]) is None
+
+    def test_nonincreasing_predicate(self):
+        assert is_nonincreasing([3, 3, 2])
+        assert not is_nonincreasing([1, 2])
