@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,5 +27,19 @@ figures:
 	$(PYTHON) -m repro ratios
 	$(PYTHON) -m repro tails
 	$(PYTHON) -m repro explore
+
+# End-to-end exercise of the parallel campaign runner: run a small
+# fig11 campaign twice with -j 2 — the second pass must be all-cached —
+# then replay a golden trace.
+campaign-quick:
+	rm -rf results/.cache-quick
+	PYTHONPATH=src $(PYTHON) -m repro campaign fig11 --quick -j 2 \
+		--m 6 --k 2 --n 200 --repeats 2 --cache-dir results/.cache-quick
+	PYTHONPATH=src $(PYTHON) -m repro campaign fig11 --quick -j 2 \
+		--m 6 --k 2 --n 200 --repeats 2 --cache-dir results/.cache-quick \
+		| grep -q "0 executed"
+	PYTHONPATH=src $(PYTHON) -m repro replay --golden eft-min-m4 \
+		| grep -q "placements match recorded trace: yes"
+	rm -rf results/.cache-quick
 
 all: install test bench

@@ -11,6 +11,8 @@ Public API tour:
 * :mod:`repro.maxload` — the Equation (15) max-load LP.
 * :mod:`repro.theory` — bound registry and profile theory.
 * :mod:`repro.experiments` — regenerate every paper table and figure.
+* :mod:`repro.campaigns` — parallel campaign runner, result cache,
+  schedule-trace record/replay and golden fixtures.
 """
 
 from .core import (

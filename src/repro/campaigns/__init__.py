@@ -1,0 +1,77 @@
+"""Campaign execution substrate: parallel runs, caching, traces.
+
+The experiment layer (``repro.experiments``) describes Monte-Carlo
+campaigns as grids of independent, seeded units; this package executes
+them:
+
+* :mod:`~repro.campaigns.spec` — declarative :class:`CampaignSpec` /
+  :class:`Unit` with stable content hashes;
+* :mod:`~repro.campaigns.runner` — multiprocessing executor
+  (:func:`run_campaign`) with a serial ``n_jobs=1`` fallback and
+  deterministic, order-independent results;
+* :mod:`~repro.campaigns.cache` — on-disk :class:`ResultCache` under
+  ``results/.cache/`` keyed by unit hash (reruns only execute
+  missing/changed units);
+* :mod:`~repro.campaigns.trace` — versioned JSONL workload traces with
+  :func:`record` / :func:`load` / :func:`replay_into`;
+* :mod:`~repro.campaigns.manifest` — run provenance
+  (:class:`RunManifest`) written next to the results;
+* :mod:`~repro.campaigns.goldens` — checked-in golden traces guarding
+  scheduler behaviour byte-for-byte.
+"""
+
+from .cache import DEFAULT_CACHE_ROOT, ResultCache
+from .manifest import RunManifest, build_manifest, git_describe, load_manifest, write_manifest
+from .runner import CampaignError, CampaignResult, UnitOutcome, run_campaign
+from .spec import (
+    CampaignSpec,
+    Unit,
+    canonical_json,
+    get_unit_kind,
+    register_unit_kind,
+    stable_seed,
+)
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Trace,
+    TraceRecord,
+    make_scheduler,
+    record,
+    replay_into,
+)
+from .trace import dump as dump_trace
+from .trace import dumps as dumps_trace
+from .trace import load as load_trace
+from .trace import loads as loads_trace
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "DEFAULT_CACHE_ROOT",
+    "ResultCache",
+    "RunManifest",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceRecord",
+    "Unit",
+    "UnitOutcome",
+    "build_manifest",
+    "canonical_json",
+    "dump_trace",
+    "dumps_trace",
+    "get_unit_kind",
+    "git_describe",
+    "load_manifest",
+    "load_trace",
+    "loads_trace",
+    "make_scheduler",
+    "record",
+    "register_unit_kind",
+    "replay_into",
+    "run_campaign",
+    "stable_seed",
+    "write_manifest",
+]

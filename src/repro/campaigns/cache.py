@@ -1,0 +1,123 @@
+"""On-disk result cache keyed by unit content hash.
+
+Layout (under ``results/.cache/`` by default)::
+
+    results/.cache/<h[:2]>/<hash>.json
+
+Each entry is a small JSON document ``{"format": "repro-unit-cache",
+"version": 1, "unit_hash": ..., "kind": ..., "label": ...,
+"result": {...}}``.  Because the key is the :meth:`Unit.content_hash`
+— a digest of the unit's kind, parameters and seed — a hit is only
+possible for an identical computation, so re-running a campaign after
+editing its parameters executes exactly the changed units.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+worker never leaves a truncated entry behind; corrupted or
+foreign-format entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from .spec import Unit
+
+__all__ = ["CACHE_FORMAT", "CACHE_VERSION", "DEFAULT_CACHE_ROOT", "ResultCache"]
+
+CACHE_FORMAT = "repro-unit-cache"
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_ROOT = Path("results") / ".cache"
+
+
+class ResultCache:
+    """A content-addressed store of unit results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_ROOT) -> None:
+        self.root = Path(root)
+
+    def path_for(self, unit_hash: str) -> Path:
+        """On-disk location of the entry for ``unit_hash``."""
+        return self.root / unit_hash[:2] / f"{unit_hash}.json"
+
+    def get(self, unit_hash: str) -> dict[str, Any] | None:
+        """Return the cached result for ``unit_hash``, or ``None`` on a
+        miss (including unreadable/corrupted/foreign entries)."""
+        path = self.path_for(unit_hash)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != CACHE_FORMAT
+            or data.get("unit_hash") != unit_hash
+            or "result" not in data
+        ):
+            return None
+        return data["result"]
+
+    def put(
+        self, unit_hash: str, result: Mapping[str, Any], unit: Unit | None = None
+    ) -> Path:
+        """Store ``result`` for ``unit_hash`` atomically; returns the
+        entry path."""
+        path = self.path_for(unit_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "unit_hash": unit_hash,
+            "kind": None if unit is None else unit.kind,
+            "label": None if unit is None else unit.label,
+            "result": dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, unit_hash: str) -> bool:
+        return self.get(unit_hash) is not None
+
+    def entries(self) -> Iterator[Path]:
+        """Paths of every entry currently on disk."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

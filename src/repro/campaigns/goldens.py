@@ -1,0 +1,139 @@
+"""Golden traces: checked-in regression fixtures for scheduler output.
+
+Each golden case pairs a deterministic workload generator with a
+deterministic scheduler; the recorded trace is checked into
+``src/repro/campaigns/goldens/`` and the test suite asserts that
+re-running the scheduler today reproduces the checked-in file
+**byte-identically** — any change to EFT's decision logic, tie-break
+order, or the trace serialisation shows up as a golden diff.
+
+Regenerate after an intentional behaviour change with::
+
+    python -c "from repro.campaigns import goldens; goldens.write_goldens()"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.eft import EFT
+from ..core.task import Instance
+from ..simulation.workload import WorkloadSpec, generate_workload
+from .trace import Trace, dump, dumps, load, record, replay_into
+
+__all__ = [
+    "GOLDEN_DIR",
+    "GOLDEN_CASES",
+    "GoldenCase",
+    "GoldenMismatch",
+    "check_golden",
+    "generate",
+    "golden_path",
+    "load_golden",
+    "write_goldens",
+]
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+
+class GoldenMismatch(AssertionError):
+    """Raised when a regenerated trace differs from the checked-in one."""
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One golden fixture: a workload and the scheduler that ran it."""
+
+    name: str
+    description: str
+    make_instance: Callable[[], Instance]
+    make_scheduler: Callable[[], ImmediateDispatchScheduler]
+
+
+def _instance_eft_min_m4() -> Instance:
+    spec = WorkloadSpec(m=4, n=24, lam=3.0, k=2, strategy="overlapping", case="shuffled", s=1.0)
+    return generate_workload(spec, rng=np.random.default_rng(7))
+
+
+def _instance_eft_rand_m5() -> Instance:
+    spec = WorkloadSpec(m=5, n=30, lam=4.0, k=2, strategy="disjoint", case="worst", s=1.0)
+    return generate_workload(spec, rng=np.random.default_rng(11))
+
+
+GOLDEN_CASES: dict[str, GoldenCase] = {
+    "eft-min-m4": GoldenCase(
+        name="eft-min-m4",
+        description="EFT-Min on 24 overlapping-replicated tasks, m=4, k=2 (seed 7)",
+        make_instance=_instance_eft_min_m4,
+        make_scheduler=lambda: EFT(4, tiebreak="min"),
+    ),
+    "eft-rand-m5": GoldenCase(
+        name="eft-rand-m5",
+        description="EFT-Rand (seed 123) on 30 disjoint-replicated tasks, m=5, k=2 (seed 11)",
+        make_instance=_instance_eft_rand_m5,
+        make_scheduler=lambda: EFT(5, tiebreak="rand", rng=123),
+    ),
+}
+
+
+def golden_path(name: str) -> Path:
+    """On-disk location of the golden trace ``name``."""
+    if name not in GOLDEN_CASES:
+        raise KeyError(f"unknown golden case {name!r}; known: {sorted(GOLDEN_CASES)}")
+    return GOLDEN_DIR / f"{name}.trace.jsonl"
+
+
+def generate(name: str) -> Trace:
+    """Regenerate the golden trace ``name`` from scratch."""
+    case = GOLDEN_CASES[name]
+    instance = case.make_instance()
+    scheduler = case.make_scheduler()
+    schedule = scheduler.run(instance)
+    return record(schedule, scheduler=scheduler.name, meta={"golden": name, "description": case.description})
+
+
+def load_golden(name: str) -> Trace:
+    """Load the checked-in golden trace ``name``."""
+    return load(golden_path(name))
+
+
+def check_golden(name: str) -> Trace:
+    """Assert the checked-in golden still reproduces byte-identically.
+
+    Regenerates the trace, compares its serialisation to the
+    checked-in file, and additionally replays the stored workload
+    through a fresh scheduler, asserting identical placements.
+    Returns the checked-in trace on success; raises
+    :class:`GoldenMismatch` otherwise.
+    """
+    path = golden_path(name)
+    if not path.is_file():
+        raise GoldenMismatch(f"golden {name!r} missing on disk: {path}")
+    stored_text = path.read_text()
+    fresh_text = dumps(generate(name))
+    if fresh_text != stored_text:
+        raise GoldenMismatch(
+            f"golden {name!r} drifted: regenerated trace is not byte-identical to {path}"
+        )
+    stored = load(path)
+    replayed = replay_into(GOLDEN_CASES[name].make_scheduler(), stored)
+    if not stored.schedule().same_placements(replayed):
+        raise GoldenMismatch(f"golden {name!r}: replay does not reproduce recorded placements")
+    return stored
+
+
+def write_goldens(names: list[str] | None = None) -> list[Path]:
+    """(Re)write golden trace files; returns the written paths.
+
+    Only for intentional regeneration — goldens are fixtures, not
+    build artifacts.
+    """
+    paths = []
+    for name in names or sorted(GOLDEN_CASES):
+        paths.append(dump(generate(name), golden_path(name)))
+    return paths

@@ -1,0 +1,133 @@
+"""Run manifests: what ran, from which spec, on which code, how long.
+
+A manifest is written next to a campaign's results and makes the run
+reproducible after the fact: it pins the spec hash (so a later rerun
+can prove it executed the same units), the git revision of the code,
+wall-clock timings, worker count and the per-unit statuses (executed /
+cached / failed with durations).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .runner import CampaignResult
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "build_manifest",
+    "git_describe",
+    "load_manifest",
+    "write_manifest",
+]
+
+MANIFEST_FORMAT = "repro-manifest"
+MANIFEST_VERSION = 1
+
+
+def git_describe(cwd: str | Path | None = None) -> str:
+    """``git describe --always --dirty`` of the working tree, or
+    ``"unknown"`` outside a repository / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record of one campaign invocation."""
+
+    campaign: str
+    spec_hash: str
+    git: str
+    started_at: str  # ISO-8601 UTC
+    wall_time: float
+    n_jobs: int
+    n_units: int
+    n_executed: int
+    n_cached: int
+    n_failed: int
+    units: tuple[Mapping[str, Any], ...]  # {hash, label, status, duration}
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"format": MANIFEST_FORMAT, "version": MANIFEST_VERSION}
+        payload.update(asdict(self))
+        payload["units"] = [dict(u) for u in self.units]
+        payload["meta"] = dict(self.meta)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def build_manifest(
+    result: CampaignResult, started_at: float | None = None
+) -> RunManifest:
+    """Build a manifest from a finished :class:`CampaignResult`.
+
+    ``started_at`` is a POSIX timestamp (defaults to "now minus the
+    run's wall time").
+    """
+    if started_at is None:
+        started_at = time.time() - result.wall_time
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started_at))
+    return RunManifest(
+        campaign=result.spec.name,
+        spec_hash=result.spec.spec_hash(),
+        git=git_describe(),
+        started_at=stamp,
+        wall_time=round(result.wall_time, 6),
+        n_jobs=result.n_jobs,
+        n_units=len(result.outcomes),
+        n_executed=result.n_executed,
+        n_cached=result.n_cached,
+        n_failed=result.n_failed,
+        units=tuple(
+            {
+                "hash": o.unit_hash,
+                "label": o.unit.label,
+                "status": o.status,
+                "duration": round(o.duration, 6),
+            }
+            for o in result.outcomes
+        ),
+        meta=dict(result.spec.meta),
+    )
+
+
+def write_manifest(manifest: RunManifest, path: str | Path) -> Path:
+    """Write the manifest as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(manifest.to_json())
+    return path
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Read a manifest back; validates format and version."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"not a {MANIFEST_FORMAT} file: {path}")
+    if data.get("version") != MANIFEST_VERSION:
+        raise ValueError(f"unsupported manifest version {data.get('version')!r}")
+    fields = {k: data[k] for k in (
+        "campaign", "spec_hash", "git", "started_at", "wall_time", "n_jobs",
+        "n_units", "n_executed", "n_cached", "n_failed",
+    )}
+    return RunManifest(
+        units=tuple(data.get("units", ())), meta=dict(data.get("meta", {})), **fields
+    )

@@ -1,0 +1,225 @@
+"""Parallel campaign execution.
+
+:func:`run_campaign` takes a :class:`~repro.campaigns.spec.CampaignSpec`
+and executes its units on a ``multiprocessing`` worker pool sized to
+``os.cpu_count()`` by default (``n_jobs=1`` runs serially in-process —
+no pool, easier to debug and profile).  Results are deterministic and
+independent of worker count or completion order: they are re-assembled
+in unit order, and every unit carries its own seed, so
+
+    ``run_campaign(spec, n_jobs=1) == run_campaign(spec, n_jobs=8)``
+
+for any pure unit executor.  With a :class:`ResultCache`, units whose
+content hash is already on disk are served from cache without
+executing; identical units within one spec execute once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .cache import ResultCache
+from .spec import CampaignSpec, Unit, get_unit_kind
+
+__all__ = ["CampaignError", "CampaignResult", "UnitOutcome", "run_campaign"]
+
+#: ``progress(done, total, outcome)`` — called after every unit resolves.
+ProgressCallback = Callable[[int, int, "UnitOutcome"], None]
+
+
+class CampaignError(RuntimeError):
+    """Raised when one or more units fail and ``raise_on_error`` is set."""
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """How one unit was resolved.
+
+    ``status`` is ``"executed"`` (ran in this invocation), ``"cached"``
+    (served from the on-disk cache) or ``"failed"`` (executor raised;
+    ``error`` holds the rendered exception).
+    """
+
+    unit: Unit
+    unit_hash: str
+    status: str
+    result: Mapping[str, Any] | None = None
+    error: str | None = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("executed", "cached")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole campaign run, in unit order."""
+
+    spec: CampaignSpec
+    outcomes: list[UnitOutcome] = field(default_factory=list)
+    n_jobs: int = 1
+    wall_time: float = 0.0
+
+    def _count(self, status: str) -> int:
+        # Count distinct units: duplicates share one execution/cache hit,
+        # so they must not inflate the work counters.
+        return len({o.unit_hash for o in self.outcomes if o.status == status})
+
+    @property
+    def n_executed(self) -> int:
+        return self._count("executed")
+
+    @property
+    def n_cached(self) -> int:
+        return self._count("cached")
+
+    @property
+    def n_failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def all_cached(self) -> bool:
+        """Whether the run did no work at all (every unit was a hit)."""
+        return bool(self.outcomes) and self.n_cached == len(
+            {o.unit_hash for o in self.outcomes}
+        )
+
+    def results(self) -> list[Mapping[str, Any]]:
+        """Unit results in unit order; raises if any unit failed."""
+        bad = [o for o in self.outcomes if not o.ok]
+        if bad:
+            raise CampaignError(
+                f"{len(bad)} unit(s) failed; first: "
+                f"{bad[0].unit.label or bad[0].unit_hash}: {bad[0].error}"
+            )
+        return [o.result for o in self.outcomes]  # type: ignore[misc]
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output and logs."""
+        return (
+            f"campaign {self.spec.name} [{self.spec.spec_hash()}]: "
+            f"{len(self.outcomes)} units — {self.n_executed} executed, "
+            f"{self.n_cached} cached, {self.n_failed} failed "
+            f"({self.wall_time:.2f}s, {self.n_jobs} job(s))"
+        )
+
+
+def _execute_payload(payload: tuple[str, dict, int, str]) -> tuple[str, str, Any, float]:
+    """Worker entry point: run one unit, never raise.
+
+    Returns ``(unit_hash, status, result_or_error, duration)`` where
+    status is ``"ok"`` or ``"error"``.  Module-level so it pickles
+    under any multiprocessing start method.
+    """
+    kind, params, seed, unit_hash = payload
+    t0 = time.perf_counter()
+    try:
+        fn = get_unit_kind(kind)
+        result = fn(params, seed)
+        return unit_hash, "ok", dict(result), time.perf_counter() - t0
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        err = f"{type(exc).__name__}: {exc}"
+        return unit_hash, "error", err, time.perf_counter() - t0
+
+
+def _resolve_jobs(n_jobs: int | None, n_pending: int) -> int:
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or None, got {n_jobs}")
+    return max(1, min(n_jobs, n_pending))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    n_jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+    raise_on_error: bool = True,
+) -> CampaignResult:
+    """Execute every unit of ``spec``.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` (the default) runs serially in-process
+        and ``None`` means ``os.cpu_count()``.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution, fresh
+        results are stored back.
+    progress:
+        Optional ``progress(done, total, outcome)`` callback, invoked
+        in the parent process as units resolve (cached units first,
+        then executed units in completion order).
+    raise_on_error:
+        Raise :class:`CampaignError` if any unit failed (after all
+        units resolved).  With ``False`` the failures are reported in
+        the outcomes and it is the caller's job to check.
+    """
+    t0 = time.perf_counter()
+    hashes = spec.unit_hashes()
+    # Identical units collapse onto one computation (intra-spec dedup).
+    distinct: dict[str, Unit] = {}
+    for unit, h in zip(spec.units, hashes):
+        distinct.setdefault(h, unit)
+    total = len(distinct)
+    by_hash: dict[str, UnitOutcome] = {}
+    done = 0
+
+    def _resolve(outcome: UnitOutcome) -> None:
+        nonlocal done
+        by_hash[outcome.unit_hash] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Pass 1: cache hits.
+    pending: list[tuple[Unit, str]] = []
+    for h, unit in distinct.items():
+        hit = cache.get(h) if cache is not None else None
+        if hit is not None:
+            _resolve(UnitOutcome(unit=unit, unit_hash=h, status="cached", result=hit))
+        else:
+            pending.append((unit, h))
+
+    # Pass 2: execute what's missing.
+    units_by_hash = {h: u for u, h in pending}
+    payloads = [(u.kind, dict(u.params), u.seed, h) for u, h in pending]
+    jobs = _resolve_jobs(n_jobs, len(pending))
+
+    def _absorb(raw: tuple[str, str, Any, float]) -> None:
+        h, status, value, duration = raw
+        unit = units_by_hash[h]
+        if status == "ok":
+            if cache is not None:
+                cache.put(h, value, unit=unit)
+            _resolve(
+                UnitOutcome(
+                    unit=unit, unit_hash=h, status="executed", result=value, duration=duration
+                )
+            )
+        else:
+            _resolve(
+                UnitOutcome(unit=unit, unit_hash=h, status="failed", error=value, duration=duration)
+            )
+
+    if jobs <= 1:
+        for payload in payloads:
+            _absorb(_execute_payload(payload))
+    else:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for raw in pool.imap_unordered(_execute_payload, payloads):
+                _absorb(raw)
+
+    outcomes = [by_hash[h] for h in hashes]
+    result = CampaignResult(
+        spec=spec, outcomes=outcomes, n_jobs=jobs, wall_time=time.perf_counter() - t0
+    )
+    if raise_on_error and result.n_failed:
+        result.results()  # raises CampaignError with the first failure
+    return result

@@ -1,0 +1,189 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of independent work units — one unit per
+(scheduler, workload parameters, seed) combination — that can be
+executed in any order, on any number of workers, and cached on disk.
+Section 7's Monte-Carlo experiments (Figures 10–11) are campaigns:
+every cell of the ``(s, k)`` sweep and every ``(case, strategy,
+heuristic, load)`` measurement is a unit.
+
+Every :class:`Unit` has a *stable content hash*: the SHA-256 of the
+canonical JSON encoding of its ``(kind, params, seed)`` triple.  Two
+units with the same hash compute the same result, which is what makes
+the on-disk cache of :mod:`repro.campaigns.cache` sound.
+
+Unit *kinds* name the function that executes the unit.  A kind is
+either a registered alias (see :func:`register_unit_kind`) or an
+importable ``"package.module:function"`` path; the latter needs no
+registration and therefore works in any worker process.  Executors
+have the signature ``fn(params: dict, seed: int) -> dict`` and must be
+pure: same inputs, same (JSON-serialisable) output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "CampaignSpec",
+    "Unit",
+    "UnitExecutor",
+    "canonical_json",
+    "get_unit_kind",
+    "register_unit_kind",
+    "stable_seed",
+]
+
+UnitExecutor = Callable[[Mapping[str, Any], int], Mapping[str, Any]]
+
+#: Registered short aliases for unit executors.
+_KIND_REGISTRY: dict[str, UnitExecutor] = {}
+
+
+def register_unit_kind(name: str, fn: UnitExecutor | None = None):
+    """Register ``fn`` as the executor of unit kind ``name``.
+
+    Usable directly or as a decorator.  Aliases only resolve in
+    processes that imported the registering module (fork workers
+    inherit them); prefer ``"module:function"`` kinds for units that
+    must survive any worker start method.
+    """
+
+    def _register(f: UnitExecutor) -> UnitExecutor:
+        _KIND_REGISTRY[name] = f
+        return f
+
+    return _register(fn) if fn is not None else _register
+
+
+def get_unit_kind(kind: str) -> UnitExecutor:
+    """Resolve a unit kind to its executor.
+
+    Registered aliases win; otherwise ``kind`` must be an importable
+    ``"package.module:function"`` path.
+    """
+    if kind in _KIND_REGISTRY:
+        return _KIND_REGISTRY[kind]
+    if ":" in kind:
+        module_name, _, attr = kind.partition(":")
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr, None)
+        if fn is None:
+            raise ValueError(f"unit kind {kind!r}: {module_name} has no attribute {attr!r}")
+        if not callable(fn):
+            raise ValueError(f"unit kind {kind!r} does not resolve to a callable")
+        return fn
+    raise ValueError(
+        f"unknown unit kind {kind!r} (not registered and not a 'module:function' path)"
+    )
+
+
+def _jsonable(obj: Any) -> Any:
+    """Convert ``obj`` to plain JSON types with a deterministic layout."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (frozenset, set)):
+        return sorted(_jsonable(v) for v in obj)
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    # numpy scalars / arrays without importing numpy eagerly
+    if hasattr(obj, "tolist"):
+        return _jsonable(obj.tolist())
+    if hasattr(obj, "item"):
+        return _jsonable(obj.item())
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, compact separators,
+    numpy scalars and arrays converted to plain Python types.  Equal
+    inputs encode to equal bytes across processes and platforms."""
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_seed(*parts: Any) -> int:
+    """A process-independent 63-bit seed derived from ``parts``
+    (hash-based; unlike :func:`hash` it is stable across runs)."""
+    digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One independent work unit of a campaign.
+
+    Parameters
+    ----------
+    kind:
+        Executor name (registered alias or ``"module:function"``).
+    params:
+        JSON-serialisable keyword parameters of the executor.  Treat
+        as immutable once the unit is built.
+    seed:
+        Base RNG seed for this unit; the executor derives all its
+        randomness from it so results are reproducible.
+    label:
+        Human-readable tag for progress output (not part of the hash).
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    label: str = ""
+
+    def content_hash(self) -> str:
+        """Stable identity of the unit's computation (first 16 hex
+        chars of the SHA-256 of the canonical encoding)."""
+        payload = canonical_json({"kind": self.kind, "params": self.params, "seed": self.seed})
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def execute(self) -> Mapping[str, Any]:
+        """Run the unit in-process (the serial path of the runner)."""
+        return get_unit_kind(self.kind)(dict(self.params), self.seed)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named collection of units plus free-form metadata.
+
+    Units are independent: the runner may execute them in any order
+    and on any worker.  ``meta`` documents how the campaign was built
+    (experiment name, scale parameters) and feeds the run manifest.
+    """
+
+    name: str
+    units: tuple[Unit, ...]
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.units, tuple):
+            object.__setattr__(self, "units", tuple(self.units))
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    def unit_hashes(self) -> list[str]:
+        """Content hash of every unit, in unit order."""
+        return [u.content_hash() for u in self.units]
+
+    def spec_hash(self) -> str:
+        """Stable identity of the whole campaign (name + unit hashes +
+        meta); recorded in the run manifest."""
+        payload = canonical_json(
+            {"name": self.name, "units": self.unit_hashes(), "meta": self.meta}
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @staticmethod
+    def build(name: str, units: Iterable[Unit], **meta: Any) -> "CampaignSpec":
+        """Convenience constructor with keyword metadata."""
+        return CampaignSpec(name=name, units=tuple(units), meta=meta)

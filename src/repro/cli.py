@@ -6,8 +6,11 @@ Usage::
     python -m repro table2 --m 16 --k 3 --p 1000
     python -m repro fig03 --m 6 --k 3
     python -m repro fig08
-    python -m repro fig10 --quick
-    python -m repro fig11 --quick
+    python -m repro fig10 --quick -j 4
+    python -m repro fig11 --quick -j 4
+    python -m repro campaign fig11 --quick -j 4 --out results/campaigns
+    python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
+    python -m repro replay --golden eft-min-m4 --scheduler eft-max
     python -m repro ratios
     python -m repro explore --m 15 --k 3
     python -m repro tails --load 0.45
@@ -17,7 +20,12 @@ Usage::
     python -m repro demo
 
 ``--quick`` runs reduced-scale versions of the two heavy campaigns
-(Figures 10 and 11); without it they run at paper scale.
+(Figures 10 and 11); without it they run at paper scale.  ``--jobs/-j``
+fans independent campaign units out over worker processes with output
+identical to the serial run; ``campaign`` additionally caches unit
+results under ``results/.cache/`` (re-runs only execute missing units)
+and writes a run manifest, and ``replay`` re-executes a recorded
+workload trace through any scheduler.
 """
 
 from __future__ import annotations
@@ -59,12 +67,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=15)
     p.add_argument("--quick", action="store_true", help="coarse grid, 25 permutations")
     p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("-j", "--jobs", type=int, default=1, help="worker processes (identical output)")
 
     p = sub.add_parser("fig11", help="Fmax vs load simulation campaign")
     p.add_argument("--m", type=int, default=15)
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--quick", action="store_true", help="3000 tasks, 3 repeats")
     p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("-j", "--jobs", type=int, default=1, help="worker processes (identical output)")
+
+    p = sub.add_parser(
+        "campaign",
+        help="run an experiment campaign with parallel workers, on-disk caching and a manifest",
+    )
+    p.add_argument("name", choices=["fig10", "fig11"], help="which campaign to run")
+    p.add_argument("--quick", action="store_true", help="reduced scale (as fig10/fig11 --quick)")
+    p.add_argument("-j", "--jobs", type=int, default=None, help="worker processes (default: all cores)")
+    p.add_argument("--m", type=int, default=15)
+    p.add_argument("--k", type=int, default=3, help="replication factor (fig11)")
+    p.add_argument("--n", type=int, default=None, help="tasks per run (fig11; overrides scale)")
+    p.add_argument("--repeats", type=int, default=None, help="runs per point (fig11; overrides scale)")
+    p.add_argument("--permutations", type=int, default=None, help="permutations per row (fig10; overrides scale)")
+    p.add_argument("--seed", type=int, default=None, help="base seed (default: the figure's)")
+    p.add_argument("--cache-dir", default=None, help="unit result cache (default: results/.cache)")
+    p.add_argument("--no-cache", action="store_true", help="always execute, never read/write the cache")
+    p.add_argument("--out", default=None, help="directory for the rendered result + manifest")
+
+    p = sub.add_parser("replay", help="replay a recorded workload trace through a scheduler")
+    p.add_argument("trace", nargs="?", default=None, help="path to a .trace.jsonl file")
+    p.add_argument("--golden", default=None, help="name of a built-in golden trace instead of a path")
+    p.add_argument(
+        "--scheduler",
+        default=None,
+        help="eft-min|eft-max|eft-rand|least-work|round-robin|random (default: the recorded one)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
 
     p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
     p.add_argument("--m", type=int, default=8)
@@ -120,30 +157,105 @@ def _run_fig08(args) -> str:
     return fig08.run(m=args.m, s=args.s).to_text()
 
 
+def _fig10_scale(args) -> dict:
+    """Keyword arguments of ``fig10.build_campaign`` for the CLI scale."""
+    kw = dict(m=args.m, rng_seed=args.seed if args.seed is not None else 1234)
+    if args.quick:
+        kw.update(
+            s_values=np.arange(0.0, 5.01, 0.5),
+            k_values=np.array(sorted({k for k in (1, 2, 3, 4, 6, 8, 11, args.m) if k <= args.m})),
+            n_permutations=25,
+        )
+    else:
+        kw.update(n_permutations=100)
+    return kw
+
+
+def _fig11_scale(args) -> dict:
+    """Keyword arguments of ``fig11.build_campaign`` for the CLI scale."""
+    kw = dict(m=args.m, k=getattr(args, "k", 3), rng_seed=args.seed if args.seed is not None else 2022)
+    if args.quick:
+        kw.update(n=3000, repeats=3)
+    else:
+        kw.update(n=10_000, repeats=10)
+    return kw
+
+
 def _run_fig10(args) -> str:
     from .experiments import fig10
 
-    if args.quick:
-        result = fig10.run(
-            m=args.m,
-            s_values=np.arange(0.0, 5.01, 0.5),
-            k_values=np.array(sorted({1, 2, 3, 4, 6, 8, 11, args.m})),
-            n_permutations=25,
-            rng_seed=args.seed,
-        )
-    else:
-        result = fig10.run(m=args.m, n_permutations=100, rng_seed=args.seed)
-    return result.to_text()
+    return fig10.run(n_jobs=args.jobs, **_fig10_scale(args)).to_text()
 
 
 def _run_fig11(args) -> str:
     from .experiments import fig11
 
-    if args.quick:
-        result = fig11.run(m=args.m, k=args.k, n=3000, repeats=3, rng_seed=args.seed)
+    return fig11.run(n_jobs=args.jobs, **_fig11_scale(args)).to_text()
+
+
+def _run_campaign(args) -> str:
+    """The ``campaign`` subcommand: build the spec, run it with
+    caching, render the figure, write result + manifest."""
+    from pathlib import Path
+
+    from .campaigns import ResultCache, build_manifest, run_campaign, write_manifest
+    from .experiments import fig10, fig11
+
+    if args.name == "fig10":
+        kw = _fig10_scale(args)
+        if args.permutations is not None:
+            kw["n_permutations"] = args.permutations
+        spec, assemble = fig10.build_campaign(**kw)
     else:
-        result = fig11.run(m=args.m, k=args.k, n=10_000, repeats=10, rng_seed=args.seed)
-    return result.to_text()
+        kw = _fig11_scale(args)
+        if args.n is not None:
+            kw["n"] = args.n
+        if args.repeats is not None:
+            kw["repeats"] = args.repeats
+        spec, assemble = fig11.build_campaign(**kw)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir or "results/.cache")
+    campaign = run_campaign(spec, n_jobs=args.jobs, cache=cache)
+    text = assemble(campaign.results()).to_text()
+
+    lines = [text, "", campaign.summary()]
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{args.name}.txt").write_text(text + "\n")
+        manifest_path = write_manifest(build_manifest(campaign), out / f"{args.name}.manifest.json")
+        lines.append(f"wrote {out / (args.name + '.txt')}")
+        lines.append(f"wrote {manifest_path}")
+    return "\n".join(lines)
+
+
+def _run_replay(args) -> str:
+    """The ``replay`` subcommand: load a trace, re-run its workload
+    through a scheduler and compare against the recorded placements."""
+    from .campaigns import goldens as goldens_mod
+    from .campaigns import load_trace, make_scheduler, replay_into
+
+    if (args.trace is None) == (args.golden is None):
+        raise SystemExit("replay: provide exactly one of a trace path or --golden NAME")
+    if args.golden is not None:
+        trace = goldens_mod.load_golden(args.golden)
+        source = f"golden {args.golden}"
+    else:
+        trace = load_trace(args.trace)
+        source = args.trace
+    recorded = trace.schedule()
+    name = args.scheduler or (trace.scheduler or "eft-min")
+    scheduler = make_scheduler(name, trace.m, seed=args.seed)
+    replayed = replay_into(scheduler, trace)
+    match = recorded.same_placements(replayed)
+    lines = [
+        f"trace: {source} (m={trace.m}, n={trace.n}, recorded by {trace.scheduler or 'unknown'})",
+        f"replayed with: {scheduler.name}",
+        f"recorded  Fmax={recorded.max_flow:.6g}  mean flow={recorded.mean_flow:.6g}",
+        f"replayed  Fmax={replayed.max_flow:.6g}  mean flow={replayed.mean_flow:.6g}",
+        f"placements match recorded trace: {'yes' if match else 'no'}",
+    ]
+    return "\n".join(lines)
 
 
 def _run_ratios(args) -> str:
@@ -243,6 +355,8 @@ _HANDLERS = {
     "fig08": _run_fig08,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "campaign": _run_campaign,
+    "replay": _run_replay,
     "ratios": _run_ratios,
     "explore": _run_explore,
     "tails": _run_tails,

@@ -14,13 +14,17 @@ tables; key paper shapes are summarised in the notes (equality at
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..campaigns.cache import ResultCache
+from ..campaigns.runner import run_campaign
+from ..campaigns.spec import CampaignSpec, Unit
 from ..maxload.sweep import SweepResult, overlap_gain_ratio, sweep_max_load
 from .common import TextTable
 
-__all__ = ["Fig10Result", "run"]
+__all__ = ["Fig10Result", "build_campaign", "run"]
 
 
 @dataclass(frozen=True)
@@ -78,47 +82,112 @@ def _grid_table(title: str, sweep: SweepResult, grid: np.ndarray, fmt: str) -> T
     return table
 
 
+def build_campaign(
+    m: int = 15,
+    s_values=None,
+    k_values=None,
+    n_permutations: int = 100,
+    rng_seed: int = 1234,
+) -> tuple[CampaignSpec, Callable[[Sequence[Mapping[str, Any]]], "Fig10Result"]]:
+    """Describe the Figure 10 sweep as a campaign: one unit per ``s``
+    row (rows share their permutation batch, rows are independent).
+
+    Returns the spec and an ``assemble(unit_results) -> Fig10Result``
+    closure.  Because every row seeds its own stream
+    (:func:`repro.maxload.sweep.row_rng`), the assembled grid is
+    identical to the serial :func:`~repro.maxload.sweep.sweep_max_load`
+    for the same seed, whatever the worker count.
+    """
+    s_values = np.arange(0.0, 5.01, 0.25) if s_values is None else np.asarray(s_values, dtype=float)
+    k_values = np.arange(1, m + 1) if k_values is None else np.asarray(k_values, dtype=int)
+    units = tuple(
+        Unit(
+            kind="repro.maxload.sweep:row_unit",
+            params={
+                "m": m,
+                "s": float(s),
+                "s_index": si,
+                "k_values": [int(k) for k in k_values],
+                "n_permutations": n_permutations,
+                "case": "shuffled",
+            },
+            seed=rng_seed,
+            label=f"fig10 row s={s:g}",
+        )
+        for si, s in enumerate(s_values)
+    )
+    spec = CampaignSpec(
+        name="fig10",
+        units=units,
+        meta={"m": m, "n_permutations": n_permutations, "rng_seed": rng_seed},
+    )
+
+    def assemble(unit_results: Sequence[Mapping[str, Any]]) -> Fig10Result:
+        loads = {
+            "overlapping": np.zeros((s_values.size, k_values.size)),
+            "disjoint": np.zeros((s_values.size, k_values.size)),
+        }
+        for si, row in enumerate(unit_results):
+            for name in ("overlapping", "disjoint"):
+                loads[name][si, :] = row[name]
+        sweep = SweepResult(
+            m=m,
+            s_values=s_values,
+            k_values=k_values,
+            n_permutations=n_permutations,
+            loads=loads,
+        )
+        ratio = sweep.ratio()
+        peak = float(ratio.max())
+        si, ki = np.unravel_index(int(ratio.argmax()), ratio.shape)
+        result = Fig10Result(
+            sweep=sweep,
+            table_overlapping=_grid_table(
+                f"Figure 10a (overlapping): median max-load % (m={m}, {n_permutations} permutations)",
+                sweep,
+                sweep.loads["overlapping"],
+                ".0f",
+            ),
+            table_disjoint=_grid_table(
+                f"Figure 10a (disjoint): median max-load % (m={m}, {n_permutations} permutations)",
+                sweep,
+                sweep.loads["disjoint"],
+                ".0f",
+            ),
+            table_ratio=_grid_table(
+                "Figure 10b: overlapping / disjoint median max-load ratio",
+                sweep,
+                ratio,
+                ".2f",
+            ),
+            peak_gain=peak,
+            peak_at=(float(sweep.s_values[si]), int(sweep.k_values[ki])),
+        )
+        assert abs(overlap_gain_ratio(sweep) - peak) < 1e-12
+        return result
+
+    return spec, assemble
+
+
 def run(
     m: int = 15,
     s_values=None,
     k_values=None,
     n_permutations: int = 100,
     rng_seed: int = 1234,
+    n_jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> Fig10Result:
     """Run the Figure 10 sweep (paper-scale by default; pass smaller
-    grids for quick benchmarks)."""
-    sweep = sweep_max_load(
+    grids for quick benchmarks).  ``n_jobs`` distributes sweep rows
+    over worker processes (``None`` = all cores) with identical
+    output; ``cache`` reuses previously computed rows."""
+    spec, assemble = build_campaign(
         m=m,
         s_values=s_values,
         k_values=k_values,
         n_permutations=n_permutations,
-        rng=rng_seed,
+        rng_seed=rng_seed,
     )
-    ratio = sweep.ratio()
-    peak = float(ratio.max())
-    si, ki = np.unravel_index(int(ratio.argmax()), ratio.shape)
-    result = Fig10Result(
-        sweep=sweep,
-        table_overlapping=_grid_table(
-            f"Figure 10a (overlapping): median max-load % (m={m}, {n_permutations} permutations)",
-            sweep,
-            sweep.loads["overlapping"],
-            ".0f",
-        ),
-        table_disjoint=_grid_table(
-            f"Figure 10a (disjoint): median max-load % (m={m}, {n_permutations} permutations)",
-            sweep,
-            sweep.loads["disjoint"],
-            ".0f",
-        ),
-        table_ratio=_grid_table(
-            "Figure 10b: overlapping / disjoint median max-load ratio",
-            sweep,
-            ratio,
-            ".2f",
-        ),
-        peak_gain=peak,
-        peak_at=(float(sweep.s_values[si]), int(sweep.k_values[ki])),
-    )
-    assert abs(overlap_gain_ratio(sweep) - peak) < 1e-12
-    return result
+    campaign = run_campaign(spec, n_jobs=n_jobs, cache=cache)
+    return assemble(campaign.results())

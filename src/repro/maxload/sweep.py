@@ -5,18 +5,25 @@ Figure 10a sweeps the popularity bias :math:`s \\in [0, 5]` (steps of
 strategies in the Shuffled case, reporting the **median** max-load over
 100 random permutations of the weights; Figure 10b is the ratio of the
 two strategies' medians.
+
+The sweep is row-parallel: each ``s`` row draws its permutations from
+an independent seeded stream (``default_rng([seed, row])``), so rows
+are order-independent and can run as campaign units on any number of
+workers with output identical to the serial sweep (see
+:func:`row_unit` and ``repro.experiments.fig10``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
 from ..simulation.popularity import shuffled_case, worst_case
 from .lp import max_load_lp
 
-__all__ = ["SweepResult", "sweep_max_load", "overlap_gain_ratio"]
+__all__ = ["SweepResult", "row_rng", "row_unit", "sweep_max_load", "sweep_row", "overlap_gain_ratio"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +45,53 @@ class SweepResult:
         return self.loads["overlapping"] / self.loads["disjoint"]
 
 
+def sweep_row(
+    m: int,
+    s: float,
+    k_values: np.ndarray,
+    n_permutations: int,
+    rng: np.random.Generator,
+    case: str = "shuffled",
+) -> dict[str, list[float]]:
+    """One ``s`` row of the Figure 10a sweep: for every ``k``, the
+    median max-load (%) of both strategies over ``n_permutations``
+    permutations drawn from ``rng`` (shared across the row's grid
+    points, matching the paper's setup of permuting the weights
+    :math:`P(E_j)`)."""
+    if case == "shuffled" and s > 0:
+        pops = [shuffled_case(m, float(s), rng) for _ in range(n_permutations)]
+    else:
+        # s = 0 is permutation-invariant; worst case needs no shuffle.
+        pops = [worst_case(m, float(s))]
+    row: dict[str, list[float]] = {"overlapping": [], "disjoint": []}
+    for k in k_values:
+        for name in ("overlapping", "disjoint"):
+            vals = [max_load_lp(pop, name, int(k)).load_percent for pop in pops]
+            row[name].append(float(np.median(vals)))
+    return row
+
+
+def row_rng(seed: int | None, row_index: int) -> np.random.Generator:
+    """The independent per-row stream of the sweep: row ``row_index``
+    under base ``seed``.  Order-independent, so rows may execute on
+    any worker in any order."""
+    return np.random.default_rng([0 if seed is None else seed, row_index])
+
+
+def row_unit(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Campaign unit executor for one sweep row (see
+    ``repro.campaigns.spec``): pure function of ``(params, seed)``."""
+    row = sweep_row(
+        m=int(params["m"]),
+        s=float(params["s"]),
+        k_values=np.asarray(params["k_values"], dtype=int),
+        n_permutations=int(params["n_permutations"]),
+        rng=row_rng(seed, int(params["s_index"])),
+        case=str(params.get("case", "shuffled")),
+    )
+    return row
+
+
 def sweep_max_load(
     m: int = 15,
     s_values=None,
@@ -48,28 +102,23 @@ def sweep_max_load(
 ) -> SweepResult:
     """Run the Figure 10a sweep.
 
-    For the Shuffled case each grid point is the median over
-    ``n_permutations`` permutations; permutations are shared across
-    grid points (one batch per ``s``), matching the paper's setup of
-    permuting the weights :math:`P(E_j)`.
+    With an integer (or ``None``) ``rng`` seed each row uses the
+    independent stream of :func:`row_rng`, which makes the sweep
+    row-parallelisable with identical output; passing a ``Generator``
+    keeps one sequential stream across rows (legacy behaviour).
     """
-    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     s_values = np.arange(0.0, 5.01, 0.25) if s_values is None else np.asarray(s_values, dtype=float)
     k_values = np.arange(1, m + 1) if k_values is None else np.asarray(k_values, dtype=int)
     loads = {
         "overlapping": np.zeros((s_values.size, k_values.size)),
         "disjoint": np.zeros((s_values.size, k_values.size)),
     }
+    sequential = rng if isinstance(rng, np.random.Generator) else None
     for si, s in enumerate(s_values):
-        if case == "shuffled" and s > 0:
-            pops = [shuffled_case(m, float(s), gen) for _ in range(n_permutations)]
-        else:
-            # s = 0 is permutation-invariant; worst case needs no shuffle.
-            pops = [worst_case(m, float(s))]
-        for ki, k in enumerate(k_values):
-            for name in ("overlapping", "disjoint"):
-                vals = [max_load_lp(pop, name, int(k)).load_percent for pop in pops]
-                loads[name][si, ki] = float(np.median(vals))
+        gen = sequential if sequential is not None else row_rng(rng, si)
+        row = sweep_row(m, float(s), k_values, n_permutations, gen, case=case)
+        for name in ("overlapping", "disjoint"):
+            loads[name][si, :] = row[name]
     return SweepResult(
         m=m,
         s_values=s_values,

@@ -19,6 +19,7 @@ randomness lives in the workload generators.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -37,7 +38,8 @@ class MachineState:
     index: int
     busy_until: float = 0.0
     current: Task | None = None
-    queue: list[Task] = field(default_factory=list)
+    #: FIFO run queue; deque so starts pop the head in O(1).
+    queue: deque[Task] = field(default_factory=deque)
     busy_time: float = 0.0
     tasks_done: int = 0
 
@@ -58,6 +60,9 @@ class SimulationResult:
     makespan: float
     n_completed: int
     utilization: float
+    #: tasks released but never started — non-zero when ``run(until=...)``
+    #: truncated the simulation, so partial results are visible.
+    n_pending: int = 0
 
 
 class Simulator:
@@ -119,7 +124,7 @@ class Simulator:
 
     def _try_start(self, mach: MachineState) -> None:
         if mach.current is None and mach.queue and mach.busy_until <= self.now:
-            task = mach.queue.pop(0)
+            task = mach.queue.popleft()
             mach.current = task
             mach.busy_until = self.now + task.proc
             mach.busy_time += task.proc
@@ -172,6 +177,7 @@ class Simulator:
             makespan=makespan,
             n_completed=len(self.completions),
             utilization=util,
+            n_pending=len(self._tasks) - len(self.starts),
         )
 
     # -- state inspection -----------------------------------------------------

@@ -1,0 +1,55 @@
+"""On-disk result cache behaviour."""
+
+import json
+
+from repro.campaigns import ResultCache, Unit
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        unit = Unit(kind="k", params={"a": 1}, label="lbl")
+        h = unit.content_hash()
+        assert cache.get(h) is None
+        assert h not in cache
+        path = cache.put(h, {"value": 42}, unit=unit)
+        assert path.is_file()
+        assert cache.get(h) == {"value": 42}
+        assert h in cache
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        h = "abcdef0123456789"
+        cache.put(h, {})
+        assert cache.path_for(h) == tmp_path / "ab" / f"{h}.json"
+
+    def test_corrupted_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        h = "deadbeefdeadbeef"
+        cache.put(h, {"v": 1})
+        cache.path_for(h).write_text("{not json")
+        assert cache.get(h) is None
+
+    def test_hash_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        h1, h2 = "aa" * 8, "bb" * 8
+        cache.put(h1, {"v": 1})
+        # a foreign entry copied to the wrong key must not be served
+        payload = json.loads(cache.path_for(h1).read_text())
+        cache.path_for(h2).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(h2).write_text(json.dumps(payload))
+        assert cache.get(h2) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" * 8, {"i": i})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_missing_root_ok(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.get("aa" * 8) is None
+        assert len(cache) == 0

@@ -1,0 +1,57 @@
+"""Run manifest build / write / load round trip."""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    Unit,
+    build_manifest,
+    git_describe,
+    load_manifest,
+    run_campaign,
+    write_manifest,
+)
+
+
+def _result():
+    spec = CampaignSpec.build(
+        "mtest",
+        [Unit(kind="tests.campaigns.unit_kinds:square", params={"x": i}, label=f"u{i}") for i in range(3)],
+        scale="tiny",
+    )
+    return run_campaign(spec, n_jobs=1)
+
+
+class TestManifest:
+    def test_build(self):
+        manifest = build_manifest(_result())
+        assert manifest.campaign == "mtest"
+        assert manifest.n_units == 3 and manifest.n_executed == 3
+        assert manifest.meta == {"scale": "tiny"}
+        assert len(manifest.units) == 3
+        assert all(u["status"] == "executed" for u in manifest.units)
+        assert manifest.started_at.endswith("Z")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        manifest = build_manifest(_result())
+        path = write_manifest(manifest, tmp_path / "run" / "m.json")
+        loaded = load_manifest(path)
+        assert loaded == manifest
+
+    def test_load_rejects_foreign(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="not a repro-manifest"):
+            load_manifest(path)
+
+    def test_spec_hash_pinned(self):
+        result = _result()
+        assert build_manifest(result).spec_hash == result.spec.spec_hash()
+
+
+class TestGitDescribe:
+    def test_returns_string(self):
+        assert isinstance(git_describe(), str) and git_describe()
+
+    def test_outside_repo(self, tmp_path):
+        assert git_describe(tmp_path) == "unknown"

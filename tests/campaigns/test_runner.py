@@ -1,0 +1,117 @@
+"""Campaign runner: determinism, parallelism, caching, failures."""
+
+import pytest
+
+from repro.campaigns import CampaignError, CampaignSpec, ResultCache, Unit, run_campaign
+
+SQUARE = "tests.campaigns.unit_kinds:square"
+DRAW = "tests.campaigns.unit_kinds:seeded_draw"
+BOOM = "tests.campaigns.unit_kinds:boom"
+
+
+def _spec(n=6):
+    return CampaignSpec.build(
+        "t", [Unit(kind=SQUARE, params={"x": i}, seed=i, label=f"u{i}") for i in range(n)]
+    )
+
+
+class TestSerial:
+    def test_results_in_unit_order(self):
+        res = run_campaign(_spec(), n_jobs=1)
+        assert [r["value"] for r in res.results()] == [i**2 for i in range(6)]
+        assert res.n_executed == 6 and res.n_cached == 0 and res.n_failed == 0
+
+    def test_summary_mentions_counts(self):
+        res = run_campaign(_spec(3), n_jobs=1)
+        assert "3 units" in res.summary() and "3 executed" in res.summary()
+
+
+class TestParallel:
+    def test_matches_serial(self):
+        spec = CampaignSpec.build(
+            "draws", [Unit(kind=DRAW, params={"n": 5}, seed=s) for s in range(8)]
+        )
+        serial = run_campaign(spec, n_jobs=1).results()
+        parallel = run_campaign(spec, n_jobs=4).results()
+        assert serial == parallel
+
+    def test_n_jobs_none_uses_cpu_count(self):
+        res = run_campaign(_spec(3), n_jobs=None)
+        assert res.n_jobs >= 1
+        assert [r["value"] for r in res.results()] == [0, 1, 4]
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_campaign(_spec(2), n_jobs=0)
+
+
+class TestCaching:
+    def test_second_run_all_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_campaign(_spec(), n_jobs=1, cache=cache)
+        assert first.n_executed == 6
+        second = run_campaign(_spec(), n_jobs=2, cache=cache)
+        assert second.n_executed == 0 and second.n_cached == 6
+        assert second.all_cached
+        assert first.results() == second.results()
+
+    def test_changed_units_partially_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign(_spec(4), n_jobs=1, cache=cache)
+        bigger = run_campaign(_spec(6), n_jobs=1, cache=cache)
+        assert bigger.n_cached == 4 and bigger.n_executed == 2
+
+    def test_duplicate_units_execute_once(self):
+        twin = Unit(kind=SQUARE, params={"x": 5}, seed=0)
+        spec = CampaignSpec.build("dup", [twin, twin, twin])
+        res = run_campaign(spec, n_jobs=1)
+        assert [r["value"] for r in res.results()] == [25, 25, 25]
+        assert res.n_executed == 1  # one outcome shared by the three twins
+
+
+class TestFailures:
+    def test_raises_by_default(self):
+        spec = CampaignSpec.build("bad", [Unit(kind=BOOM, params={"x": 1})])
+        with pytest.raises(CampaignError, match="boom"):
+            run_campaign(spec, n_jobs=1)
+
+    def test_collects_without_raise(self):
+        spec = CampaignSpec.build(
+            "mixed",
+            [Unit(kind=SQUARE, params={"x": 2}), Unit(kind=BOOM, params={"x": 9})],
+        )
+        res = run_campaign(spec, n_jobs=1, raise_on_error=False)
+        assert res.n_failed == 1 and res.n_executed == 1
+        assert res.outcomes[0].ok and not res.outcomes[1].ok
+        assert "boom" in res.outcomes[1].error
+        with pytest.raises(CampaignError):
+            res.results()
+
+    def test_failures_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = CampaignSpec.build("bad", [Unit(kind=BOOM, params={"x": 1})])
+        run_campaign(spec, n_jobs=1, cache=cache, raise_on_error=False)
+        assert len(cache) == 0
+
+    def test_parallel_failures_reported(self):
+        spec = CampaignSpec.build(
+            "bad-par", [Unit(kind=BOOM, params={"x": i}) for i in range(3)]
+        )
+        res = run_campaign(spec, n_jobs=2, raise_on_error=False)
+        assert res.n_failed == 3
+
+
+class TestProgress:
+    def test_callback_sees_every_distinct_unit(self, tmp_path):
+        seen = []
+        run_campaign(_spec(4), n_jobs=1, progress=lambda d, t, o: seen.append((d, t, o.status)))
+        assert len(seen) == 4
+        assert seen[-1][0] == seen[-1][1] == 4
+        assert all(s == "executed" for _, _, s in seen)
+
+    def test_callback_reports_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_campaign(_spec(2), n_jobs=1, cache=cache)
+        seen = []
+        run_campaign(_spec(2), n_jobs=1, cache=cache, progress=lambda d, t, o: seen.append(o.status))
+        assert seen == ["cached", "cached"]

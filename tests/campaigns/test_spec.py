@@ -1,0 +1,98 @@
+"""Unit/spec hashing: stability, sensitivity, canonicalisation."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    Unit,
+    canonical_json,
+    get_unit_kind,
+    register_unit_kind,
+    stable_seed,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_numpy_types(self):
+        out = canonical_json({"i": np.int64(3), "f": np.float64(0.5), "a": np.arange(3)})
+        assert out == '{"a":[0,1,2],"f":0.5,"i":3}'
+
+    def test_tuples_and_sets(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+        assert canonical_json(frozenset({3, 1, 2})) == "[1,2,3]"
+
+    def test_float_roundtrip_exact(self):
+        x = 0.1 + 0.2
+        assert float(canonical_json(x)) == x
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            canonical_json(object())
+
+
+class TestUnitHash:
+    def test_stable_across_calls(self):
+        u = Unit(kind="k", params={"a": 1, "b": [1.5, 2.5]}, seed=7)
+        assert u.content_hash() == u.content_hash()
+        assert len(u.content_hash()) == 16
+
+    def test_param_order_irrelevant(self):
+        u1 = Unit(kind="k", params={"a": 1, "b": 2})
+        u2 = Unit(kind="k", params={"b": 2, "a": 1})
+        assert u1.content_hash() == u2.content_hash()
+
+    def test_sensitive_to_kind_params_seed(self):
+        base = Unit(kind="k", params={"a": 1}, seed=0)
+        assert base.content_hash() != Unit(kind="k2", params={"a": 1}, seed=0).content_hash()
+        assert base.content_hash() != Unit(kind="k", params={"a": 2}, seed=0).content_hash()
+        assert base.content_hash() != Unit(kind="k", params={"a": 1}, seed=1).content_hash()
+
+    def test_label_not_hashed(self):
+        assert (
+            Unit(kind="k", params={"a": 1}, label="x").content_hash()
+            == Unit(kind="k", params={"a": 1}, label="y").content_hash()
+        )
+
+    def test_numpy_params_hash_like_python(self):
+        u1 = Unit(kind="k", params={"m": np.int64(4), "w": np.array([0.25, 0.75])})
+        u2 = Unit(kind="k", params={"m": 4, "w": [0.25, 0.75]})
+        assert u1.content_hash() == u2.content_hash()
+
+
+class TestSpec:
+    def test_spec_hash_changes_with_units(self):
+        s1 = CampaignSpec.build("c", [Unit(kind="k", params={"a": 1})])
+        s2 = CampaignSpec.build("c", [Unit(kind="k", params={"a": 2})])
+        assert s1.spec_hash() != s2.spec_hash()
+        assert s1.n_units == 1
+
+    def test_units_coerced_to_tuple(self):
+        s = CampaignSpec(name="c", units=[Unit(kind="k")])
+        assert isinstance(s.units, tuple)
+
+
+class TestKindResolution:
+    def test_registered_alias(self):
+        register_unit_kind("test-alias-spec", lambda params, seed: {"ok": True})
+        assert get_unit_kind("test-alias-spec")({}, 0) == {"ok": True}
+
+    def test_module_path(self):
+        fn = get_unit_kind("tests.campaigns.unit_kinds:square")
+        assert fn({"x": 3}, 0)["value"] == 9
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown unit kind"):
+            get_unit_kind("no-such-kind")
+        with pytest.raises(ValueError, match="no attribute"):
+            get_unit_kind("tests.campaigns.unit_kinds:missing")
+
+
+class TestStableSeed:
+    def test_deterministic_and_distinct(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert 0 <= stable_seed("x") < 2**63

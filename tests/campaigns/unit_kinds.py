@@ -1,0 +1,23 @@
+"""Tiny pure unit executors used by the campaign runner tests.
+
+Importable as ``tests.campaigns.unit_kinds:<fn>`` so worker processes
+can resolve them under any multiprocessing start method.
+"""
+
+import numpy as np
+
+
+def square(params, seed):
+    """Deterministic arithmetic on the params."""
+    return {"value": int(params["x"]) ** 2, "seed": seed}
+
+
+def seeded_draw(params, seed):
+    """A seeded random draw — same seed, same result, any worker."""
+    rng = np.random.default_rng(seed)
+    return {"draws": [float(v) for v in rng.random(int(params["n"]))]}
+
+
+def boom(params, seed):
+    """Always fails."""
+    raise RuntimeError(f"boom on x={params.get('x')}")

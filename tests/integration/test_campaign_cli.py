@@ -1,0 +1,119 @@
+"""CLI smoke tests for the campaign subsystem: ``repro campaign``,
+``repro replay`` and the ``--jobs`` flag on the figure commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_campaign_and_replay_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "fig11", "--quick", "-j", "2"])
+        assert args.command == "campaign" and args.name == "fig11" and args.jobs == 2
+        args = parser.parse_args(["replay", "--golden", "eft-min-m4"])
+        assert args.command == "replay" and args.golden == "eft-min-m4"
+
+    def test_jobs_flag_on_figures(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig10", "--quick", "-j", "3"]).jobs == 3
+        assert parser.parse_args(["fig11", "--quick", "--jobs", "4"]).jobs == 4
+
+    def test_campaign_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "fig99"])
+
+
+class TestCampaignCommand:
+    def _argv(self, tmp_path, jobs="2"):
+        return [
+            "campaign",
+            "fig11",
+            "--m", "6",
+            "--k", "2",
+            "--n", "150",
+            "--repeats", "2",
+            "-j", jobs,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "out"),
+        ]
+
+    def test_run_then_full_cache_hit(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert "0 cached" in first and "0 failed" in first
+        assert (tmp_path / "out" / "fig11.txt").is_file()
+        assert (tmp_path / "out" / "fig11.manifest.json").is_file()
+
+        # Second invocation: every unit served from cache, none executed.
+        assert main(self._argv(tmp_path, jobs="1")) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second
+        assert "Figure 11" in second
+
+    def test_cache_survives_job_count_change(self, tmp_path, capsys):
+        main(self._argv(tmp_path, jobs="1"))
+        capsys.readouterr()
+        main(self._argv(tmp_path, jobs="2"))
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_fig10_campaign(self, tmp_path, capsys):
+        argv = [
+            "campaign", "fig10", "--quick", "--m", "6", "--permutations", "4",
+            "-j", "2", "--cache-dir", str(tmp_path / "c"), "--out", str(tmp_path / "o"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10b" in out and "executed" in out
+        assert main(argv) == 0
+        assert "0 executed" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        argv = self._argv(tmp_path)[:-4] + ["--no-cache"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert "0 cached" in first and "0 cached" in second
+
+
+class TestReplayCommand:
+    def test_golden_replay_matches(self, capsys):
+        assert main(["replay", "--golden", "eft-min-m4"]) == 0
+        out = capsys.readouterr().out
+        assert "placements match recorded trace: yes" in out
+
+    def test_cross_scheduler_replay(self, capsys):
+        assert main(["replay", "--golden", "eft-min-m4", "--scheduler", "eft-max"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed with: EFT-max" in out
+
+    def test_replay_from_file(self, tmp_path, capsys):
+        from repro.campaigns import dump_trace, goldens
+
+        path = dump_trace(goldens.load_golden("eft-rand-m5"), tmp_path / "g.trace.jsonl")
+        assert main(["replay", str(path), "--seed", "123"]) == 0
+        out = capsys.readouterr().out
+        assert "placements match recorded trace: yes" in out
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["replay"])
+        with pytest.raises(SystemExit):
+            main(["replay", "some.jsonl", "--golden", "eft-min-m4"])
+
+
+class TestFigureJobsFlag:
+    def test_fig11_quick_parallel(self, capsys):
+        """The acceptance smoke: fig11 --quick -j 2 runs and renders."""
+        assert main(["fig11", "--quick", "-j", "2", "--m", "6", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out and "LP max load" in out
+
+    def test_fig10_quick_parallel_matches_serial(self, capsys):
+        argv = ["fig10", "--m", "6", "--quick", "--seed", "5"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel

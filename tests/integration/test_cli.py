@@ -15,6 +15,8 @@ class TestParser:
             ["fig08"],
             ["fig10", "--quick"],
             ["fig11", "--quick"],
+            ["campaign", "fig11", "--quick"],
+            ["replay", "--golden", "eft-min-m4"],
             ["ratios"],
             ["explore"],
             ["tails"],

@@ -66,6 +66,33 @@ class TestEngineBasics:
         assert sim.uncompleted_on([1]) == 2
 
 
+class TestPendingCount:
+    def test_full_run_has_no_pending(self):
+        inst = Instance.build(2, releases=[0, 0, 1], procs=[2, 1, 1])
+        sim = Simulator(EFT(2))
+        sim.add_instance(inst)
+        assert sim.run().n_pending == 0
+
+    def test_truncated_run_counts_unstarted(self):
+        # One machine, three unit tasks released together: at until=1.5
+        # task 0 finished, task 1 is running, task 2 never started.
+        sim = Simulator(EFT(1))
+        sim.add_tasks([Task(tid=t, release=0, proc=1) for t in range(3)])
+        result = sim.run(until=1.5)
+        assert result.n_completed == 1
+        assert result.n_pending == 1
+        assert len(result.schedule) == 2  # the started pair only
+
+    def test_truncation_before_any_completion(self):
+        # Both tasks released at 0; at until=1.0 task 0 is still running
+        # and task 1 sits in the queue, released but never started.
+        sim = Simulator(EFT(1))
+        sim.add_tasks([Task(tid=0, release=0, proc=5), Task(tid=1, release=0, proc=5)])
+        result = sim.run(until=1.0)
+        assert result.n_completed == 0
+        assert result.n_pending == 1
+
+
 class TestEngineMatchesAnalyticDriver:
     @given(unrestricted_instances())
     @settings(max_examples=50, deadline=None)
