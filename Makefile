@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -41,5 +41,20 @@ campaign-quick:
 	PYTHONPATH=src $(PYTHON) -m repro replay --golden eft-min-m4 \
 		| grep -q "placements match recorded trace: yes"
 	rm -rf results/.cache-quick
+
+# Metrics smoke: a tiny campaign with --metrics at two job counts must
+# produce byte-identical, schema-valid snapshots.
+obs-smoke:
+	rm -rf results/.obs-smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign fig11 --quick -j 1 \
+		--m 6 --k 2 --n 150 --repeats 2 --cache-dir results/.obs-smoke/cache \
+		--metrics results/.obs-smoke/m1.json
+	PYTHONPATH=src $(PYTHON) -m repro campaign fig11 --quick -j 4 \
+		--m 6 --k 2 --n 150 --repeats 2 --cache-dir results/.obs-smoke/cache \
+		--metrics results/.obs-smoke/m4.json
+	cmp results/.obs-smoke/m1.json results/.obs-smoke/m4.json
+	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
+		results/.obs-smoke/m1.json results/.obs-smoke/m4.json
+	rm -rf results/.obs-smoke
 
 all: install test bench

@@ -29,7 +29,9 @@ __all__ = [
 ]
 
 MANIFEST_FORMAT = "repro-manifest"
-MANIFEST_VERSION = 1
+#: v2 added the ``timings`` span table (runner wall-clock breakdown);
+#: v1 files load with empty timings.
+MANIFEST_VERSION = 2
 
 
 def git_describe(cwd: str | Path | None = None) -> str:
@@ -65,12 +67,16 @@ class RunManifest:
     n_failed: int
     units: tuple[Mapping[str, Any], ...]  # {hash, label, status, duration}
     meta: Mapping[str, Any] = field(default_factory=dict)
+    #: runner span totals in seconds (cache_lookup / execute /
+    #: unit_execute) — see :class:`repro.campaigns.runner.CampaignResult`.
+    timings: Mapping[str, float] = field(default_factory=dict)
 
     def to_json(self) -> str:
         payload = {"format": MANIFEST_FORMAT, "version": MANIFEST_VERSION}
         payload.update(asdict(self))
         payload["units"] = [dict(u) for u in self.units]
         payload["meta"] = dict(self.meta)
+        payload["timings"] = dict(self.timings)
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
@@ -106,6 +112,7 @@ def build_manifest(
             for o in result.outcomes
         ),
         meta=dict(result.spec.meta),
+        timings=dict(result.timings),
     )
 
 
@@ -122,12 +129,15 @@ def load_manifest(path: str | Path) -> RunManifest:
     data = json.loads(Path(path).read_text())
     if data.get("format") != MANIFEST_FORMAT:
         raise ValueError(f"not a {MANIFEST_FORMAT} file: {path}")
-    if data.get("version") != MANIFEST_VERSION:
+    if data.get("version") not in (1, MANIFEST_VERSION):
         raise ValueError(f"unsupported manifest version {data.get('version')!r}")
     fields = {k: data[k] for k in (
         "campaign", "spec_hash", "git", "started_at", "wall_time", "n_jobs",
         "n_units", "n_executed", "n_cached", "n_failed",
     )}
     return RunManifest(
-        units=tuple(data.get("units", ())), meta=dict(data.get("meta", {})), **fields
+        units=tuple(data.get("units", ())),
+        meta=dict(data.get("meta", {})),
+        timings=dict(data.get("timings", {})),  # absent in v1 files
+        **fields,
     )

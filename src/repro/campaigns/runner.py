@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from ..obs.spans import SpanSet
 from .cache import ResultCache
 from .spec import CampaignSpec, Unit, get_unit_kind
 
@@ -58,12 +59,21 @@ class UnitOutcome:
 
 @dataclass
 class CampaignResult:
-    """Outcome of a whole campaign run, in unit order."""
+    """Outcome of a whole campaign run, in unit order.
+
+    ``timings`` holds the runner's wall-clock span totals (seconds):
+    ``cache_lookup`` (cache scan), ``execute`` (dispatch + absorb of
+    missing units) and ``unit_execute`` (sum of worker-side unit
+    durations, cache hits excluded).  They are provenance, not data —
+    the manifest records them; the deterministic ``--metrics`` snapshot
+    does not.
+    """
 
     spec: CampaignSpec
     outcomes: list[UnitOutcome] = field(default_factory=list)
     n_jobs: int = 1
     wall_time: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
 
     def _count(self, status: str) -> int:
         # Count distinct units: duplicates share one execution/cache hit,
@@ -162,6 +172,7 @@ def run_campaign(
         the outcomes and it is the caller's job to check.
     """
     t0 = time.perf_counter()
+    spans = SpanSet()
     hashes = spec.unit_hashes()
     # Identical units collapse onto one computation (intra-spec dedup).
     distinct: dict[str, Unit] = {}
@@ -180,12 +191,13 @@ def run_campaign(
 
     # Pass 1: cache hits.
     pending: list[tuple[Unit, str]] = []
-    for h, unit in distinct.items():
-        hit = cache.get(h) if cache is not None else None
-        if hit is not None:
-            _resolve(UnitOutcome(unit=unit, unit_hash=h, status="cached", result=hit))
-        else:
-            pending.append((unit, h))
+    with spans.span("cache_lookup"):
+        for h, unit in distinct.items():
+            hit = cache.get(h) if cache is not None else None
+            if hit is not None:
+                _resolve(UnitOutcome(unit=unit, unit_hash=h, status="cached", result=hit))
+            else:
+                pending.append((unit, h))
 
     # Pass 2: execute what's missing.
     units_by_hash = {h: u for u, h in pending}
@@ -195,6 +207,7 @@ def run_campaign(
     def _absorb(raw: tuple[str, str, Any, float]) -> None:
         h, status, value, duration = raw
         unit = units_by_hash[h]
+        spans.add("unit_execute", duration)
         if status == "ok":
             if cache is not None:
                 cache.put(h, value, unit=unit)
@@ -208,17 +221,22 @@ def run_campaign(
                 UnitOutcome(unit=unit, unit_hash=h, status="failed", error=value, duration=duration)
             )
 
-    if jobs <= 1:
-        for payload in payloads:
-            _absorb(_execute_payload(payload))
-    else:
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for raw in pool.imap_unordered(_execute_payload, payloads):
-                _absorb(raw)
+    with spans.span("execute"):
+        if jobs <= 1:
+            for payload in payloads:
+                _absorb(_execute_payload(payload))
+        else:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for raw in pool.imap_unordered(_execute_payload, payloads):
+                    _absorb(raw)
 
     outcomes = [by_hash[h] for h in hashes]
     result = CampaignResult(
-        spec=spec, outcomes=outcomes, n_jobs=jobs, wall_time=time.perf_counter() - t0
+        spec=spec,
+        outcomes=outcomes,
+        n_jobs=jobs,
+        wall_time=time.perf_counter() - t0,
+        timings=spans.as_dict(),
     )
     if raise_on_error and result.n_failed:
         result.results()  # raises CampaignError with the first failure

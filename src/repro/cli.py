@@ -9,6 +9,7 @@ Usage::
     python -m repro fig10 --quick -j 4
     python -m repro fig11 --quick -j 4
     python -m repro campaign fig11 --quick -j 4 --out results/campaigns
+    python -m repro campaign fig11 --quick -j 4 --metrics results/fig11.metrics.json
     python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
     python -m repro replay --golden eft-min-m4 --scheduler eft-max
     python -m repro ratios
@@ -25,7 +26,10 @@ fans independent campaign units out over worker processes with output
 identical to the serial run; ``campaign`` additionally caches unit
 results under ``results/.cache/`` (re-runs only execute missing units)
 and writes a run manifest, and ``replay`` re-executes a recorded
-workload trace through any scheduler.
+workload trace through any scheduler.  ``--metrics PATH`` (on
+``campaign``, ``fig10`` and ``fig11``) writes a canonical
+:mod:`repro.obs` metrics snapshot — byte-identical for any ``-j`` —
+validatable with ``python -m repro.obs.validate PATH``.
 """
 
 from __future__ import annotations
@@ -68,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="coarse grid, 25 permutations")
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument("-j", "--jobs", type=int, default=1, help="worker processes (identical output)")
+    p.add_argument("--metrics", default=None, metavar="PATH", help="write a metrics snapshot JSON")
 
     p = sub.add_parser("fig11", help="Fmax vs load simulation campaign")
     p.add_argument("--m", type=int, default=15)
@@ -75,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="3000 tasks, 3 repeats")
     p.add_argument("--seed", type=int, default=2022)
     p.add_argument("-j", "--jobs", type=int, default=1, help="worker processes (identical output)")
+    p.add_argument("--metrics", default=None, metavar="PATH", help="write a metrics snapshot JSON")
 
     p = sub.add_parser(
         "campaign",
@@ -92,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, help="unit result cache (default: results/.cache)")
     p.add_argument("--no-cache", action="store_true", help="always execute, never read/write the cache")
     p.add_argument("--out", default=None, help="directory for the rendered result + manifest")
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a canonical metrics snapshot JSON (byte-identical for any -j)",
+    )
 
     p = sub.add_parser("replay", help="replay a recorded workload trace through a scheduler")
     p.add_argument("trace", nargs="?", default=None, help="path to a .trace.jsonl file")
@@ -181,16 +193,33 @@ def _fig11_scale(args) -> dict:
     return kw
 
 
+def _write_figure_metrics(result, args, figure: str) -> str:
+    """Write ``result.metrics()`` to ``args.metrics``; returns a
+    status line for the CLI output."""
+    from .obs import write_metrics
+
+    path = write_metrics(result.metrics(), args.metrics, meta={"figure": figure})
+    return f"metrics: {path}"
+
+
 def _run_fig10(args) -> str:
     from .experiments import fig10
 
-    return fig10.run(n_jobs=args.jobs, **_fig10_scale(args)).to_text()
+    result = fig10.run(n_jobs=args.jobs, **_fig10_scale(args))
+    lines = [result.to_text()]
+    if args.metrics:
+        lines.append(_write_figure_metrics(result, args, "fig10"))
+    return "\n".join(lines)
 
 
 def _run_fig11(args) -> str:
     from .experiments import fig11
 
-    return fig11.run(n_jobs=args.jobs, **_fig11_scale(args)).to_text()
+    result = fig11.run(n_jobs=args.jobs, **_fig11_scale(args))
+    lines = [result.to_text()]
+    if args.metrics:
+        lines.append(_write_figure_metrics(result, args, "fig11"))
+    return "\n".join(lines)
 
 
 def _run_campaign(args) -> str:
@@ -219,6 +248,18 @@ def _run_campaign(args) -> str:
     text = assemble(campaign.results()).to_text()
 
     lines = [text, "", campaign.summary()]
+    if args.metrics:
+        from .obs import campaign_metrics, write_metrics
+
+        # Derived purely from the unit results in unit order, so the
+        # snapshot is byte-identical for any -j and any cache state.
+        registry = campaign_metrics(spec, campaign.results())
+        path = write_metrics(
+            registry,
+            args.metrics,
+            meta={"campaign": spec.name, "spec_hash": spec.spec_hash()},
+        )
+        lines.append(f"metrics: {path}")
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)

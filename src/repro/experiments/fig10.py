@@ -22,6 +22,7 @@ from ..campaigns.cache import ResultCache
 from ..campaigns.runner import run_campaign
 from ..campaigns.spec import CampaignSpec, Unit
 from ..maxload.sweep import SweepResult, overlap_gain_ratio, sweep_max_load
+from ..obs.recorders import MetricsRegistry, linear_edges
 from .common import TextTable
 
 __all__ = ["Fig10Result", "build_campaign", "run"]
@@ -49,6 +50,28 @@ class Fig10Result:
                 f"(s={self.peak_at[0]:g}, k={self.peak_at[1]})",
             ]
         )
+
+    def metrics(self) -> MetricsRegistry:
+        """Deterministic metrics view of the sweep (the ``--metrics``
+        payload): per-strategy max-load histograms over the whole
+        ``(s, k)`` grid, a gain-ratio histogram, and peak gauges."""
+        registry = MetricsRegistry()
+        registry.counter("grid_cells").inc(
+            int(self.sweep.s_values.size * self.sweep.k_values.size)
+        )
+        for name in ("overlapping", "disjoint"):
+            hist = registry.histogram(
+                f"max_load[{name}]", linear_edges(0.0, 100.0, 10)
+            )
+            hist.observe_all(float(v) for v in self.sweep.loads[name].ravel())
+        ratio = self.sweep.ratio().ravel()
+        registry.histogram(
+            "gain_ratio", linear_edges(float(ratio.min()), float(ratio.max()), 10)
+        ).observe_all(float(v) for v in ratio)
+        registry.gauge("peak_gain").set(self.peak_gain)
+        registry.gauge("peak_s").set(self.peak_at[0])
+        registry.gauge("peak_k").set(self.peak_at[1])
+        return registry
 
     def to_heatmaps(self) -> str:
         """Shaded ASCII heatmaps of the two max-load grids — the

@@ -27,6 +27,7 @@ from ..campaigns.runner import run_campaign
 from ..campaigns.spec import CampaignSpec, Unit
 from ..core.eft import eft_schedule
 from ..maxload.lp import max_load_lp
+from ..obs.recorders import MetricsRegistry, linear_edges
 from ..simulation.popularity import MachinePopularity, shuffled_case, uniform_case, worst_case
 from ..simulation.workload import WorkloadSpec, generate_workload
 from .common import TextTable
@@ -91,6 +92,28 @@ class Fig11Result:
 
     def to_text(self) -> str:
         return self.to_table().to_text()
+
+    def metrics(self) -> MetricsRegistry:
+        """Deterministic metrics view of the figure (the ``--metrics``
+        payload): one ``fmax`` series per curve (load % on the time
+        axis), an ``fmax_runs`` histogram over every individual run,
+        and the LP red lines as gauges."""
+        registry = MetricsRegistry()
+        registry.counter("points").inc(len(self.points))
+        all_runs: list[float] = []
+        for p in self.points:
+            registry.series(
+                f"fmax[{p.case}/{p.strategy}/{p.heuristic}]"
+            ).observe(p.load_percent, p.fmax_median)
+            all_runs.extend(p.fmax_runs)
+        if all_runs:
+            registry.histogram(
+                "fmax_runs", linear_edges(min(all_runs), max(all_runs), 12)
+            ).observe_all(all_runs)
+        for case, lines in self.max_load_lines.items():
+            for strategy, percent in lines.items():
+                registry.gauge(f"lp_max_load[{case}/{strategy}]").set(percent)
+        return registry
 
 
 def _popularity(case: str, m: int, s: float, rng: np.random.Generator) -> MachinePopularity:

@@ -1,0 +1,62 @@
+"""Metrics and observability substrate.
+
+A lightweight, dependency-free metrics layer for the simulator and the
+campaign runner:
+
+* :mod:`~repro.obs.recorders` — :class:`Counter`, :class:`Gauge`,
+  :class:`TimeSeries`, :class:`Histogram` (configurable bucket edges)
+  collected in a :class:`MetricsRegistry`;
+* :mod:`~repro.obs.sim` — :class:`SimRecorder`, the ``obs=`` hook of
+  :class:`repro.simulation.engine.Simulator` (flow histogram,
+  inter-start gaps, queue-length / waiting-work series);
+* :mod:`~repro.obs.spans` — :class:`SpanSet` wall-clock timing spans,
+  folded into the campaign :class:`~repro.campaigns.manifest.RunManifest`;
+* :mod:`~repro.obs.campaign` — :func:`campaign_metrics`, deterministic
+  per-field aggregation of unit results (the ``--metrics`` payload);
+* :mod:`~repro.obs.snapshot` — versioned, canonical-JSON snapshots
+  with a hand-rolled schema validator
+  (``python -m repro.obs.validate``).
+
+``repro.obs`` is a leaf package: it imports nothing from the engine or
+the campaign layer at run time, so both can instrument themselves with
+it without cycles.
+"""
+
+from .campaign import campaign_metrics, numeric_leaves
+from .recorders import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries, linear_edges
+from .sim import DEFAULT_FLOW_EDGES, DEFAULT_GAP_EDGES, SimObserver, SimRecorder
+from .snapshot import (
+    METRICS_FORMAT,
+    METRICS_VERSION,
+    MetricsSchemaError,
+    load_metrics,
+    metrics_snapshot,
+    metrics_to_json,
+    validate_metrics,
+    write_metrics,
+)
+from .spans import SpanSet
+
+__all__ = [
+    "Counter",
+    "DEFAULT_FLOW_EDGES",
+    "DEFAULT_GAP_EDGES",
+    "Gauge",
+    "Histogram",
+    "METRICS_FORMAT",
+    "METRICS_VERSION",
+    "MetricsRegistry",
+    "MetricsSchemaError",
+    "SimObserver",
+    "SimRecorder",
+    "SpanSet",
+    "TimeSeries",
+    "campaign_metrics",
+    "linear_edges",
+    "load_metrics",
+    "metrics_snapshot",
+    "metrics_to_json",
+    "numeric_leaves",
+    "validate_metrics",
+    "write_metrics",
+]

@@ -1,0 +1,77 @@
+"""Deterministic campaign-level metrics.
+
+:func:`campaign_metrics` folds the per-unit results of a finished
+campaign — in unit order — into a :class:`MetricsRegistry`: one
+``unit/<key>`` series (value per occurrence, indexed by occurrence
+order) and one ``dist/<key>`` histogram per numeric result field,
+plus unit counters.  Everything derives purely from the unit results,
+which are themselves deterministic, so the snapshot is byte-identical
+whatever ``-j`` produced it — the acceptance bar of the ``--metrics``
+CLI flag.
+
+Wall-clock data (span timings, cache hits) is deliberately excluded:
+it is non-deterministic and belongs in the run manifest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+from .recorders import MetricsRegistry, linear_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..campaigns.spec import CampaignSpec
+
+__all__ = ["campaign_metrics", "numeric_leaves"]
+
+
+def numeric_leaves(obj: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf of a
+    JSON-shaped object, keys in sorted order, list elements in list
+    order under their parent key (bools are not numbers here)."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return
+    if isinstance(obj, (int, float)):
+        yield prefix or "value", float(obj)
+        return
+    if isinstance(obj, Mapping):
+        for key in sorted(obj, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(obj[key], path)
+        return
+    if isinstance(obj, Sequence):
+        for item in obj:
+            yield from numeric_leaves(item, prefix)
+
+
+def campaign_metrics(
+    spec: "CampaignSpec",
+    unit_results: Sequence[Mapping[str, Any]],
+    n_buckets: int = 10,
+) -> MetricsRegistry:
+    """Aggregate ``unit_results`` (in unit order, as returned by
+    ``CampaignResult.results()``) into a fresh registry.
+
+    Histogram edges are ``n_buckets`` linear buckets spanning each
+    field's observed range — a function of the data alone, hence
+    deterministic.
+    """
+    registry = MetricsRegistry()
+    registry.counter("units").inc(len(spec.units))
+    registry.counter("units_distinct").inc(len(set(spec.unit_hashes())))
+
+    collected: dict[str, list[float]] = {}
+    for result in unit_results:
+        for path, value in numeric_leaves(result):
+            collected.setdefault(path, []).append(value)
+
+    for path in sorted(collected):
+        values = collected[path]
+        series = registry.series(f"unit/{path}")
+        for i, v in enumerate(values):
+            series.observe(float(i), v)
+        hist = registry.histogram(
+            f"dist/{path}", linear_edges(min(values), max(values), n_buckets)
+        )
+        hist.observe_all(values)
+    return registry

@@ -1,0 +1,177 @@
+"""Metrics snapshots: canonical JSON serialisation and schema checks.
+
+A snapshot is a versioned JSON document::
+
+    {
+      "format": "repro-metrics",
+      "version": 1,
+      "meta": {...},                      # free-form provenance
+      "metrics": {
+        "counters":   {name: int},
+        "gauges":     {name: float},
+        "series":     {name: {"times": [...], "values": [...]}},
+        "histograms": {name: {"edges": [...], "counts": [...],
+                              "count": n, "sum": s, "min": lo, "max": hi}}
+      }
+    }
+
+Serialisation follows the same canonicality discipline as
+:func:`repro.campaigns.spec.canonical_json` (sorted keys, floats via
+``repr``): snapshots built from the same deterministic data are
+byte-identical whatever worker count produced them, so they can be
+diffed in CI.  The encoder is local so ``repro.obs`` stays a leaf
+package (the campaign runner imports ``repro.obs.spans``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .recorders import MetricsRegistry
+
+__all__ = [
+    "METRICS_FORMAT",
+    "METRICS_VERSION",
+    "MetricsSchemaError",
+    "load_metrics",
+    "metrics_snapshot",
+    "metrics_to_json",
+    "validate_metrics",
+    "write_metrics",
+]
+
+METRICS_FORMAT = "repro-metrics"
+METRICS_VERSION = 1
+
+_SECTIONS = ("counters", "gauges", "series", "histograms")
+
+
+class MetricsSchemaError(ValueError):
+    """Raised when a document is not a valid metrics snapshot."""
+
+
+def _jsonable(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "tolist"):  # numpy arrays / scalars, without importing numpy
+        return _jsonable(obj.tolist())
+    if hasattr(obj, "item"):
+        return _jsonable(obj.item())
+    raise TypeError(f"cannot serialise {type(obj).__name__} in a metrics snapshot: {obj!r}")
+
+
+def metrics_snapshot(
+    registry: MetricsRegistry, meta: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Freeze ``registry`` into a versioned snapshot document."""
+    return {
+        "format": METRICS_FORMAT,
+        "version": METRICS_VERSION,
+        "meta": _jsonable(dict(meta or {})),
+        "metrics": _jsonable(registry.snapshot()),
+    }
+
+
+def metrics_to_json(snapshot: Mapping[str, Any]) -> str:
+    """Canonical rendering: sorted keys, two-space indent, trailing
+    newline — equal snapshots encode to equal bytes."""
+    return json.dumps(_jsonable(snapshot), indent=2, sort_keys=True) + "\n"
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: str | Path, meta: Mapping[str, Any] | None = None
+) -> Path:
+    """Snapshot ``registry`` and write it to ``path``; returns the path."""
+    snapshot = metrics_snapshot(registry, meta=meta)
+    validate_metrics(snapshot)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(metrics_to_json(snapshot))
+    return path
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    """Read and validate a snapshot file."""
+    data = json.loads(Path(path).read_text())
+    validate_metrics(data)
+    return data
+
+
+def _fail(where: str, problem: str) -> None:
+    raise MetricsSchemaError(f"{where}: {problem}")
+
+
+def _check_numbers(where: str, values: Any) -> None:
+    if not isinstance(values, list):
+        _fail(where, "expected a list of numbers")
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            _fail(where, f"non-numeric entry {v!r}")
+
+
+def validate_metrics(data: Any) -> None:
+    """Validate a snapshot document; raises :class:`MetricsSchemaError`.
+
+    Checks structure and internal consistency (series lengths agree,
+    histogram counts match their edges and total, min <= max).
+    """
+    if not isinstance(data, Mapping):
+        _fail("document", "expected a JSON object")
+    if data.get("format") != METRICS_FORMAT:
+        _fail("format", f"expected {METRICS_FORMAT!r}, got {data.get('format')!r}")
+    if data.get("version") != METRICS_VERSION:
+        _fail("version", f"unsupported version {data.get('version')!r}")
+    if not isinstance(data.get("meta", {}), Mapping):
+        _fail("meta", "expected a JSON object")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, Mapping):
+        _fail("metrics", "expected a JSON object")
+    unknown = set(metrics) - set(_SECTIONS)
+    if unknown:
+        _fail("metrics", f"unknown sections {sorted(unknown)}")
+    for section in _SECTIONS:
+        if not isinstance(metrics.get(section, {}), Mapping):
+            _fail(f"metrics.{section}", "expected a JSON object")
+
+    for name, value in metrics.get("counters", {}).items():
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            _fail(f"counters.{name}", f"expected a non-negative integer, got {value!r}")
+    for name, value in metrics.get("gauges", {}).items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(f"gauges.{name}", f"expected a number, got {value!r}")
+    for name, series in metrics.get("series", {}).items():
+        where = f"series.{name}"
+        if not isinstance(series, Mapping) or set(series) != {"times", "values"}:
+            _fail(where, "expected {'times': [...], 'values': [...]}")
+        _check_numbers(f"{where}.times", series["times"])
+        _check_numbers(f"{where}.values", series["values"])
+        if len(series["times"]) != len(series["values"]):
+            _fail(where, "times and values lengths differ")
+    for name, hist in metrics.get("histograms", {}).items():
+        where = f"histograms.{name}"
+        expected = {"edges", "counts", "count", "sum", "min", "max"}
+        if not isinstance(hist, Mapping) or set(hist) != expected:
+            _fail(where, f"expected keys {sorted(expected)}")
+        _check_numbers(f"{where}.edges", hist["edges"])
+        _check_numbers(f"{where}.counts", hist["counts"])
+        edges, counts = hist["edges"], hist["counts"]
+        if not edges:
+            _fail(where, "needs at least one edge")
+        if any(b < a for a, b in zip(edges, edges[1:])):
+            _fail(where, "edges must be non-decreasing")
+        if len(counts) != len(edges) + 1:
+            _fail(where, f"expected {len(edges) + 1} buckets, got {len(counts)}")
+        if any(isinstance(c, bool) or not isinstance(c, int) or c < 0 for c in counts):
+            _fail(where, "bucket counts must be non-negative integers")
+        if sum(counts) != hist["count"]:
+            _fail(where, f"bucket counts sum to {sum(counts)}, count says {hist['count']}")
+        if hist["count"] > 0 and hist["min"] > hist["max"]:
+            _fail(where, "min exceeds max")

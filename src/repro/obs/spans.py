@@ -1,0 +1,62 @@
+"""Wall-clock timing spans for the campaign runner.
+
+A :class:`SpanSet` accumulates named wall-clock durations
+(``perf_counter`` based) and occurrence counts.  Spans are *not* part
+of the deterministic metrics snapshot — wall time varies run to run —
+so they are folded into the :class:`repro.campaigns.manifest.RunManifest`
+(provenance) instead of the ``--metrics`` JSON (byte-stable data).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SpanSet"]
+
+
+class SpanSet:
+    """Accumulates named wall-clock durations.
+
+    Use :meth:`span` as a context manager around a region, or
+    :meth:`add` to fold in an externally measured duration (e.g. a
+    worker-reported unit time).
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"span {name!r}: negative duration {seconds}")
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Total accumulated duration of ``name`` (0.0 if never seen)."""
+        return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """How many times ``name`` was recorded."""
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._seconds
+
+    def __len__(self) -> int:
+        return len(self._seconds)
+
+    def as_dict(self, ndigits: int = 6) -> dict[str, float]:
+        """``{name: total_seconds}`` with names sorted and durations
+        rounded (manifest-friendly)."""
+        return {k: round(v, ndigits) for k, v in sorted(self._seconds.items())}

@@ -1,0 +1,43 @@
+"""Stand-alone snapshot validator: ``python -m repro.obs.validate f.json``.
+
+Exit code 0 when every file is a schema-valid metrics snapshot, 1
+otherwise — the check behind ``make obs-smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .snapshot import MetricsSchemaError, load_metrics
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="validate repro-metrics snapshot files",
+    )
+    parser.add_argument("paths", nargs="+", help="metrics JSON files to check")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            data = load_metrics(path)
+        except (OSError, ValueError, MetricsSchemaError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            status = 1
+            continue
+        metrics = data["metrics"]
+        counts = ", ".join(
+            f"{len(metrics.get(section, {}))} {section}"
+            for section in ("counters", "gauges", "series", "histograms")
+        )
+        print(f"{path}: ok ({counts})")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

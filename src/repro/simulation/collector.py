@@ -5,6 +5,13 @@ fixed cadence, plus post-hoc utilities (warm-up trimming, steady-state
 checks) used when measuring steady-state max-flow as in Figure 11
 ("10 000 generated unit tasks, which is sufficient to reach a steady
 state").
+
+Since the :mod:`repro.obs` layer exists, the samplers are thin views
+over :class:`repro.obs.TimeSeries` recorders in a shared
+:class:`~repro.obs.MetricsRegistry` — the historical ``times`` /
+``profiles`` / ``queued`` attributes are preserved as derived
+properties, and the backing registry snapshots straight into the
+canonical metrics JSON of :mod:`repro.obs.snapshot`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.recorders import MetricsRegistry, TimeSeries
 from .engine import Simulator
 
 __all__ = ["ProfileSampler", "QueueSampler", "trim_warmup", "steady_state_reached"]
@@ -24,23 +32,38 @@ class ProfileSampler:
 
     Attach with :meth:`install`; after the run, ``times`` and
     ``profiles`` hold the series (``profiles[i][j-1]`` = work waiting
-    on machine ``j`` at ``times[i]``).
+    on machine ``j`` at ``times[i]``), backed by one
+    ``waiting_work[j]`` :class:`~repro.obs.TimeSeries` per machine in
+    ``registry``.
     """
 
     period: float = 1.0
-    times: list[float] = field(default_factory=list)
-    profiles: list[list[float]] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    _series: list[TimeSeries] = field(default_factory=list, repr=False)
 
     def install(self, sim: Simulator, horizon: float) -> None:
         """Schedule sampling callbacks on ``sim`` up to ``horizon``."""
+        self._series = [
+            self.registry.series(f"waiting_work[{j}]") for j in range(1, sim.m + 1)
+        ]
         t = self.period
         while t <= horizon:
             sim.at(t, self._sample)
             t += self.period
 
     def _sample(self, sim: Simulator) -> None:
-        self.times.append(sim.now)
-        self.profiles.append(sim.waiting_profile())
+        for series, w in zip(self._series, sim.waiting_profile()):
+            series.observe(sim.now, w)
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._series[0].times) if self._series else []
+
+    @property
+    def profiles(self) -> list[list[float]]:
+        if not self._series:
+            return []
+        return [list(row) for row in zip(*(s.values for s in self._series))]
 
     def as_array(self) -> np.ndarray:
         """Profiles as a ``(n_samples, m)`` array."""
@@ -49,11 +72,11 @@ class ProfileSampler:
 
 @dataclass
 class QueueSampler:
-    """Samples total queued tasks (released, not yet started)."""
+    """Samples total queued tasks (released, not yet started), backed
+    by a ``queue_len_total`` :class:`~repro.obs.TimeSeries`."""
 
     period: float = 1.0
-    times: list[float] = field(default_factory=list)
-    queued: list[int] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def install(self, sim: Simulator, horizon: float) -> None:
         t = self.period
@@ -61,9 +84,20 @@ class QueueSampler:
             sim.at(t, self._sample)
             t += self.period
 
+    @property
+    def _series(self) -> TimeSeries:
+        return self.registry.series("queue_len_total")
+
     def _sample(self, sim: Simulator) -> None:
-        self.times.append(sim.now)
-        self.queued.append(sum(len(m.queue) for m in sim.machines.values()))
+        self._series.observe(sim.now, sum(len(m.queue) for m in sim.machines.values()))
+
+    @property
+    def times(self) -> list[float]:
+        return list(self._series.times)
+
+    @property
+    def queued(self) -> list[int]:
+        return [int(v) for v in self._series.values]
 
 
 def trim_warmup(values: np.ndarray, fraction: float = 0.1) -> np.ndarray:

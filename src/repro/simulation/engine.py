@@ -14,19 +14,34 @@ the analytic driver of :mod:`repro.core.dispatch` for three reasons:
    exactly (an integration test).
 
 The engine is deliberately single-threaded and deterministic; all the
-randomness lives in the workload generators.
+randomness lives in the workload generators.  An optional ``obs=``
+recorder (e.g. :class:`repro.obs.SimRecorder`) is driven at the three
+lifecycle points — release, start, complete — on top of the generic
+OBSERVE callbacks of :meth:`Simulator.at`.
+
+Truncation semantics (``run(until=...)``): every event at time
+``<= until`` is processed, the clock is then advanced to ``until``,
+and the result accounts for the cut honestly — busy time is credited
+only for work actually performed by ``until`` (completed tasks in
+full, the running task pro-rated from its start), so utilisation never
+exceeds 1; released-but-unstarted tasks contribute their current age
+``now - r_i`` (a lower bound on their eventual flow) to ``max_flow``
+and ``mean_flow`` and are flagged by ``n_pending``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..core.dispatch import ImmediateDispatchScheduler
 from ..core.schedule import Schedule
 from ..core.task import Instance, Task
 from .events import EventKind, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.sim import SimObserver
 
 __all__ = ["MachineState", "SimulationResult", "Simulator"]
 
@@ -40,6 +55,8 @@ class MachineState:
     current: Task | None = None
     #: FIFO run queue; deque so starts pop the head in O(1).
     queue: deque[Task] = field(default_factory=deque)
+    #: work performed on *completed* tasks; the running task is
+    #: pro-rated separately so truncated runs never over-credit.
     busy_time: float = 0.0
     tasks_done: int = 0
 
@@ -52,7 +69,13 @@ class MachineState:
 
 @dataclass(slots=True)
 class SimulationResult:
-    """Outcome of a simulation run."""
+    """Outcome of a simulation run.
+
+    On a truncated run (``n_pending > 0`` or tasks still in flight)
+    ``max_flow`` / ``mean_flow`` are *lower bounds*: started tasks
+    contribute their exact flow (their completion is determined — no
+    preemption), pending tasks contribute their age ``now - r_i``.
+    """
 
     schedule: Schedule
     max_flow: float
@@ -75,10 +98,17 @@ class Simulator:
         simulator calls ``scheduler.submit`` at each release so the
         scheduler's own bookkeeping stays authoritative; the engine
         then enacts the decision with explicit START/COMPLETE events.
+    obs:
+        Optional :class:`repro.obs.SimObserver` (duck-typed) whose
+        ``on_release`` / ``on_start`` / ``on_complete`` hooks fire at
+        the matching lifecycle points.
     """
 
-    def __init__(self, scheduler: ImmediateDispatchScheduler) -> None:
+    def __init__(
+        self, scheduler: ImmediateDispatchScheduler, obs: "SimObserver | None" = None
+    ) -> None:
         self.scheduler = scheduler
+        self.obs = obs
         self.m = scheduler.m
         self.machines = {j: MachineState(index=j) for j in range(1, self.m + 1)}
         self.events = EventQueue()
@@ -106,10 +136,12 @@ class Simulator:
         """Run ``callback(sim)`` when the clock reaches ``time``.
 
         The callback may inject tasks at the current instant (adaptive
-        adversaries) or record observations (collectors).  Within the
-        same instant, OBSERVE events fire in scheduling order relative
-        to releases, so schedule observers *before* adding same-time
-        tasks if they must see the pre-release state.
+        adversaries) or record observations (collectors).  The
+        within-instant order is pinned (COMPLETE before RELEASE before
+        OBSERVE), so a callback always sees the settled state of its
+        instant: same-time completions have freed their machines and
+        same-time releases have been dispatched.  Multiple callbacks at
+        one instant fire in scheduling order.
         """
         self.events.push(time, EventKind.OBSERVE, callback)
 
@@ -120,6 +152,8 @@ class Simulator:
         self.assigned_machine[task.tid] = record.machine
         self._tasks.append(task)
         mach.queue.append(task)
+        if self.obs is not None:
+            self.obs.on_release(self, task)
         self._try_start(mach)
 
     def _try_start(self, mach: MachineState) -> None:
@@ -127,20 +161,33 @@ class Simulator:
             task = mach.queue.popleft()
             mach.current = task
             mach.busy_until = self.now + task.proc
-            mach.busy_time += task.proc
             self.starts[task.tid] = self.now
             self.events.push(mach.busy_until, EventKind.COMPLETE, (mach.index, task))
+            if self.obs is not None:
+                self.obs.on_start(self, task, mach.index)
 
     def _handle_complete(self, machine_index: int, task: Task) -> None:
         mach = self.machines[machine_index]
         mach.current = None
         mach.tasks_done += 1
+        # Busy time is credited at completion (not at start), so a
+        # truncated run only counts work actually performed.
+        mach.busy_time += task.proc
         self.completions[task.tid] = self.now
+        if self.obs is not None:
+            self.obs.on_complete(self, task, machine_index)
         self._try_start(mach)
 
     # -- run ------------------------------------------------------------------
     def run(self, until: float | None = None) -> SimulationResult:
-        """Drain the event queue (or stop the clock at ``until``)."""
+        """Drain the event queue (or stop the clock at ``until``).
+
+        With ``until``, every event at time ``<= until`` is processed
+        and the clock then advances to ``until`` even if the last event
+        fired earlier, so :meth:`waiting_profile`, :meth:`uncompleted_on`
+        and :meth:`result` reflect the state *at the cutoff*, not at
+        the last event.  Calling :meth:`run` again resumes seamlessly.
+        """
         while self.events:
             nxt = self.events.peek_time()
             if until is not None and nxt is not None and nxt > until:
@@ -155,25 +202,47 @@ class Simulator:
                 ev.payload(self)
             else:  # pragma: no cover - START events are implicit
                 raise RuntimeError(f"unexpected event kind {ev.kind}")
+        if until is not None and self.now < until:
+            self.now = until
         return self.result()
 
     def result(self) -> SimulationResult:
-        """Summarise what has completed so far."""
+        """Summarise the run so far (exact on a drained queue, honest
+        lower bounds at a truncation instant — see the module notes)."""
         placements = {
             tid: (self.assigned_machine[tid], self.starts[tid])
             for tid in self.starts
         }
-        done_tasks = tuple(t for t in self._tasks if t.tid in self.starts)
-        inst = Instance(m=self.m, tasks=done_tasks)
+        started_tasks = tuple(t for t in self._tasks if t.tid in self.starts)
+        inst = Instance(m=self.m, tasks=started_tasks)
         sched = Schedule(inst, placements)
-        flows = [sched.flow_of(t.tid) for t in done_tasks]
+        # Started tasks have determined completions (no preemption);
+        # pending tasks contribute their age as a flow lower bound.
+        flows = [sched.flow_of(t.tid) for t in started_tasks]
+        pending_ages = [self.now - t.release for t in self._tasks if t.tid not in self.starts]
+        all_flows = flows + pending_ages
         makespan = max(self.completions.values(), default=0.0)
-        total_busy = sum(m.busy_time for m in self.machines.values())
-        util = total_busy / (self.m * makespan) if makespan > 0 else 0.0
+        completed_busy = sum(m.busy_time for m in self.machines.values())
+        in_flight_busy = sum(
+            self.now - self.starts[m.current.tid]
+            for m in self.machines.values()
+            if m.current is not None
+        )
+        total_busy = completed_busy + in_flight_busy
+        # "Done" means no work remains anywhere: every released task
+        # completed *and* no RELEASE/COMPLETE event is still queued
+        # (a truncated run may leave future releases pending).
+        all_done = (
+            len(self.completions) == len(self._tasks) and not self.events.has_work()
+        )
+        # Over [0, horizon] each machine's credited segments are
+        # disjoint, so utilisation is <= 1 by construction.
+        horizon = makespan if all_done else max(self.now, makespan)
+        util = total_busy / (self.m * horizon) if horizon > 0 else 0.0
         return SimulationResult(
             schedule=sched,
-            max_flow=max(flows, default=0.0),
-            mean_flow=(sum(flows) / len(flows)) if flows else 0.0,
+            max_flow=max(all_flows, default=0.0),
+            mean_flow=(sum(all_flows) / len(all_flows)) if all_flows else 0.0,
             makespan=makespan,
             n_completed=len(self.completions),
             utilization=util,

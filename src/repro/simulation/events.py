@@ -1,10 +1,21 @@
 """Event primitives for the discrete-event simulator.
 
-A minimal, allocation-light event core: events are ``(time, seq,
-kind, payload)`` tuples ordered by time with a monotone sequence
-number for stable FIFO tie-breaking — simultaneous events fire in
-scheduling order, which the paper's adversaries rely on (tasks released
-"in order" at the same instant).
+A minimal, allocation-light event core: events are ``(time, priority,
+seq, kind, payload)`` records ordered by time, then by a fixed
+per-kind priority, then by a monotone sequence number.
+
+The within-instant order is pinned: at equal times **COMPLETE fires
+before RELEASE fires before OBSERVE**, and events of the same kind
+fire in scheduling order (FIFO).  Completions-first means a machine
+that frees up at :math:`t` is already idle when a task released at
+:math:`t` is dispatched — matching the analytic driver, where starts
+satisfy :math:`\\sigma_i = \\max(r_i, \\text{avail}_j)` with no notion
+of event order.  Releases-before-observers means an OBSERVE callback
+always sees the settled state of its instant (collectors sample after
+same-time arrivals; adversaries inject *after* the instant's natural
+events, in scheduling order).  The FIFO tie-break within a kind is
+what the paper's adversaries rely on (tasks released "in order" at the
+same instant).
 """
 
 from __future__ import annotations
@@ -27,18 +38,32 @@ class EventKind(Enum):
     OBSERVE = auto()  #: a user/adversary callback fires
 
 
+#: Same-instant firing order (lower fires first): completions free
+#: machines, then releases dispatch onto the settled machines, then
+#: observers see the settled instant.
+_KIND_PRIORITY: dict[EventKind, int] = {
+    EventKind.COMPLETE: 0,
+    EventKind.START: 1,
+    EventKind.RELEASE: 2,
+    EventKind.OBSERVE: 3,
+}
+
+
 @dataclass(order=True, slots=True)
 class Event:
-    """A scheduled simulator event (orderable by time then seq)."""
+    """A scheduled simulator event (orderable by time, then kind
+    priority, then seq)."""
 
     time: float
+    priority: int
     seq: int
     kind: EventKind = field(compare=False)
     payload: Any = field(compare=False, default=None)
 
 
 class EventQueue:
-    """Binary-heap event queue with stable within-time ordering."""
+    """Binary-heap event queue with pinned within-time ordering
+    (COMPLETE < RELEASE < OBSERVE, FIFO within a kind)."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -46,7 +71,13 @@ class EventQueue:
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event; returns the event object."""
-        ev = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        ev = Event(
+            time=time,
+            priority=_KIND_PRIORITY[kind],
+            seq=next(self._counter),
+            kind=kind,
+            payload=payload,
+        )
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -57,6 +88,11 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Time of the earliest pending event, or ``None`` if empty."""
         return self._heap[0].time if self._heap else None
+
+    def has_work(self) -> bool:
+        """Whether any *work* event (RELEASE/START/COMPLETE, as opposed
+        to OBSERVE callbacks) is still pending."""
+        return any(ev.kind is not EventKind.OBSERVE for ev in self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

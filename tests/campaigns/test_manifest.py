@@ -48,6 +48,32 @@ class TestManifest:
         result = _result()
         assert build_manifest(result).spec_hash == result.spec.spec_hash()
 
+    def test_timings_recorded(self):
+        result = _result()
+        assert set(result.timings) >= {"cache_lookup", "execute", "unit_execute"}
+        assert all(v >= 0.0 for v in result.timings.values())
+        manifest = build_manifest(result)
+        assert manifest.timings == result.timings
+
+    def test_timings_survive_roundtrip(self, tmp_path):
+        manifest = build_manifest(_result())
+        path = write_manifest(manifest, tmp_path / "m.json")
+        assert load_manifest(path).timings == manifest.timings
+
+    def test_loads_v1_manifest_without_timings(self, tmp_path):
+        """Manifests written before version 2 load with empty timings."""
+        manifest = build_manifest(_result())
+        path = write_manifest(manifest, tmp_path / "m.json")
+        import json
+
+        data = json.loads(path.read_text())
+        data["version"] = 1
+        del data["timings"]
+        path.write_text(json.dumps(data))
+        loaded = load_manifest(path)
+        assert loaded.timings == {}
+        assert loaded.campaign == "mtest"
+
 
 class TestGitDescribe:
     def test_returns_string(self):

@@ -68,6 +68,46 @@ class TestCampaignCommand:
         assert main(argv) == 0
         assert "0 executed" in capsys.readouterr().out
 
+    def test_metrics_byte_identical_across_jobs(self, tmp_path, capsys):
+        """The acceptance check: ``--metrics`` output is byte-identical
+        for -j 1 and -j 4 (wall-clock timings live in the manifest, not
+        the metrics snapshot)."""
+        m1, m4 = tmp_path / "m1.json", tmp_path / "m4.json"
+        assert main(self._argv(tmp_path, jobs="1") + ["--metrics", str(m1)]) == 0
+        assert main(self._argv(tmp_path, jobs="4") + ["--metrics", str(m4)]) == 0
+        capsys.readouterr()
+        assert m1.read_bytes() == m4.read_bytes()
+
+    def test_metrics_schema_valid(self, tmp_path, capsys):
+        from repro.obs import load_metrics
+
+        path = tmp_path / "m.json"
+        assert main(self._argv(tmp_path) + ["--metrics", str(path)]) == 0
+        capsys.readouterr()
+        data = load_metrics(path)  # validates on load
+        assert data["meta"]["campaign"] == "fig11"
+        assert data["metrics"]["counters"]["units"] > 0
+
+    def test_fig11_metrics_flag(self, tmp_path, capsys):
+        from repro.obs import load_metrics
+
+        path = tmp_path / "fig11-metrics.json"
+        argv = ["fig11", "--quick", "--m", "6", "--k", "2", "--metrics", str(path)]
+        assert main(argv) == 0
+        assert "metrics:" in capsys.readouterr().out
+        assert load_metrics(path)["meta"]["figure"] == "fig11"
+
+    def test_fig10_metrics_flag(self, tmp_path, capsys):
+        from repro.obs import load_metrics
+
+        path = tmp_path / "fig10-metrics.json"
+        argv = ["fig10", "--quick", "--m", "6", "--seed", "3", "--metrics", str(path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        data = load_metrics(path)
+        assert data["meta"]["figure"] == "fig10"
+        assert data["metrics"]["counters"]["grid_cells"] > 0
+
     def test_no_cache_flag(self, tmp_path, capsys):
         argv = self._argv(tmp_path)[:-4] + ["--no-cache"]
         main(argv)

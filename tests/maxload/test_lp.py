@@ -102,7 +102,9 @@ class TestStructuralInvariants:
         for k in range(1, m + 1):
             ov = max_load_lp(pop, "overlapping", k).lam
             dj = max_load_lp(pop, "disjoint", k).lam
-            assert ov >= dj - 1e-7
+            # Relative slack: solver residuals scale with the optimum
+            # (an absolute 1e-7 flakes on lam ~ m-sized values).
+            assert ov >= dj - 1e-7 - 1e-6 * abs(dj)
 
     @given(st.integers(3, 8), st.floats(0, 3, allow_nan=False), st.integers(0, 999))
     @settings(max_examples=20, deadline=None)
@@ -110,7 +112,7 @@ class TestStructuralInvariants:
         """More replication never hurts (supports only grow)."""
         pop = shuffled_case(m, s, rng=seed)
         vals = [max_load_lp(pop, "overlapping", k).lam for k in range(1, m + 1)]
-        assert all(b >= a - 1e-7 for a, b in zip(vals, vals[1:]))
+        assert all(b >= a - 1e-7 - 1e-6 * abs(a) for a, b in zip(vals, vals[1:]))
 
     def test_equal_at_k_equals_m(self):
         pop = worst_case(8, 1.5)

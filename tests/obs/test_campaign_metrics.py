@@ -1,0 +1,52 @@
+"""Deterministic campaign-level metrics from unit results."""
+
+from repro.campaigns import CampaignSpec, Unit
+from repro.obs import campaign_metrics, metrics_snapshot, metrics_to_json, numeric_leaves
+
+
+def _spec(n=3):
+    return CampaignSpec.build(
+        "t",
+        [Unit(kind="tests.campaigns.unit_kinds:square", params={"x": i}) for i in range(n)],
+    )
+
+
+class TestNumericLeaves:
+    def test_nested_paths_sorted(self):
+        obj = {"b": {"y": 2, "x": 1}, "a": 0.5, "skip": "str", "flag": True}
+        assert list(numeric_leaves(obj)) == [("a", 0.5), ("b.x", 1.0), ("b.y", 2.0)]
+
+    def test_lists_flatten_under_parent_key(self):
+        assert list(numeric_leaves({"runs": [1, 2, 3]})) == [
+            ("runs", 1.0),
+            ("runs", 2.0),
+            ("runs", 3.0),
+        ]
+
+    def test_bare_number(self):
+        assert list(numeric_leaves(7)) == [("value", 7.0)]
+
+
+class TestCampaignMetrics:
+    def test_aggregates_per_field(self):
+        spec = _spec()
+        results = [{"y": float(i * i)} for i in range(3)]
+        reg = campaign_metrics(spec, results)
+        assert reg.counter("units").value == 3
+        assert reg.counter("units_distinct").value == 3
+        series = reg.series("unit/y")
+        assert series.values == [0.0, 1.0, 4.0]
+        assert reg["dist/y"].count == 3
+
+    def test_snapshot_deterministic(self):
+        spec = _spec()
+        results = [{"y": [1.0, 2.0], "z": 3} for _ in range(3)]
+        a = metrics_to_json(metrics_snapshot(campaign_metrics(spec, results)))
+        b = metrics_to_json(metrics_snapshot(campaign_metrics(spec, list(results))))
+        assert a == b
+
+    def test_constant_field_degenerate_histogram(self):
+        reg = campaign_metrics(_spec(2), [{"y": 5.0}, {"y": 5.0}])
+        hist = reg["dist/y"]
+        assert hist.edges == (5.0,)
+        assert hist.count == 2

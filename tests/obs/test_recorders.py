@@ -1,0 +1,107 @@
+"""Unit tests for the metric recorder primitives."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries, linear_edges
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(7.5)
+        assert g.snapshot() == 7.5
+
+
+class TestTimeSeries:
+    def test_observe(self):
+        s = TimeSeries("s")
+        s.observe(1.0, 10)
+        s.observe(2.0, 20)
+        assert len(s) == 2
+        assert s.last == 20.0
+        assert s.snapshot() == {"times": [1.0, 2.0], "values": [10.0, 20.0]}
+
+    def test_empty(self):
+        assert TimeSeries("s").last is None
+
+
+class TestLinearEdges:
+    def test_even_spacing(self):
+        assert linear_edges(0, 10, 5) == (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+
+    def test_degenerate_range(self):
+        assert linear_edges(3.0, 3.0) == (3.0,)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            linear_edges(0, 1, 0)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", edges=(1.0, 2.0, 4.0))
+        # underflow, [1,2), [2,4), overflow
+        for v in (0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 2, 2]
+        assert h.count == 7
+        assert h.vmin == 0.5 and h.vmax == 100.0
+        assert h.mean == pytest.approx(sum((0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 100.0)) / 7)
+
+    def test_snapshot_consistent(self):
+        h = Histogram("h", edges=(0.0, 1.0))
+        h.observe_all([0.2, 0.8, 1.5])
+        snap = h.snapshot()
+        assert sum(snap["counts"]) == snap["count"] == 3
+        assert len(snap["counts"]) == len(snap["edges"]) + 1
+
+    def test_bad_edges(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Histogram("h", edges=(2.0, 1.0))
+        with pytest.raises(ValueError, match="edge"):
+            Histogram("h", edges=())
+
+
+class TestMetricsRegistry:
+    def test_idempotent_accessors(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", (1.0, 2.0)) is reg.histogram("h", (1.0, 2.0))
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_edge_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0,))
+        with pytest.raises(ValueError, match="different edges"):
+            reg.histogram("h", (2.0,))
+
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.series("s").observe(0.0, 1.0)
+        reg.histogram("h", (0.0,)).observe(1.0)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "series", "histograms"}
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert "s" in snap["series"] and "h" in snap["histograms"]
+        assert reg.names() == ["c", "g", "h", "s"]

@@ -1,0 +1,105 @@
+"""SimRecorder driven through real Simulator runs via the obs= hooks."""
+
+import pytest
+
+from repro.core import EFT, Instance, Task
+from repro.obs import MetricsRegistry, SimRecorder
+from repro.simulation import Simulator
+
+
+def _run(tasks, m=1, obs="new", until=None, **recorder_kwargs):
+    if obs == "new":
+        obs = SimRecorder(**recorder_kwargs)
+    sim = Simulator(EFT(m, tiebreak="min"), obs=obs)
+    sim.add_tasks(tasks)
+    result = sim.run(until=until)
+    return obs, sim, result
+
+
+class TestLifecycleCounters:
+    def test_full_run_counts(self):
+        obs, _, _ = _run([Task(tid=t, release=0, proc=1) for t in range(3)])
+        assert obs.released.value == 3
+        assert obs.started.value == 3
+        assert obs.completed.value == 3
+
+    def test_truncated_run_counts(self):
+        # One machine, three unit tasks at 0: at until=1.5 one is done,
+        # one is running, one was never started.
+        obs, _, result = _run(
+            [Task(tid=t, release=0, proc=1) for t in range(3)], until=1.5
+        )
+        assert obs.released.value == 3
+        assert obs.started.value == 2
+        assert obs.completed.value == 1
+        assert result.n_pending == 1
+
+
+class TestFlowHistogram:
+    def test_flows_observed_at_completion(self):
+        # m=1, unit tasks at 0: flows are 1, 2, 3.
+        obs, _, _ = _run(
+            [Task(tid=t, release=0, proc=1) for t in range(3)],
+            flow_edges=(1.5, 2.5),
+        )
+        snap = obs.flow_hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["counts"] == [1, 1, 1]  # 1 | 2 | 3
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+
+
+class TestInterStartGaps:
+    def test_gaps_per_machine(self):
+        # m=1, unit tasks: starts at 0, 1, 2 -> two gaps of 1.
+        obs, _, _ = _run(
+            [Task(tid=t, release=0, proc=1) for t in range(3)],
+            gap_edges=(0.5, 1.5),
+        )
+        assert obs.gap_hist.count == 2
+        assert obs.gap_hist.counts == [0, 2, 0]
+
+    def test_gaps_do_not_mix_machines(self):
+        # Two machines, one task each: no same-machine consecutive
+        # starts, so no gaps at all.
+        obs, _, _ = _run(
+            [Task(tid=0, release=0, proc=1), Task(tid=1, release=0, proc=1)], m=2
+        )
+        assert obs.gap_hist.count == 0
+
+
+class TestSampledSeries:
+    def test_install_samples_queue_and_work(self):
+        obs = SimRecorder()
+        sim = Simulator(EFT(1), obs=obs)
+        sim.add_tasks([Task(tid=t, release=0, proc=2) for t in range(3)])
+        obs.install(sim, horizon=5.0, period=1.0)
+        sim.run()
+        q = obs.registry.series("queue_len[1]")
+        assert q.times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        # at t=1: one running, two queued
+        assert q.values[0] == 2.0
+        w = obs.registry.series("waiting_work[1]")
+        assert w.values[0] == pytest.approx(5.0)  # 1 residual + 4 queued
+        assert obs.registry.series("queue_len_total").values == q.values
+
+    def test_bad_period(self):
+        obs = SimRecorder()
+        with pytest.raises(ValueError):
+            obs.install(Simulator(EFT(1)), horizon=1.0, period=0.0)
+
+
+class TestSharedRegistry:
+    def test_two_runs_merge(self):
+        registry = MetricsRegistry()
+        _run([Task(tid=0, release=0, proc=1)], obs=SimRecorder(registry))
+        _run([Task(tid=0, release=0, proc=1)], obs=SimRecorder(registry))
+        assert registry.counter("tasks_completed").value == 2
+
+
+class TestResultUnaffected:
+    def test_obs_does_not_change_schedule(self):
+        tasks = [Task(tid=t, release=t % 2, proc=1.5) for t in range(4)]
+        _, _, plain = _run(list(tasks), m=2, obs=None)
+        _, _, observed = _run(list(tasks), m=2)
+        assert plain.schedule.same_placements(observed.schedule)
+        assert plain.max_flow == observed.max_flow

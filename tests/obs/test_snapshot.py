@@ -1,0 +1,122 @@
+"""Snapshot serialisation, byte stability and schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRICS_FORMAT,
+    METRICS_VERSION,
+    MetricsRegistry,
+    MetricsSchemaError,
+    load_metrics,
+    metrics_snapshot,
+    metrics_to_json,
+    validate_metrics,
+    write_metrics,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("n").inc(3)
+    reg.gauge("g").set(2.5)
+    s = reg.series("s")
+    s.observe(1.0, 0.5)
+    s.observe(2.0, 0.25)
+    reg.histogram("h", (0.0, 1.0)).observe_all([0.5, 1.5, -0.5])
+    return reg
+
+
+class TestSnapshot:
+    def test_structure(self):
+        snap = metrics_snapshot(_registry(), meta={"run": "x"})
+        assert snap["format"] == METRICS_FORMAT
+        assert snap["version"] == METRICS_VERSION
+        assert snap["meta"] == {"run": "x"}
+        validate_metrics(snap)
+
+    def test_byte_stability(self):
+        """Two registries fed the same observations render identically."""
+        a = metrics_to_json(metrics_snapshot(_registry()))
+        b = metrics_to_json(metrics_snapshot(_registry()))
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = write_metrics(_registry(), tmp_path / "sub" / "m.json", meta={"k": 1})
+        data = load_metrics(path)
+        assert data["meta"] == {"k": 1}
+        assert data["metrics"]["counters"]["n"] == 3
+
+    def test_numpy_values_serialise(self):
+        np = pytest.importorskip("numpy")
+        reg = MetricsRegistry()
+        reg.gauge("g").set(np.float64(1.5))
+        snap = metrics_snapshot(reg)
+        assert json.loads(metrics_to_json(snap))["metrics"]["gauges"]["g"] == 1.5
+
+
+class TestValidation:
+    def _valid(self):
+        return metrics_snapshot(_registry())
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(MetricsSchemaError, match="format"):
+            validate_metrics({"format": "other", "version": 1, "metrics": {}})
+
+    def test_rejects_bad_version(self):
+        snap = self._valid()
+        snap["version"] = 99
+        with pytest.raises(MetricsSchemaError, match="version"):
+            validate_metrics(snap)
+
+    def test_rejects_negative_counter(self):
+        snap = self._valid()
+        snap["metrics"]["counters"]["n"] = -1
+        with pytest.raises(MetricsSchemaError, match="counters.n"):
+            validate_metrics(snap)
+
+    def test_rejects_length_mismatch(self):
+        snap = self._valid()
+        snap["metrics"]["series"]["s"]["times"].append(9.0)
+        with pytest.raises(MetricsSchemaError, match="lengths differ"):
+            validate_metrics(snap)
+
+    def test_rejects_inconsistent_histogram(self):
+        snap = self._valid()
+        snap["metrics"]["histograms"]["h"]["count"] = 99
+        with pytest.raises(MetricsSchemaError, match="count"):
+            validate_metrics(snap)
+
+    def test_rejects_bad_bucket_shape(self):
+        snap = self._valid()
+        snap["metrics"]["histograms"]["h"]["counts"] = [1]
+        with pytest.raises(MetricsSchemaError, match="buckets"):
+            validate_metrics(snap)
+
+    def test_rejects_unknown_section(self):
+        snap = self._valid()
+        snap["metrics"]["bogus"] = {}
+        with pytest.raises(MetricsSchemaError, match="unknown sections"):
+            validate_metrics(snap)
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-metrics", "version": 1, "metrics": []}')
+        with pytest.raises(MetricsSchemaError):
+            load_metrics(path)
+
+
+class TestValidatorCli:
+    def test_ok_and_invalid(self, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        good = write_metrics(_registry(), tmp_path / "good.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main([str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err

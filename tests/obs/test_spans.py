@@ -1,0 +1,48 @@
+"""Unit tests for wall-clock timing spans."""
+
+import pytest
+
+from repro.obs import SpanSet
+
+
+class TestSpanSet:
+    def test_span_records_duration(self):
+        spans = SpanSet()
+        with spans.span("work"):
+            sum(range(1000))
+        assert spans.seconds("work") > 0
+        assert spans.count("work") == 1
+        assert "work" in spans
+
+    def test_spans_accumulate(self):
+        spans = SpanSet()
+        spans.add("x", 0.25)
+        spans.add("x", 0.5)
+        spans.add("y", 1.0)
+        assert spans.seconds("x") == pytest.approx(0.75)
+        assert spans.count("x") == 2
+        assert len(spans) == 2
+
+    def test_records_even_on_exception(self):
+        spans = SpanSet()
+        with pytest.raises(RuntimeError):
+            with spans.span("boom"):
+                raise RuntimeError("boom")
+        assert spans.count("boom") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpanSet().add("x", -1.0)
+
+    def test_as_dict_sorted_rounded(self):
+        spans = SpanSet()
+        spans.add("b", 0.123456789)
+        spans.add("a", 1.0)
+        out = spans.as_dict()
+        assert list(out) == ["a", "b"]
+        assert out["b"] == 0.123457
+
+    def test_missing_name(self):
+        spans = SpanSet()
+        assert spans.seconds("nope") == 0.0
+        assert spans.count("nope") == 0

@@ -1,6 +1,10 @@
 """Unit tests for the event queue."""
 
-from repro.simulation import EventKind, EventQueue
+from hypothesis import given, settings
+
+from repro.core import EFT, eft_schedule
+from repro.simulation import EventKind, EventQueue, Simulator
+from tests.conftest import unrestricted_instances
 
 
 class TestEventQueue:
@@ -31,3 +35,82 @@ class TestEventQueue:
         assert not q
         q.push(0.0, EventKind.COMPLETE)
         assert q
+
+    def test_has_work(self):
+        q = EventQueue()
+        assert not q.has_work()
+        q.push(1.0, EventKind.OBSERVE)
+        assert not q.has_work()
+        q.push(2.0, EventKind.RELEASE)
+        assert q.has_work()
+
+
+class TestSameInstantOrdering:
+    """The pinned within-instant order: COMPLETE < RELEASE < OBSERVE."""
+
+    def test_kind_priority_at_equal_time(self):
+        q = EventQueue()
+        # Scheduled in the *reverse* of the firing order.
+        q.push(1.0, EventKind.OBSERVE, "observe")
+        q.push(1.0, EventKind.RELEASE, "release")
+        q.push(1.0, EventKind.COMPLETE, "complete")
+        assert [q.pop().payload for _ in range(3)] == [
+            "complete",
+            "release",
+            "observe",
+        ]
+
+    def test_priority_only_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.COMPLETE, "late-complete")
+        q.push(1.0, EventKind.OBSERVE, "early-observe")
+        assert q.pop().payload == "early-observe"
+
+    def test_fifo_within_kind_at_equal_time(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, EventKind.RELEASE, i)
+        q.push(1.0, EventKind.COMPLETE, "c")
+        assert q.pop().payload == "c"
+        assert [q.pop().payload for _ in range(5)] == list(range(5))
+
+
+class TestCoincidingTimesMatchAnalytic:
+    """With completions firing before same-instant releases, the
+    event-driven simulator reproduces the analytic EFT schedule even
+    when a release coincides with a completion."""
+
+    def _simulate(self, inst, tiebreak):
+        sim = Simulator(EFT(inst.m, tiebreak=tiebreak))
+        sim.add_instance(inst)
+        return sim.run()
+
+    def test_release_at_completion_instant(self):
+        # m=1, unit tasks released at 0, 1, 1: task 0 completes at 1,
+        # exactly when tasks 1 and 2 arrive.  The freed machine must be
+        # visible to the same-instant dispatch.
+        from repro.core import Instance, Task
+
+        inst = Instance(
+            m=1,
+            tasks=(
+                Task(tid=0, release=0.0, proc=1.0),
+                Task(tid=1, release=1.0, proc=1.0),
+                Task(tid=2, release=1.0, proc=1.0),
+            ),
+        )
+        result = self._simulate(inst, "min")
+        analytic = eft_schedule(inst, tiebreak="min")
+        assert result.schedule.same_placements(analytic)
+        for tid in (0, 1, 2):
+            assert result.schedule.start_of(tid) == analytic.start_of(tid)
+
+    @given(unrestricted_instances(unit=True, integral_releases=True))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_unit_instances(self, inst):
+        """Unit procs + integral releases maximise coinciding
+        completion/release instants."""
+        for tiebreak in ("min", "max"):
+            result = self._simulate(inst, tiebreak)
+            analytic = eft_schedule(inst, tiebreak=tiebreak)
+            assert result.schedule.same_placements(analytic)

@@ -1,0 +1,171 @@
+"""Truncated-run semantics of ``Simulator.run(until=...)``.
+
+The accounting rules fixed by the obs PR: utilisation never exceeds 1
+(busy time is credited at completion, the running task pro-rated), the
+clock advances to the cutoff, pending tasks contribute their age to
+the flow bounds, and — the central property — a run truncated at
+``until`` agrees with the prefix of the untruncated run (completions,
+starts, sampled obs series) for random instances and both tie-breaks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EFT, Task
+from repro.obs import SimRecorder
+from repro.simulation import Simulator
+from tests.conftest import unrestricted_instances
+
+
+def _sim(m, tiebreak, obs=None):
+    return Simulator(EFT(m, tiebreak=tiebreak), obs=obs)
+
+
+class TestUtilizationBounded:
+    def test_pro_rated_in_flight_work(self):
+        # m=1: task 0 (proc 1) completes at 1, task 1 (proc 10) starts
+        # at 1 and is cut mid-flight at 1.5.  Before the fix the full
+        # 10 units were credited at start, making utilisation 11/1.5.
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=1), Task(tid=1, release=0, proc=10)])
+        result = sim.run(until=1.5)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_idle_tail_counts_against_utilization(self):
+        # Work ends at 1 but the window extends to 4: 1 busy unit over
+        # a 4-unit horizon.
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=1), Task(tid=1, release=10, proc=1)])
+        result = sim.run(until=4.0)
+        assert result.utilization == pytest.approx(0.25)
+
+    def test_full_run_unchanged(self):
+        sim = _sim(2, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=2), Task(tid=1, release=0, proc=2)])
+        assert sim.run().utilization == pytest.approx(1.0)
+
+    @given(unrestricted_instances(), st.floats(0.1, 30.0), st.sampled_from(["min", "max"]))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_one(self, inst, until, tiebreak):
+        sim = _sim(inst.m, tiebreak)
+        sim.add_instance(inst)
+        result = sim.run(until=until)
+        assert result.utilization <= 1.0 + 1e-9
+
+
+class TestClockAdvancesToCutoff:
+    def test_now_reaches_until(self):
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=1)])
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_waiting_profile_at_cutoff(self):
+        # Task completes at 2; by the cutoff at 5 nothing is waiting.
+        # Before the fix `now` stuck at 2, and a task released at 4
+        # with 3 remaining at the cutoff showed its full residual.
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=2), Task(tid=1, release=4, proc=4)])
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert sim.waiting_profile() == [pytest.approx(3.0)]
+
+    def test_resume_after_truncation(self):
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=t, release=0, proc=2) for t in range(3)])
+        first = sim.run(until=3.0)
+        assert first.n_completed == 1
+        final = sim.run()
+        assert final.n_completed == 3
+        assert final.n_pending == 0
+
+
+class TestPendingFlowBounds:
+    def test_pending_age_in_flows(self):
+        # m=1, procs 1/4/4 at release 0, cut at 3: task 0 flowed 1,
+        # task 1 runs to 5 (flow 5, determined), task 2 is pending with
+        # age 3.  Before the fix task 2 was silently dropped.
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=t, release=0, proc=p) for t, p in enumerate((1, 4, 4))])
+        result = sim.run(until=3.0)
+        assert result.n_pending == 1
+        assert result.max_flow == pytest.approx(5.0)
+        assert result.mean_flow == pytest.approx((1.0 + 5.0 + 3.0) / 3)
+
+    def test_pending_only_run(self):
+        # Released at 0 and 1, nothing ever starts (cut at a release
+        # instant is impossible — starts fire at release — so park the
+        # tasks on a machine busy past the horizon).
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=100), Task(tid=1, release=1, proc=1)])
+        result = sim.run(until=10.0)
+        assert result.n_pending == 1
+        # in-flight task: flow 100 (determined); pending task: age 9.
+        assert result.max_flow == pytest.approx(100.0)
+        assert result.mean_flow == pytest.approx((100.0 + 9.0) / 2)
+
+    def test_full_run_flows_unchanged(self):
+        sim = _sim(1, "min")
+        sim.add_tasks([Task(tid=0, release=0, proc=1), Task(tid=1, release=0, proc=1)])
+        result = sim.run()
+        assert result.n_pending == 0
+        assert result.max_flow == pytest.approx(2.0)
+        assert result.mean_flow == pytest.approx(1.5)
+
+
+class TestTruncationIsPrefix:
+    """A truncated run equals the prefix of the untruncated run."""
+
+    @given(
+        unrestricted_instances(),
+        st.floats(0.0, 30.0),
+        st.sampled_from(["min", "max"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_agree_with_prefix(self, inst, until, tiebreak):
+        full = _sim(inst.m, tiebreak)
+        full.add_instance(inst)
+        full.run()
+
+        trunc = _sim(inst.m, tiebreak)
+        trunc.add_instance(inst)
+        trunc.run(until=until)
+
+        assert trunc.completions == {
+            tid: c for tid, c in full.completions.items() if c <= until
+        }
+        assert trunc.starts == {tid: s for tid, s in full.starts.items() if s <= until}
+        for tid in trunc.starts:
+            assert trunc.assigned_machine[tid] == full.assigned_machine[tid]
+
+    @given(
+        unrestricted_instances(max_m=4, max_n=15),
+        st.floats(0.5, 20.0),
+        st.sampled_from(["min", "max"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_obs_series_agree_with_prefix(self, inst, until, tiebreak):
+        """Sampled obs time series of the truncated run are exactly the
+        prefix (times <= until) of the untruncated run's series."""
+        horizon = 25.0
+        full_obs, trunc_obs = SimRecorder(), SimRecorder()
+        full = _sim(inst.m, tiebreak, obs=full_obs)
+        full.add_instance(inst)
+        full_obs.install(full, horizon=horizon, period=1.0)
+        full.run()
+
+        trunc = _sim(inst.m, tiebreak, obs=trunc_obs)
+        trunc.add_instance(inst)
+        trunc_obs.install(trunc, horizon=horizon, period=1.0)
+        trunc.run(until=until)
+
+        for name in ("queue_len_total", "waiting_work_total"):
+            if name not in trunc_obs.registry:
+                continue
+            t_series = trunc_obs.registry.series(name)
+            f_series = full_obs.registry.series(name)
+            n = len(t_series)
+            assert all(t <= until for t in t_series.times)
+            assert t_series.times == f_series.times[:n]
+            assert t_series.values == f_series.values[:n]
