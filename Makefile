@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -56,5 +56,26 @@ obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
 		results/.obs-smoke/m1.json results/.obs-smoke/m4.json
 	rm -rf results/.obs-smoke
+
+# Fault-injection smoke: a tiny chaos-faulted run must complete, be
+# deterministic (two runs, identical snapshots) and schema-valid.
+faults-smoke:
+	rm -rf results/.faults-smoke
+	PYTHONPATH=src $(PYTHON) -m repro faulted --m 6 --k 2 --n 120 \
+		--mtbf 30 --mttr 4 --policy restart \
+		--metrics results/.faults-smoke/a.json
+	PYTHONPATH=src $(PYTHON) -m repro faulted --m 6 --k 2 --n 120 \
+		--mtbf 30 --mttr 4 --policy restart \
+		--metrics results/.faults-smoke/b.json
+	cmp results/.faults-smoke/a.json results/.faults-smoke/b.json
+	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
+		results/.faults-smoke/a.json results/.faults-smoke/b.json
+	rm -rf results/.faults-smoke
+
+# Runner-resilience: a crashing unit must yield exactly one failed
+# outcome (not a pool abort), retries must heal a flaky unit, and an
+# interrupted campaign must leave a resumable manifest.
+runner-resilience:
+	PYTHONPATH=src $(PYTHON) -m repro.faults.selftest
 
 all: install test bench

@@ -6,8 +6,10 @@ them:
 
 * :mod:`~repro.campaigns.spec` — declarative :class:`CampaignSpec` /
   :class:`Unit` with stable content hashes;
-* :mod:`~repro.campaigns.runner` — multiprocessing executor
-  (:func:`run_campaign`) with a serial ``n_jobs=1`` fallback and
+* :mod:`~repro.campaigns.runner` — crash-isolated multiprocessing
+  executor (:func:`run_campaign`) with a serial ``n_jobs=1`` fallback,
+  per-unit timeouts, bounded retry (:class:`RetryPolicy`), interruption
+  with a resumable partial result (:class:`CampaignInterrupted`) and
   deterministic, order-independent results;
 * :mod:`~repro.campaigns.cache` — on-disk :class:`ResultCache` under
   ``results/.cache/`` keyed by unit hash (reruns only execute
@@ -22,7 +24,14 @@ them:
 
 from .cache import DEFAULT_CACHE_ROOT, ResultCache
 from .manifest import RunManifest, build_manifest, git_describe, load_manifest, write_manifest
-from .runner import CampaignError, CampaignResult, UnitOutcome, run_campaign
+from .runner import (
+    CampaignError,
+    CampaignInterrupted,
+    CampaignResult,
+    RetryPolicy,
+    UnitOutcome,
+    run_campaign,
+)
 from .spec import (
     CampaignSpec,
     Unit,
@@ -47,10 +56,12 @@ from .trace import loads as loads_trace
 
 __all__ = [
     "CampaignError",
+    "CampaignInterrupted",
     "CampaignResult",
     "CampaignSpec",
     "DEFAULT_CACHE_ROOT",
     "ResultCache",
+    "RetryPolicy",
     "RunManifest",
     "TRACE_FORMAT",
     "TRACE_VERSION",

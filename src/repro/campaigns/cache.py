@@ -11,8 +11,9 @@ Each entry is a small JSON document ``{"format": "repro-unit-cache",
 possible for an identical computation, so re-running a campaign after
 editing its parameters executes exactly the changed units.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or killed
-worker never leaves a truncated entry behind; corrupted or
+Writes are atomic and durable (temp file + ``fsync`` + ``os.replace``)
+so a crashed or killed worker — or a machine crash right after the
+rename — never leaves a truncated entry behind; corrupted or
 foreign-format entries are treated as misses.
 """
 
@@ -87,6 +88,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh)
+                # Durability, not just atomicity: without the fsync a
+                # machine crash can promote an empty/truncated temp file
+                # into place (os.replace orders metadata, not data).
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -29,9 +29,12 @@ __all__ = [
 ]
 
 MANIFEST_FORMAT = "repro-manifest"
+#: v3 added ``n_interrupted`` / ``interrupted`` and per-unit
+#: ``attempts`` (retry accounting) — a v3 manifest with
+#: ``interrupted: true`` is the resume point of ``campaign --resume``;
 #: v2 added the ``timings`` span table (runner wall-clock breakdown);
 #: v1 files load with empty timings.
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
 
 
 def git_describe(cwd: str | Path | None = None) -> str:
@@ -65,7 +68,12 @@ class RunManifest:
     n_executed: int
     n_cached: int
     n_failed: int
-    units: tuple[Mapping[str, Any], ...]  # {hash, label, status, duration}
+    units: tuple[Mapping[str, Any], ...]  # {hash, label, status, duration, attempts}
+    #: distinct units left unresolved by an interrupted run (v3).
+    n_interrupted: int = 0
+    #: True when the run was cut short — this manifest is partial and
+    #: is the input of ``repro campaign --resume`` (v3).
+    interrupted: bool = False
     meta: Mapping[str, Any] = field(default_factory=dict)
     #: runner span totals in seconds (cache_lookup / execute /
     #: unit_execute) — see :class:`repro.campaigns.runner.CampaignResult`.
@@ -102,12 +110,15 @@ def build_manifest(
         n_executed=result.n_executed,
         n_cached=result.n_cached,
         n_failed=result.n_failed,
+        n_interrupted=result.n_interrupted,
+        interrupted=result.interrupted,
         units=tuple(
             {
                 "hash": o.unit_hash,
                 "label": o.unit.label,
                 "status": o.status,
                 "duration": round(o.duration, 6),
+                "attempts": o.attempts,
             }
             for o in result.outcomes
         ),
@@ -129,7 +140,7 @@ def load_manifest(path: str | Path) -> RunManifest:
     data = json.loads(Path(path).read_text())
     if data.get("format") != MANIFEST_FORMAT:
         raise ValueError(f"not a {MANIFEST_FORMAT} file: {path}")
-    if data.get("version") not in (1, MANIFEST_VERSION):
+    if data.get("version") not in (1, 2, MANIFEST_VERSION):
         raise ValueError(f"unsupported manifest version {data.get('version')!r}")
     fields = {k: data[k] for k in (
         "campaign", "spec_hash", "git", "started_at", "wall_time", "n_jobs",
@@ -139,5 +150,7 @@ def load_manifest(path: str | Path) -> RunManifest:
         units=tuple(data.get("units", ())),
         meta=dict(data.get("meta", {})),
         timings=dict(data.get("timings", {})),  # absent in v1 files
+        n_interrupted=int(data.get("n_interrupted", 0)),  # pre-v3 files
+        interrupted=bool(data.get("interrupted", False)),
         **fields,
     )

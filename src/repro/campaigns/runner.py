@@ -1,32 +1,61 @@
-"""Parallel campaign execution.
+"""Parallel campaign execution with crash isolation and retry.
 
 :func:`run_campaign` takes a :class:`~repro.campaigns.spec.CampaignSpec`
-and executes its units on a ``multiprocessing`` worker pool sized to
-``os.cpu_count()`` by default (``n_jobs=1`` runs serially in-process —
-no pool, easier to debug and profile).  Results are deterministic and
-independent of worker count or completion order: they are re-assembled
-in unit order, and every unit carries its own seed, so
+and executes its units on worker processes (``n_jobs=1`` with no
+timeout/retry runs serially in-process — no pool, easier to debug and
+profile).  Results are deterministic and independent of worker count or
+completion order: they are re-assembled in unit order, and every unit
+carries its own seed, so
 
     ``run_campaign(spec, n_jobs=1) == run_campaign(spec, n_jobs=8)``
 
 for any pure unit executor.  With a :class:`ResultCache`, units whose
 content hash is already on disk are served from cache without
 executing; identical units within one spec execute once.
+
+Resilience (the degraded-operation contract):
+
+* **crash isolation** — every unit runs in its *own* worker process;
+  a unit that raises, calls ``os._exit`` or is SIGKILLed yields a
+  ``failed`` outcome for that unit only, never aborts the pool (the
+  classic ``multiprocessing.Pool`` would hang or poison neighbours);
+* **per-unit wall-clock timeout** (``timeout=``) — hung units are
+  terminated and reported as failed;
+* **bounded retry with exponential backoff** (``retry=``) — failed
+  attempts are re-queued after a deterministic delay
+  (:meth:`RetryPolicy.delay` derives its jitter from the unit hash and
+  attempt number via :func:`~repro.campaigns.spec.stable_seed`, so a
+  seeded campaign retries on the same schedule every run);
+* **interruption with a usable partial state** — SIGINT raises
+  :class:`CampaignInterrupted` carrying a valid partial
+  :class:`CampaignResult` (finished units are already in the cache),
+  from which the CLI flushes a partial manifest; re-running the same
+  spec against the same cache resumes exactly where it stopped.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
 from ..obs.spans import SpanSet
 from .cache import ResultCache
-from .spec import CampaignSpec, Unit, get_unit_kind
+from .spec import CampaignSpec, Unit, get_unit_kind, stable_seed
 
-__all__ = ["CampaignError", "CampaignResult", "UnitOutcome", "run_campaign"]
+__all__ = [
+    "CampaignError",
+    "CampaignInterrupted",
+    "CampaignResult",
+    "RetryPolicy",
+    "UnitOutcome",
+    "run_campaign",
+]
 
 #: ``progress(done, total, outcome)`` — called after every unit resolves.
 ProgressCallback = Callable[[int, int, "UnitOutcome"], None]
@@ -36,13 +65,63 @@ class CampaignError(RuntimeError):
     """Raised when one or more units fail and ``raise_on_error`` is set."""
 
 
+class CampaignInterrupted(RuntimeError):
+    """Raised when the run is interrupted (SIGINT / KeyboardInterrupt).
+
+    Carries the partial :class:`CampaignResult`: every resolved unit
+    keeps its outcome, unresolved units are marked ``"interrupted"``.
+    Executed units are already in the cache, so re-running the same
+    spec with the same cache resumes from where the run stopped.
+    """
+
+    def __init__(self, result: "CampaignResult") -> None:
+        super().__init__(
+            f"campaign {result.spec.name} interrupted with "
+            f"{result.n_interrupted} unit(s) unresolved"
+        )
+        self.result = result
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Attempt ``a`` (1-based count of failures so far) is re-queued after
+    ``min(backoff * 2**(a-1), max_backoff) * (1 + jitter * u)`` seconds,
+    where ``u in [0, 1)`` is derived from the unit hash and attempt via
+    :func:`stable_seed` — decorrelated across units, identical across
+    runs.
+    """
+
+    retries: int = 0
+    backoff: float = 0.25
+    max_backoff: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.max_backoff < 0 or self.jitter < 0:
+            raise ValueError("backoff, max_backoff and jitter must be >= 0")
+
+    def delay(self, unit_hash: str, attempt: int) -> float:
+        """Deterministic delay before retrying ``unit_hash`` after its
+        ``attempt``-th failure."""
+        base = min(self.backoff * 2 ** (attempt - 1), self.max_backoff)
+        frac = (stable_seed(unit_hash, attempt) % 10_000) / 10_000.0
+        return base * (1.0 + self.jitter * frac)
+
+
 @dataclass(frozen=True)
 class UnitOutcome:
     """How one unit was resolved.
 
     ``status`` is ``"executed"`` (ran in this invocation), ``"cached"``
-    (served from the on-disk cache) or ``"failed"`` (executor raised;
-    ``error`` holds the rendered exception).
+    (served from the on-disk cache), ``"failed"`` (executor raised,
+    worker crashed, or timed out — ``error`` holds the rendered cause)
+    or ``"interrupted"`` (the campaign was stopped before the unit
+    resolved).  ``attempts`` counts execution attempts (> 1 after
+    retries; 0 for cached/interrupted units).
     """
 
     unit: Unit
@@ -51,6 +130,7 @@ class UnitOutcome:
     result: Mapping[str, Any] | None = None
     error: str | None = None
     duration: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -74,6 +154,10 @@ class CampaignResult:
     n_jobs: int = 1
     wall_time: float = 0.0
     timings: dict[str, float] = field(default_factory=dict)
+    #: True when the run was cut short (SIGINT); unresolved units carry
+    #: status ``"interrupted"`` and the manifest written from this
+    #: result is the resume point.
+    interrupted: bool = False
 
     def _count(self, status: str) -> int:
         # Count distinct units: duplicates share one execution/cache hit,
@@ -93,6 +177,10 @@ class CampaignResult:
         return self._count("failed")
 
     @property
+    def n_interrupted(self) -> int:
+        return self._count("interrupted")
+
+    @property
     def all_cached(self) -> bool:
         """Whether the run did no work at all (every unit was a hit)."""
         return bool(self.outcomes) and self.n_cached == len(
@@ -109,18 +197,24 @@ class CampaignResult:
             )
         return [o.result for o in self.outcomes]  # type: ignore[misc]
 
+    def failures(self) -> list[UnitOutcome]:
+        """Failed outcomes in unit order (distinct hashes may repeat
+        through duplicate units)."""
+        return [o for o in self.outcomes if o.status == "failed"]
+
     def summary(self) -> str:
         """One-line human summary for CLI output and logs."""
+        tail = f", {self.n_interrupted} interrupted" if self.interrupted else ""
         return (
             f"campaign {self.spec.name} [{self.spec.spec_hash()}]: "
             f"{len(self.outcomes)} units — {self.n_executed} executed, "
-            f"{self.n_cached} cached, {self.n_failed} failed "
+            f"{self.n_cached} cached, {self.n_failed} failed{tail} "
             f"({self.wall_time:.2f}s, {self.n_jobs} job(s))"
         )
 
 
 def _execute_payload(payload: tuple[str, dict, int, str]) -> tuple[str, str, Any, float]:
-    """Worker entry point: run one unit, never raise.
+    """Run one unit in the current process, never raise.
 
     Returns ``(unit_hash, status, result_or_error, duration)`` where
     status is ``"ok"`` or ``"error"``.  Module-level so it pickles
@@ -137,6 +231,27 @@ def _execute_payload(payload: tuple[str, dict, int, str]) -> tuple[str, str, Any
         return unit_hash, "error", err, time.perf_counter() - t0
 
 
+def _unit_worker(payload: tuple[str, dict, int, str], conn) -> None:
+    """Isolated-worker entry point: execute one unit and ship the
+    outcome over ``conn``.  A crash (``os._exit``, SIGKILL, segfault)
+    simply closes the pipe — the parent observes the empty pipe plus
+    the exit code and records a failure for this unit alone."""
+    conn.send(_execute_payload(payload))
+    conn.close()
+
+
+@dataclass
+class _Running:
+    """Parent-side bookkeeping for one in-flight worker."""
+
+    proc: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    payload: tuple[str, dict, int, str]
+    attempt: int  # 1-based attempt number this execution is
+    started: float  # time.monotonic() at launch
+    deadline: float | None  # monotonic instant the timeout strikes
+
+
 def _resolve_jobs(n_jobs: int | None, n_pending: int) -> int:
     if n_jobs is None:
         n_jobs = os.cpu_count() or 1
@@ -145,20 +260,151 @@ def _resolve_jobs(n_jobs: int | None, n_pending: int) -> int:
     return max(1, min(n_jobs, n_pending))
 
 
+def _reap(item: _Running, timeout: float | None) -> tuple[str, str, Any, float]:
+    """Collect the outcome of a finished (or killed) worker."""
+    unit_hash = item.payload[3]
+    elapsed = time.monotonic() - item.started
+    raw = None
+    try:
+        if item.conn.poll():
+            raw = item.conn.recv()
+    except (EOFError, OSError):
+        raw = None  # pipe torn mid-send: treat as a crash
+    finally:
+        item.conn.close()
+    item.proc.join()
+    if raw is not None:
+        return raw
+    return (
+        unit_hash,
+        "error",
+        f"worker crashed (exit code {item.proc.exitcode})",
+        elapsed,
+    )
+
+
+def _kill(item: _Running) -> None:
+    """Terminate a worker (timeout or interrupt), escalating to SIGKILL."""
+    item.proc.terminate()
+    item.proc.join(timeout=5.0)
+    if item.proc.is_alive():  # pragma: no cover - stubborn worker
+        item.proc.kill()
+        item.proc.join()
+    try:
+        item.conn.close()
+    except OSError:  # pragma: no cover - already closed
+        pass
+
+
+def _run_isolated(
+    payloads: list[tuple[str, dict, int, str]],
+    jobs: int,
+    timeout: float | None,
+    retry: RetryPolicy,
+    absorb: Callable[[tuple[str, str, Any, float], int], None],
+) -> None:
+    """Process-per-unit pool: launch up to ``jobs`` workers, reap by
+    sentinel, enforce deadlines, schedule retries.  Calls ``absorb(raw,
+    attempts)`` in the parent as each unit finally resolves.  On
+    KeyboardInterrupt, kills every worker and re-raises with the set of
+    resolved hashes intact (the caller marks the rest interrupted)."""
+    ctx = multiprocessing.get_context()
+    ready: deque[tuple[tuple[str, dict, int, str], int]] = deque(
+        (p, 1) for p in payloads
+    )
+    delayed: list[tuple[float, int, tuple[str, dict, int, str], int]] = []
+    delayed_seq = 0  # tie-break so heap never compares payloads
+    running: dict[Any, _Running] = {}
+
+    def _finish(item: _Running) -> None:
+        nonlocal delayed_seq
+        raw = _reap(item, timeout)
+        if raw[1] == "error" and item.attempt <= retry.retries:
+            when = time.monotonic() + retry.delay(raw[0], item.attempt)
+            heapq.heappush(delayed, (when, delayed_seq, item.payload, item.attempt + 1))
+            delayed_seq += 1
+            return
+        absorb(raw, item.attempt)
+
+    try:
+        while ready or delayed or running:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, _, payload, attempt = heapq.heappop(delayed)
+                ready.append((payload, attempt))
+            while ready and len(running) < jobs:
+                payload, attempt = ready.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_unit_worker, args=(payload, send))
+                proc.start()
+                send.close()  # child holds the write end now
+                launched = time.monotonic()
+                running[proc.sentinel] = _Running(
+                    proc=proc,
+                    conn=recv,
+                    payload=payload,
+                    attempt=attempt,
+                    started=launched,
+                    deadline=None if timeout is None else launched + timeout,
+                )
+            if not running:
+                # Nothing in flight: sleep until the next retry is due.
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            # Wake on the first worker exit, the earliest deadline, or
+            # the earliest retry coming due — whichever is soonest.
+            wake_ats = [i.deadline for i in running.values() if i.deadline is not None]
+            if delayed:
+                wake_ats.append(delayed[0][0])
+            wait_for = (
+                max(0.0, min(wake_ats) - time.monotonic()) if wake_ats else None
+            )
+            done = multiprocessing.connection.wait(list(running), timeout=wait_for)
+            for sentinel in done:
+                _finish(running.pop(sentinel))
+            if timeout is not None:
+                now = time.monotonic()
+                for sentinel, item in list(running.items()):
+                    if item.deadline is not None and now >= item.deadline:
+                        del running[sentinel]
+                        _kill(item)
+                        raw = (
+                            item.payload[3],
+                            "error",
+                            f"timeout after {timeout:g}s (attempt {item.attempt})",
+                            now - item.started,
+                        )
+                        if item.attempt <= retry.retries:
+                            when = time.monotonic() + retry.delay(raw[0], item.attempt)
+                            heapq.heappush(
+                                delayed, (when, delayed_seq, item.payload, item.attempt + 1)
+                            )
+                            delayed_seq += 1
+                        else:
+                            absorb(raw, item.attempt)
+    except KeyboardInterrupt:
+        for item in running.values():
+            _kill(item)
+        raise
+
+
 def run_campaign(
     spec: CampaignSpec,
     n_jobs: int | None = 1,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
     raise_on_error: bool = True,
+    timeout: float | None = None,
+    retry: RetryPolicy | int | None = None,
 ) -> CampaignResult:
     """Execute every unit of ``spec``.
 
     Parameters
     ----------
     n_jobs:
-        Worker processes; ``1`` (the default) runs serially in-process
-        and ``None`` means ``os.cpu_count()``.
+        Worker processes; ``1`` (the default) runs serially and
+        ``None`` means ``os.cpu_count()``.
     cache:
         Optional :class:`ResultCache`; hits skip execution, fresh
         results are stored back.
@@ -170,9 +416,28 @@ def run_campaign(
         Raise :class:`CampaignError` if any unit failed (after all
         units resolved).  With ``False`` the failures are reported in
         the outcomes and it is the caller's job to check.
+    timeout:
+        Per-unit wall-clock budget in seconds; a unit still running
+        after that is terminated and reported as failed (or retried).
+        Requires worker isolation, so it forces the process-per-unit
+        path even with ``n_jobs=1``.
+    retry:
+        A :class:`RetryPolicy` (or a plain int, shorthand for
+        ``RetryPolicy(retries=n)``); failed attempts are re-queued with
+        exponential backoff and deterministic jitter.
+
+    Raises
+    ------
+    CampaignInterrupted
+        On SIGINT, carrying the valid partial result (see the class
+        docs); everything executed so far is already in the cache.
     """
     t0 = time.perf_counter()
     spans = SpanSet()
+    if retry is None:
+        retry = RetryPolicy()
+    elif isinstance(retry, int):
+        retry = RetryPolicy(retries=retry)
     hashes = spec.unit_hashes()
     # Identical units collapse onto one computation (intra-spec dedup).
     distinct: dict[str, Unit] = {}
@@ -189,13 +454,38 @@ def run_campaign(
         if progress is not None:
             progress(done, total, outcome)
 
+    def _build_result(interrupted: bool, jobs: int) -> CampaignResult:
+        outcomes = []
+        for unit, h in zip(spec.units, hashes):
+            hit = by_hash.get(h)
+            if hit is None:
+                hit = UnitOutcome(
+                    unit=unit, unit_hash=h, status="interrupted", attempts=0
+                )
+                by_hash[h] = hit
+            elif hit.unit is not unit:
+                hit = replace(hit, unit=unit)
+            outcomes.append(hit)
+        return CampaignResult(
+            spec=spec,
+            outcomes=outcomes,
+            n_jobs=jobs,
+            wall_time=time.perf_counter() - t0,
+            timings=spans.as_dict(),
+            interrupted=interrupted,
+        )
+
     # Pass 1: cache hits.
     pending: list[tuple[Unit, str]] = []
     with spans.span("cache_lookup"):
         for h, unit in distinct.items():
             hit = cache.get(h) if cache is not None else None
             if hit is not None:
-                _resolve(UnitOutcome(unit=unit, unit_hash=h, status="cached", result=hit))
+                _resolve(
+                    UnitOutcome(
+                        unit=unit, unit_hash=h, status="cached", result=hit, attempts=0
+                    )
+                )
             else:
                 pending.append((unit, h))
 
@@ -204,7 +494,7 @@ def run_campaign(
     payloads = [(u.kind, dict(u.params), u.seed, h) for u, h in pending]
     jobs = _resolve_jobs(n_jobs, len(pending))
 
-    def _absorb(raw: tuple[str, str, Any, float]) -> None:
+    def _absorb(raw: tuple[str, str, Any, float], attempts: int = 1) -> None:
         h, status, value, duration = raw
         unit = units_by_hash[h]
         spans.add("unit_execute", duration)
@@ -213,31 +503,43 @@ def run_campaign(
                 cache.put(h, value, unit=unit)
             _resolve(
                 UnitOutcome(
-                    unit=unit, unit_hash=h, status="executed", result=value, duration=duration
+                    unit=unit,
+                    unit_hash=h,
+                    status="executed",
+                    result=value,
+                    duration=duration,
+                    attempts=attempts,
                 )
             )
         else:
             _resolve(
-                UnitOutcome(unit=unit, unit_hash=h, status="failed", error=value, duration=duration)
+                UnitOutcome(
+                    unit=unit,
+                    unit_hash=h,
+                    status="failed",
+                    error=value,
+                    duration=duration,
+                    attempts=attempts,
+                )
             )
 
-    with spans.span("execute"):
-        if jobs <= 1:
-            for payload in payloads:
-                _absorb(_execute_payload(payload))
-        else:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                for raw in pool.imap_unordered(_execute_payload, payloads):
-                    _absorb(raw)
+    # Timeouts and retries need a killable worker per unit, so they
+    # force isolation; only an explicitly serial run (n_jobs=1, no
+    # timeout, no retry) stays in-process.  Keyed off the *requested*
+    # n_jobs, not the clamped count: asking for workers is asking for
+    # isolation even when a single unit remains to execute.
+    isolated = n_jobs != 1 or timeout is not None or retry.retries > 0
+    try:
+        with spans.span("execute"):
+            if not isolated:
+                for payload in payloads:
+                    _absorb(_execute_payload(payload))
+            else:
+                _run_isolated(payloads, jobs, timeout, retry, _absorb)
+    except KeyboardInterrupt:
+        raise CampaignInterrupted(_build_result(interrupted=True, jobs=jobs)) from None
 
-    outcomes = [by_hash[h] for h in hashes]
-    result = CampaignResult(
-        spec=spec,
-        outcomes=outcomes,
-        n_jobs=jobs,
-        wall_time=time.perf_counter() - t0,
-        timings=spans.as_dict(),
-    )
+    result = _build_result(interrupted=False, jobs=jobs)
     if raise_on_error and result.n_failed:
         result.results()  # raises CampaignError with the first failure
     return result

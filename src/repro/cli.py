@@ -10,6 +10,9 @@ Usage::
     python -m repro fig11 --quick -j 4
     python -m repro campaign fig11 --quick -j 4 --out results/campaigns
     python -m repro campaign fig11 --quick -j 4 --metrics results/fig11.metrics.json
+    python -m repro campaign fig11 --quick -j 4 --timeout 120 --retries 2 --out results/campaigns
+    python -m repro campaign fig11 --quick -j 4 --out results/campaigns --resume
+    python -m repro faulted --m 8 --k 2 --mtbf 60 --mttr 5 --policy restart
     python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
     python -m repro replay --golden eft-min-m4 --scheduler eft-max
     python -m repro ratios
@@ -104,6 +107,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a canonical metrics snapshot JSON (byte-identical for any -j)",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; hung units are killed and marked failed",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run failed units up to N times (exponential backoff, deterministic jitter)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base retry delay (doubles per attempt; default 0.25)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run: verify the manifest under --out matches "
+        "this spec, then re-run against the cache (completed units are hits)",
+    )
+
+    p = sub.add_parser(
+        "faulted",
+        help="degraded mode: EFT under seeded chaos machine failures vs the fault-free baseline",
+    )
+    p.add_argument("--m", type=int, default=8)
+    p.add_argument("--k", type=int, default=2, help="replication factor")
+    p.add_argument("--n", type=int, default=400, help="number of tasks")
+    p.add_argument("--load", type=float, default=0.5, help="average cluster load")
+    p.add_argument("--mtbf", type=float, default=60.0, help="mean time between failures per machine")
+    p.add_argument("--mttr", type=float, default=5.0, help="mean time to repair")
+    p.add_argument(
+        "--policy",
+        default="restart",
+        choices=["restart", "resume"],
+        help="in-flight tasks on a failed machine: restart elsewhere or resume at recovery",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--metrics", default=None, metavar="PATH", help="write a metrics snapshot JSON")
 
     p = sub.add_parser("replay", help="replay a recorded workload trace through a scheduler")
     p.add_argument("trace", nargs="?", default=None, help="path to a .trace.jsonl file")
@@ -222,12 +270,26 @@ def _run_fig11(args) -> str:
     return "\n".join(lines)
 
 
-def _run_campaign(args) -> str:
+def _run_campaign(args) -> tuple[str, int]:
     """The ``campaign`` subcommand: build the spec, run it with
-    caching, render the figure, write result + manifest."""
+    caching and resilience options, render the figure, write result +
+    manifest.
+
+    Exit codes: 0 on success, 1 if any unit failed (summary on
+    stderr), 2 on a ``--resume`` precondition error, 130 after SIGINT
+    (a valid partial manifest is flushed first — the resume point).
+    """
     from pathlib import Path
 
-    from .campaigns import ResultCache, build_manifest, run_campaign, write_manifest
+    from .campaigns import (
+        CampaignInterrupted,
+        ResultCache,
+        RetryPolicy,
+        build_manifest,
+        load_manifest,
+        run_campaign,
+        write_manifest,
+    )
     from .experiments import fig10, fig11
 
     if args.name == "fig10":
@@ -244,9 +306,63 @@ def _run_campaign(args) -> str:
         spec, assemble = fig11.build_campaign(**kw)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir or "results/.cache")
-    campaign = run_campaign(spec, n_jobs=args.jobs, cache=cache)
-    text = assemble(campaign.results()).to_text()
+    manifest_path = Path(args.out) / f"{args.name}.manifest.json" if args.out else None
 
+    if args.resume:
+        # Resuming means "finish that run": the manifest must exist and
+        # describe this exact spec; executed units then hit the cache.
+        if manifest_path is None or cache is None:
+            print("campaign --resume requires --out and a cache (no --no-cache)", file=sys.stderr)
+            return "", 2
+        if not manifest_path.exists():
+            print(f"campaign --resume: no manifest at {manifest_path}", file=sys.stderr)
+            return "", 2
+        prev = load_manifest(manifest_path)
+        if prev.spec_hash != spec.spec_hash():
+            print(
+                f"campaign --resume: manifest {manifest_path} is for spec "
+                f"{prev.spec_hash}, current arguments give {spec.spec_hash()} "
+                "— pass the same scale flags as the interrupted run",
+                file=sys.stderr,
+            )
+            return "", 2
+
+    def _flush(campaign, lines):
+        if manifest_path is not None:
+            manifest_path.parent.mkdir(parents=True, exist_ok=True)
+            write_manifest(build_manifest(campaign), manifest_path)
+            lines.append(f"wrote {manifest_path}")
+
+    try:
+        campaign = run_campaign(
+            spec,
+            n_jobs=args.jobs,
+            cache=cache,
+            raise_on_error=False,
+            timeout=args.timeout,
+            retry=RetryPolicy(retries=args.retries, backoff=args.backoff),
+        )
+    except CampaignInterrupted as interrupt:
+        # Flush the partial manifest so `--resume` has its resume point.
+        campaign = interrupt.result
+        lines = [campaign.summary()]
+        _flush(campaign, lines)
+        print("interrupted — resume with: "
+              f"repro campaign {args.name} ... --resume", file=sys.stderr)
+        return "\n".join(lines), 130
+
+    lines = []
+    if campaign.n_failed:
+        # No figure from partial data: report, persist, exit non-zero.
+        lines.append(campaign.summary())
+        _flush(campaign, lines)
+        print(campaign.summary(), file=sys.stderr)
+        for o in campaign.failures():
+            print(f"  FAILED {o.unit.label or o.unit_hash} "
+                  f"({o.attempts} attempt(s)): {o.error}", file=sys.stderr)
+        return "\n".join(lines), 1
+
+    text = assemble(campaign.results()).to_text()
     lines = [text, "", campaign.summary()]
     if args.metrics:
         from .obs import campaign_metrics, write_metrics
@@ -264,9 +380,27 @@ def _run_campaign(args) -> str:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{args.name}.txt").write_text(text + "\n")
-        manifest_path = write_manifest(build_manifest(campaign), out / f"{args.name}.manifest.json")
         lines.append(f"wrote {out / (args.name + '.txt')}")
-        lines.append(f"wrote {manifest_path}")
+        _flush(campaign, lines)
+    return "\n".join(lines), 0
+
+
+def _run_faulted(args) -> str:
+    from .experiments import faulted
+
+    result = faulted.run(
+        m=args.m,
+        k=args.k,
+        n=args.n,
+        load=args.load,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    lines = [result.to_text()]
+    if args.metrics:
+        lines.append(_write_figure_metrics(result, args, "faulted"))
     return "\n".join(lines)
 
 
@@ -397,6 +531,7 @@ _HANDLERS = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "campaign": _run_campaign,
+    "faulted": _run_faulted,
     "replay": _run_replay,
     "ratios": _run_ratios,
     "explore": _run_explore,
@@ -409,11 +544,19 @@ _HANDLERS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Handlers return either the output text (exit 0) or a
+    ``(text, code)`` pair — ``campaign`` uses the latter to signal
+    failed units (1), resume errors (2) and interruption (130)."""
     args = build_parser().parse_args(argv)
     output = _HANDLERS[args.command](args)
-    print(output)
-    return 0
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
+    if output:
+        print(output)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,6 +1,6 @@
 """Experiment harness: one module per paper table/figure."""
 
-from . import fig03, fig08, fig10, fig11, ratios, stability, table1, table2, tails, verify
+from . import faulted, fig03, fig08, fig10, fig11, ratios, stability, table1, table2, tails, verify
 from .common import TextTable
 
-__all__ = ["TextTable", "fig03", "fig08", "fig10", "fig11", "ratios", "table1", "stability", "table2", "tails", "verify"]
+__all__ = ["TextTable", "faulted", "fig03", "fig08", "fig10", "fig11", "ratios", "table1", "stability", "table2", "tails", "verify"]

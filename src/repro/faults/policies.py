@@ -1,0 +1,37 @@
+"""In-flight task policies for machine failures.
+
+What happens to the task a machine is processing when the machine
+fails mid-run:
+
+* ``RESTART`` ("restart-elsewhere") — the progress is lost; the task
+  is immediately re-dispatched over its alive processing set (or
+  parked if that set is empty).  The work performed before the failure
+  still occupied the machine, so it is credited as busy time (and
+  surfaced as ``wasted_work``), keeping per-machine utilisation
+  honest.
+* ``RESUME`` ("resume-on-recovery") — the task stays bound to its
+  machine and continues with its *residual* processing time the
+  instant the machine recovers.  Models checkpointed work or
+  replicas that only pause (a rebooting node), at the price of
+  head-of-line blocking for the paused task.
+
+Queued-but-unstarted tasks have no progress to protect, so under
+either policy they are re-dispatched (or parked) at the failure
+instant.
+"""
+
+from __future__ import annotations
+
+__all__ = ["POLICIES", "RESTART", "RESUME", "validate_policy"]
+
+RESTART = "restart"
+RESUME = "resume"
+
+POLICIES: tuple[str, ...] = (RESTART, RESUME)
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` if known, raise ``ValueError`` otherwise."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown in-flight policy {policy!r}; known: {POLICIES}")
+    return policy

@@ -1,0 +1,256 @@
+"""Deterministic machine fault schedules (DOWN/UP windows).
+
+The paper's motivating systems — replicated key-value stores — live
+with replica failure as a routine event, and a machine failure is
+exactly a *shrinkage of every processing set*: while machine ``j`` is
+down, each task's effective set is :math:`\\mathcal{M}_i \\cap
+\\text{alive}`.  A :class:`FaultSchedule` pins the failure pattern of a
+run — which machines are DOWN over which half-open windows
+``[start, end)`` — so degraded-mode experiments are reproducible
+bit-for-bit: the same schedule fed to the same workload produces the
+same trace on every run and every worker.
+
+Schedules are *normalised* on construction: per machine, windows are
+sorted and overlapping/touching windows are merged, so the DOWN/UP
+event sequence of any machine strictly alternates.  That is what lets
+the simulator treat :meth:`FaultSchedule.events` as a well-formed
+stream (never two DOWNs in a row).
+
+Two ways to build one:
+
+* explicitly, from :class:`Outage` windows (regression scenarios,
+  targeted experiments);
+* with :func:`chaos_schedule`, which draws exponential up-times (mean
+  ``mtbf``) and down-times (mean ``mttr``) per machine from a seeded
+  generator — the classic memoryless failure/repair model.  Each
+  machine gets an independent child seed, so the schedule does not
+  depend on the order machines are sampled in.
+
+Serialisation: :meth:`FaultSchedule.to_json` / :meth:`from_json` round
+trip the schedule through a small versioned document (see docs/API.md)
+so fault scenarios can be checked in next to campaign specs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "FAULTS_FORMAT",
+    "FAULTS_VERSION",
+    "FaultSchedule",
+    "Outage",
+    "chaos_schedule",
+]
+
+FAULTS_FORMAT = "repro-faults"
+FAULTS_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Outage:
+    """One machine-down window ``[start, end)`` (1-based machine index).
+
+    The window is half-open: the machine fails *at* ``start`` and is
+    alive again *at* ``end`` — a task released exactly at ``end`` may
+    be dispatched to the recovered machine.
+    """
+
+    machine: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.machine < 1:
+            raise ValueError(f"outage machine must be >= 1, got {self.machine}")
+        if self.start < 0:
+            raise ValueError(f"outage start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage window must have positive length, got [{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _merge_windows(windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Sort and merge overlapping/touching ``(start, end)`` windows."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A normalised set of machine outage windows.
+
+    ``outages`` are stored merged per machine and sorted by
+    ``(start, machine, end)``, so equal fault patterns compare equal
+    whatever order they were declared in.  An empty schedule is valid
+    and means "no machine ever fails" — feeding it to the simulator
+    must reproduce the fault-free run byte-for-byte (the zero-fault
+    identity guarded by the test suite).
+    """
+
+    outages: tuple[Outage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        per_machine: dict[int, list[tuple[float, float]]] = {}
+        for o in self.outages:
+            per_machine.setdefault(o.machine, []).append((o.start, o.end))
+        normalised = [
+            Outage(machine=j, start=s, end=e)
+            for j, windows in per_machine.items()
+            for s, e in _merge_windows(windows)
+        ]
+        normalised.sort(key=lambda o: (o.start, o.machine, o.end))
+        object.__setattr__(self, "outages", tuple(normalised))
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def n_outages(self) -> int:
+        return len(self.outages)
+
+    def __bool__(self) -> bool:
+        return bool(self.outages)
+
+    def machines(self) -> frozenset[int]:
+        """Machines that fail at least once."""
+        return frozenset(o.machine for o in self.outages)
+
+    def max_machine(self) -> int:
+        """Largest machine index referenced (0 for an empty schedule)."""
+        return max((o.machine for o in self.outages), default=0)
+
+    def down_at(self, machine: int, t: float) -> bool:
+        """Whether ``machine`` is DOWN at instant ``t``."""
+        return any(
+            o.machine == machine and o.start <= t < o.end for o in self.outages
+        )
+
+    def next_recovery(self, machine: int, t: float) -> float | None:
+        """End of the outage window of ``machine`` covering ``t``, or
+        ``None`` if the machine is alive at ``t``."""
+        for o in self.outages:
+            if o.machine == machine and o.start <= t < o.end:
+                return o.end
+        return None
+
+    def downtime(self, machine: int, horizon: float) -> float:
+        """Total DOWN time of ``machine`` within ``[0, horizon]``."""
+        return sum(
+            max(0.0, min(o.end, horizon) - o.start)
+            for o in self.outages
+            if o.machine == machine and o.start < horizon
+        )
+
+    def total_downtime(self, horizon: float) -> float:
+        """Sum of :meth:`downtime` over every failing machine."""
+        return sum(self.downtime(j, horizon) for j in self.machines())
+
+    def events(self) -> Iterator[tuple[float, str, int]]:
+        """Yield ``(time, "down"|"up", machine)`` transitions in time
+        order; per machine the sequence strictly alternates because
+        windows are merged."""
+        transitions = []
+        for o in self.outages:
+            transitions.append((o.start, "down", o.machine))
+            transitions.append((o.end, "up", o.machine))
+        # At equal times recoveries sort before failures ("up" > "down"
+        # lexicographically is False — pin explicitly): a machine
+        # recovering at t is usable before another fails at t.
+        transitions.sort(key=lambda e: (e[0], 0 if e[1] == "up" else 1, e[2]))
+        return iter(transitions)
+
+    # -- construction helpers -----------------------------------------------
+    @staticmethod
+    def build(outages: Iterable[tuple[int, float, float]]) -> "FaultSchedule":
+        """Build from ``(machine, start, end)`` triples."""
+        return FaultSchedule(tuple(Outage(machine=j, start=s, end=e) for j, s, e in outages))
+
+    # -- serialisation ------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to a versioned JSON document (round-trips via
+        :meth:`from_json`; equal schedules encode to equal bytes)."""
+        payload = {
+            "format": FAULTS_FORMAT,
+            "version": FAULTS_VERSION,
+            "outages": [
+                {"machine": o.machine, "start": o.start, "end": o.end}
+                for o in self.outages
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(", ", ": ")) + "\n"
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        if not isinstance(data, dict) or data.get("format") != FAULTS_FORMAT:
+            raise ValueError(f"not a {FAULTS_FORMAT} document")
+        if data.get("version") != FAULTS_VERSION:
+            raise ValueError(f"unsupported faults version {data.get('version')!r}")
+        return FaultSchedule.build(
+            (int(o["machine"]), float(o["start"]), float(o["end"]))
+            for o in data.get("outages", ())
+        )
+
+
+def chaos_schedule(
+    m: int,
+    horizon: float,
+    mtbf: float,
+    mttr: float,
+    seed: int | np.random.Generator = 0,
+    machines: Iterable[int] | None = None,
+) -> FaultSchedule:
+    """Draw a random failure/repair pattern over ``[0, horizon]``.
+
+    Each machine alternates exponential up-times (mean ``mtbf``) and
+    exponential down-times (mean ``mttr``), starting alive at 0 — the
+    memoryless model behind the availability ratio
+    ``mtbf / (mtbf + mttr)``.  Windows are clipped at ``horizon``.
+
+    Determinism: every machine samples from its own child generator
+    (spawned from a :class:`numpy.random.SeedSequence` on ``seed``), so
+    the result is a pure function of ``(m, horizon, mtbf, mttr, seed,
+    machines)``.
+    """
+    if m < 1:
+        raise ValueError("need at least one machine")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if mtbf <= 0 or mttr <= 0:
+        raise ValueError("mtbf and mttr must be positive")
+    targets = sorted(set(machines)) if machines is not None else list(range(1, m + 1))
+    if targets and (targets[0] < 1 or targets[-1] > m):
+        raise ValueError(f"machines must be within 1..{m}, got {targets}")
+    if isinstance(seed, np.random.Generator):
+        # Draw a base entropy from the provided generator so repeated
+        # calls with the same generator differ (documented behaviour).
+        seed = int(seed.integers(0, 2**63 - 1))
+    children = np.random.SeedSequence(seed).spawn(len(targets))
+    outages: list[Outage] = []
+    for machine, child in zip(targets, children):
+        rng = np.random.default_rng(child)
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mtbf))  # up-time before next failure
+            if t >= horizon:
+                break
+            down = float(rng.exponential(mttr))
+            outages.append(Outage(machine=machine, start=t, end=min(t + down, horizon)))
+            t += down
+            if t >= horizon:
+                break
+    return FaultSchedule(tuple(outages))

@@ -1,0 +1,149 @@
+"""Runner-resilience selftest: ``python -m repro.faults.selftest``.
+
+Exercises the degraded-operation contract of
+:func:`repro.campaigns.run_campaign` end to end, with real worker
+processes and a real on-disk cache:
+
+1. a unit that hard-crashes its worker (``os._exit``) yields exactly
+   one ``failed`` outcome while every neighbour completes — the pool
+   survives;
+2. the resulting manifest is valid, loadable and counts the failure;
+3. a flaky unit succeeds after deterministic backoff-retries;
+4. an interrupted campaign raises :class:`CampaignInterrupted` with a
+   valid partial result whose manifest is the resume point, and
+   re-running the same spec against the same cache finishes the job
+   with the completed units served from cache.
+
+Exits 0 printing ``selftest: OK`` when every invariant holds — CI's
+``make runner-resilience`` target runs exactly this.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from ..campaigns import (
+    CampaignInterrupted,
+    CampaignSpec,
+    ResultCache,
+    RetryPolicy,
+    Unit,
+    build_manifest,
+    load_manifest,
+    run_campaign,
+    write_manifest,
+)
+
+__all__ = ["main"]
+
+
+def _check(cond: bool, what: str) -> None:
+    if not cond:
+        print(f"selftest: FAIL — {what}", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def _ok_units(n: int) -> list[Unit]:
+    return [
+        Unit(kind="repro.faults.units:ok", params={"x": i}, seed=i, label=f"ok-{i}")
+        for i in range(n)
+    ]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        tmp_path = Path(tmp)
+        cache = ResultCache(tmp_path / "cache")
+
+        # 1 + 2: crash isolation and the manifest it leaves behind.
+        spec = CampaignSpec(
+            name="selftest-crash",
+            units=tuple(
+                _ok_units(4)
+                + [Unit(kind="repro.faults.units:crash", params={"code": 137}, seed=9, label="boom")]
+            ),
+        )
+        result = run_campaign(
+            spec, n_jobs=2, cache=cache, raise_on_error=False, timeout=60.0
+        )
+        _check(not result.interrupted, "crash campaign should complete")
+        _check(result.n_executed == 4, f"expected 4 executed, got {result.n_executed}")
+        _check(result.n_failed == 1, f"expected 1 failed, got {result.n_failed}")
+        failure = result.failures()[0]
+        _check(failure.unit.label == "boom", "wrong unit failed")
+        _check("crashed" in (failure.error or ""), f"unexpected error: {failure.error}")
+        manifest_path = write_manifest(
+            build_manifest(result), tmp_path / "crash.manifest.json"
+        )
+        back = load_manifest(manifest_path)
+        _check(back.n_failed == 1 and back.n_units == 5, "manifest miscounts the crash run")
+        print(f"crash isolation: {result.summary()}")
+
+        # 3: flaky unit heals within its retry budget.
+        marker = tmp_path / "flaky-attempts"
+        marker.mkdir()
+        flaky_spec = CampaignSpec(
+            name="selftest-flaky",
+            units=(
+                Unit(
+                    kind="repro.faults.units:flaky",
+                    params={"marker": str(marker), "fail_times": 1},
+                    seed=1,
+                    label="flaky",
+                ),
+            ),
+        )
+        flaky = run_campaign(
+            flaky_spec, retry=RetryPolicy(retries=2, backoff=0.05), raise_on_error=False
+        )
+        _check(flaky.outcomes[0].ok, f"flaky unit failed: {flaky.outcomes[0].error}")
+        _check(
+            flaky.outcomes[0].attempts == 2,
+            f"expected 2 attempts, got {flaky.outcomes[0].attempts}",
+        )
+        print(f"retry: flaky unit ok after {flaky.outcomes[0].attempts} attempts")
+
+        # 4: interruption leaves a resumable state.
+        resume_spec = CampaignSpec(name="selftest-resume", units=tuple(_ok_units(4)))
+        resume_cache = ResultCache(tmp_path / "resume-cache")
+
+        def _bomb(done: int, total: int, outcome) -> None:
+            if done == 2:
+                raise KeyboardInterrupt
+
+        try:
+            run_campaign(resume_spec, cache=resume_cache, progress=_bomb)
+        except CampaignInterrupted as exc:
+            partial = exc.result
+        else:
+            _check(False, "interrupt did not raise CampaignInterrupted")
+            raise AssertionError  # unreachable; keeps type checkers calm
+        _check(partial.interrupted, "partial result not marked interrupted")
+        _check(
+            partial.n_executed == 2 and partial.n_interrupted == 2,
+            f"unexpected partial counts: {partial.summary()}",
+        )
+        partial_manifest = write_manifest(
+            build_manifest(partial), tmp_path / "resume.manifest.json"
+        )
+        _check(load_manifest(partial_manifest).interrupted, "partial manifest not flagged")
+        resumed = run_campaign(resume_spec, cache=resume_cache)
+        _check(
+            resumed.n_cached == 2 and resumed.n_executed == 2,
+            f"resume did not reuse the cache: {resumed.summary()}",
+        )
+        fresh = run_campaign(resume_spec)
+        _check(
+            [o.result for o in resumed.outcomes] == [o.result for o in fresh.outcomes],
+            "resumed results differ from an uninterrupted run",
+        )
+        print(f"resume: {resumed.summary()}")
+
+    print("selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    sys.exit(main())

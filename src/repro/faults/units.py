@@ -1,0 +1,58 @@
+"""Misbehaving campaign unit kinds for runner-resilience testing.
+
+The campaign runner promises that one bad unit cannot take down a
+campaign: a raising unit yields a ``failed`` outcome, a *killed*
+worker yields a ``failed`` outcome (crash isolation), a hung unit is
+reaped by the per-unit timeout, and a flaky unit can be retried with
+exponential backoff.  These unit kinds exercise exactly those paths —
+they are addressed as ``"repro.faults.units:<name>"`` so they resolve
+in any worker process regardless of start method.
+
+They are part of the shipped package (not the test tree) so the CI
+resilience smoke (``python -m repro.faults.selftest``) can run against
+an installed copy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["crash", "flaky", "ok", "sleep"]
+
+
+def ok(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """A well-behaved unit: returns its input and seed."""
+    return {"value": params.get("x", 0), "seed": seed}
+
+
+def crash(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Kill the worker process outright (no exception, no cleanup) —
+    the hardest failure mode a runner can face.  ``params["code"]``
+    sets the exit code (default 137, the SIGKILL convention)."""
+    os._exit(int(params.get("code", 137)))
+
+
+def sleep(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Sleep ``params["seconds"]`` then return — a hung unit when the
+    sleep exceeds the runner's per-unit timeout."""
+    time.sleep(float(params.get("seconds", 60.0)))
+    return {"slept": float(params.get("seconds", 60.0))}
+
+
+def flaky(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Fail the first ``params["fail_times"]`` attempts, then succeed.
+
+    Attempts are counted in ``params["marker"]``, a directory the
+    caller provides (one file per attempt — atomic under concurrent
+    retries, unlike a read-modify-write counter file).
+    """
+    marker = Path(params["marker"])
+    marker.mkdir(parents=True, exist_ok=True)
+    attempt = len(list(marker.iterdir())) + 1
+    (marker / f"attempt-{attempt}-{os.getpid()}").touch()
+    if attempt <= int(params.get("fail_times", 1)):
+        raise RuntimeError(f"flaky failure on attempt {attempt}")
+    return {"attempts": attempt}

@@ -39,13 +39,31 @@ DEFAULT_GAP_EDGES: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0
 
 
 class SimObserver(Protocol):
-    """Hook protocol the engine drives at its three lifecycle points."""
+    """Hook protocol the engine drives at its three lifecycle points.
+
+    The fault lifecycle hooks (below the first three) are *optional*:
+    the engine probes for them with ``getattr``, so observers that
+    implement only the release/start/complete trio keep working on
+    faulted runs.
+    """
 
     def on_release(self, sim: "Simulator", task: "Task") -> None: ...
 
     def on_start(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
 
     def on_complete(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
+
+    def on_machine_down(self, sim: "Simulator", machine: int) -> None: ...
+
+    def on_machine_up(self, sim: "Simulator", machine: int) -> None: ...
+
+    def on_requeue(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
+
+    def on_park(self, sim: "Simulator", task: "Task") -> None: ...
+
+    def on_unpark(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
+
+    def on_resume(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
 
 
 class SimRecorder:
@@ -88,6 +106,39 @@ class SimRecorder:
     def on_complete(self, sim: "Simulator", task: "Task", machine: int) -> None:
         self.completed.inc()
         self.flow_hist.observe(sim.now - task.release)
+
+    # -- fault hooks --------------------------------------------------------
+    # Recorders are created lazily at the first fault event, so the
+    # snapshot of a fault-free run (or an empty FaultSchedule) stays
+    # byte-identical to one taken before fault injection existed.
+    def on_machine_down(self, sim: "Simulator", machine: int) -> None:
+        self.registry.counter("machine_failures").inc()
+        self.registry.series(f"machine_down[{machine}]").observe(sim.now, 1.0)
+
+    def on_machine_up(self, sim: "Simulator", machine: int) -> None:
+        self.registry.counter("machine_recoveries").inc()
+        self.registry.series(f"machine_down[{machine}]").observe(sim.now, 0.0)
+        self.registry.gauge("downtime_total").set(
+            sum(m.downtime for m in sim.machines.values())
+        )
+
+    def on_requeue(self, sim: "Simulator", task: "Task", machine: int) -> None:
+        self.registry.counter("tasks_requeued").inc()
+
+    def on_park(self, sim: "Simulator", task: "Task") -> None:
+        self.registry.counter("tasks_parked").inc()
+        self.registry.gauge("parked_now").set(len(sim.parked))
+
+    def on_unpark(self, sim: "Simulator", task: "Task", machine: int) -> None:
+        self.registry.counter("tasks_unparked").inc()
+        # Age at unpark: how long the task waited (from release) for a
+        # machine of its set to come back.
+        self.registry.histogram("park_wait", DEFAULT_GAP_EDGES).observe(
+            sim.now - task.release
+        )
+
+    def on_resume(self, sim: "Simulator", task: "Task", machine: int) -> None:
+        self.registry.counter("tasks_resumed").inc()
 
     # -- sampled series -----------------------------------------------------
     def install(self, sim: "Simulator", horizon: float, period: float = 1.0) -> None:

@@ -16,6 +16,7 @@ from .replication import (
     replicate_instance,
 )
 from .sets import (
+    degraded_family,
     interval,
     interval_bounds,
     is_circular_interval,
@@ -42,6 +43,7 @@ __all__ = [
     "ReplicationStrategy",
     "STRUCTURES",
     "classify_family",
+    "degraded_family",
     "get_strategy",
     "interval",
     "interval_bounds",

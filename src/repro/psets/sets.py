@@ -16,6 +16,7 @@ the structure classifiers and the replication strategies.
 from __future__ import annotations
 
 __all__ = [
+    "degraded_family",
     "interval",
     "ring_interval",
     "is_contiguous",
@@ -71,3 +72,21 @@ def interval_bounds(s: frozenset[int] | set[int]) -> tuple[int, int]:
     if not is_contiguous(s):
         raise ValueError(f"{sorted(s)} is not a contiguous interval")
     return min(s), max(s)
+
+
+def degraded_family(
+    family: list[frozenset[int]] | tuple[frozenset[int], ...],
+    alive: frozenset[int] | set[int],
+) -> list[frozenset[int]]:
+    """Intersect every processing set with the ``alive`` machines.
+
+    A machine failure shrinks every set :math:`\\mathcal{M}_i` to
+    :math:`\\mathcal{M}_i \\cap \\text{alive}` — the degraded-mode view
+    the fault-injected simulator dispatches over.  Empty intersections
+    are *kept* (as empty frozensets): a task whose whole set is down
+    cannot run and must be parked; callers count those to quantify
+    availability loss (e.g. the park-risk fraction reported by the
+    ``faulted`` experiment).
+    """
+    alive = frozenset(alive)
+    return [s & alive for s in family]

@@ -27,6 +27,22 @@ full, the running task pro-rated from its start), so utilisation never
 exceeds 1; released-but-unstarted tasks contribute their current age
 ``now - r_i`` (a lower bound on their eventual flow) to ``max_flow``
 and ``mean_flow`` and are flagged by ``n_pending``.
+
+Fault injection (``faults=``): a :class:`repro.faults.FaultSchedule`
+adds MACHINE_DOWN/MACHINE_UP events.  While a machine is down it
+starts nothing; releases dispatch over :math:`\\mathcal{M}_i \\cap
+\\text{alive}` and a task whose alive set is empty is *parked* until a
+machine of its set recovers (parked tasks re-dispatch at the recovery
+instant, in park order).  The in-flight task of a failing machine
+follows ``fault_policy``: ``"restart"`` loses its progress and is
+re-dispatched (the partial work is credited to the failed machine as
+busy time and surfaced as ``wasted_work``), ``"resume"`` stays bound
+to the machine and continues with its residual at recovery.  Queued
+tasks are re-dispatched under either policy.  Utilisation divides by
+*alive* machine-seconds (downtime is removed from the denominator), so
+``utilization <= 1`` still holds on degraded runs.  An empty fault
+schedule reproduces the fault-free run bit-for-bit (the zero-fault
+identity guarded by ``tests/faults``).
 """
 
 from __future__ import annotations
@@ -38,9 +54,11 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from ..core.dispatch import ImmediateDispatchScheduler
 from ..core.schedule import Schedule
 from ..core.task import Instance, Task
+from ..faults.policies import RESTART, RESUME, validate_policy
 from .events import EventKind, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.schedule import FaultSchedule
     from ..obs.sim import SimObserver
 
 __all__ = ["MachineState", "SimulationResult", "Simulator"]
@@ -59,11 +77,28 @@ class MachineState:
     #: pro-rated separately so truncated runs never over-credit.
     busy_time: float = 0.0
     tasks_done: int = 0
+    #: fault state: down machines start nothing and accumulate downtime.
+    alive: bool = True
+    down_since: float = 0.0
+    downtime: float = 0.0
+    #: engine time the current stint began (equals the task's recorded
+    #: start except for a resumed stint after an outage).
+    stint_start: float = 0.0
+    #: bumped on failure so COMPLETE events scheduled before the
+    #: failure are recognised as stale and dropped.
+    epoch: int = 0
+    #: the interrupted in-flight task under the "resume" policy, with
+    #: its remaining processing time.
+    paused: Task | None = None
+    paused_residual: float = 0.0
 
     def waiting_work(self, now: float) -> float:
         """Remaining work at ``now``: residual of the running task plus
-        everything queued (the :math:`w_t(j)` of Theorem 8)."""
+        everything queued (the :math:`w_t(j)` of Theorem 8); a paused
+        task's residual counts — the work still has to happen here."""
         residual = max(0.0, self.busy_until - now) if self.current is not None else 0.0
+        if self.paused is not None:
+            residual += self.paused_residual
         return residual + sum(t.proc for t in self.queue)
 
 
@@ -86,6 +121,15 @@ class SimulationResult:
     #: tasks released but never started — non-zero when ``run(until=...)``
     #: truncated the simulation, so partial results are visible.
     n_pending: int = 0
+    #: fault accounting (all zero on fault-free runs): re-dispatches
+    #: caused by failures, tasks parked at the end (alive set empty),
+    #: in-flight tasks resumed after recovery, machine-seconds lost to
+    #: downtime within the horizon, and work lost to restarts.
+    n_requeued: int = 0
+    n_parked: int = 0
+    n_resumed: int = 0
+    total_downtime: float = 0.0
+    wasted_work: float = 0.0
 
 
 class Simulator:
@@ -101,11 +145,26 @@ class Simulator:
     obs:
         Optional :class:`repro.obs.SimObserver` (duck-typed) whose
         ``on_release`` / ``on_start`` / ``on_complete`` hooks fire at
-        the matching lifecycle points.
+        the matching lifecycle points; the optional fault hooks
+        (``on_machine_down`` / ``on_machine_up`` / ``on_requeue`` /
+        ``on_park`` / ``on_unpark`` / ``on_resume``) fire when a fault
+        schedule is active.
+    faults:
+        Optional :class:`repro.faults.FaultSchedule` of machine
+        DOWN/UP windows; ``None`` (and the empty schedule) means no
+        machine ever fails.
+    fault_policy:
+        What happens to the in-flight task of a failing machine:
+        ``"restart"`` (re-dispatch from scratch, default) or
+        ``"resume"`` (continue with the residual at recovery).
     """
 
     def __init__(
-        self, scheduler: ImmediateDispatchScheduler, obs: "SimObserver | None" = None
+        self,
+        scheduler: ImmediateDispatchScheduler,
+        obs: "SimObserver | None" = None,
+        faults: "FaultSchedule | None" = None,
+        fault_policy: str = RESTART,
     ) -> None:
         self.scheduler = scheduler
         self.obs = obs
@@ -118,6 +177,30 @@ class Simulator:
         self.assigned_machine: dict[int, int] = {}
         self._tasks: list[Task] = []
         self._observers: list[Callable[["Simulator"], None]] = []
+        self.fault_policy = validate_policy(fault_policy)
+        self.faults = faults
+        self._alive: set[int] = set(range(1, self.m + 1))
+        #: parked tasks in park order (released or requeued while their
+        #: whole processing set was down).
+        self.parked: list[Task] = []
+        self.n_requeued = 0
+        self.n_resumed = 0
+        self.wasted_work = 0.0
+        #: work already credited to busy_time for paused (resume
+        #: policy) tasks, deducted again at their final COMPLETE.
+        self._credited: dict[int, float] = {}
+        if faults is not None:
+            if faults.max_machine() > self.m:
+                raise ValueError(
+                    f"fault schedule references machine {faults.max_machine()}, "
+                    f"but the simulator has m={self.m}"
+                )
+            for time_, kind, machine in faults.events():
+                self.events.push(
+                    time_,
+                    EventKind.MACHINE_DOWN if kind == "down" else EventKind.MACHINE_UP,
+                    machine,
+                )
 
     # -- workload feeding ---------------------------------------------------
     def add_tasks(self, tasks: Iterable[Task]) -> None:
@@ -146,8 +229,33 @@ class Simulator:
         self.events.push(time, EventKind.OBSERVE, callback)
 
     # -- event handlers ------------------------------------------------------
+    def _obs_hook(self, name: str, *args) -> None:
+        """Fire an *optional* observer hook (fault lifecycle points are
+        additions to the :class:`SimObserver` protocol — observers that
+        predate them keep working)."""
+        if self.obs is not None:
+            hook = getattr(self.obs, name, None)
+            if hook is not None:
+                hook(self, *args)
+
     def _handle_release(self, task: Task) -> None:
-        record = self.scheduler.submit(task)
+        eligible = task.eligible(self.m)
+        alive_eligible = eligible & self._alive
+        if not alive_eligible:
+            # Whole processing set down: park until a machine recovers.
+            self._tasks.append(task)
+            if self.obs is not None:
+                self.obs.on_release(self, task)
+            self._park(task)
+            return
+        if alive_eligible != eligible:
+            # Degraded dispatch: the scheduler decides over the alive
+            # subset.  The original task (full set) stays authoritative
+            # in the engine's books, so traces and schedules are
+            # unchanged by who happened to be down.
+            record = self.scheduler.submit(task.restricted_to(alive_eligible))
+        else:
+            record = self.scheduler.submit(task)
         mach = self.machines[record.machine]
         self.assigned_machine[task.tid] = record.machine
         self._tasks.append(task)
@@ -157,25 +265,138 @@ class Simulator:
         self._try_start(mach)
 
     def _try_start(self, mach: MachineState) -> None:
-        if mach.current is None and mach.queue and mach.busy_until <= self.now:
+        if (
+            mach.alive
+            and mach.current is None
+            and mach.paused is None
+            and mach.queue
+            and mach.busy_until <= self.now
+        ):
             task = mach.queue.popleft()
             mach.current = task
             mach.busy_until = self.now + task.proc
+            mach.stint_start = self.now
             self.starts[task.tid] = self.now
-            self.events.push(mach.busy_until, EventKind.COMPLETE, (mach.index, task))
+            self.events.push(
+                mach.busy_until, EventKind.COMPLETE, (mach.index, task, mach.epoch)
+            )
             if self.obs is not None:
                 self.obs.on_start(self, task, mach.index)
 
-    def _handle_complete(self, machine_index: int, task: Task) -> None:
+    def _handle_complete(self, machine_index: int, task: Task, epoch: int = 0) -> None:
         mach = self.machines[machine_index]
+        if epoch != mach.epoch:
+            return  # stale: the machine failed after this was scheduled
         mach.current = None
         mach.tasks_done += 1
         # Busy time is credited at completion (not at start), so a
-        # truncated run only counts work actually performed.
-        mach.busy_time += task.proc
+        # truncated run only counts work actually performed.  Work
+        # already credited at an interruption (resume policy) is
+        # deducted so the task's total credit is exactly its proc.
+        mach.busy_time += task.proc - self._credited.pop(task.tid, 0.0)
         self.completions[task.tid] = self.now
         if self.obs is not None:
             self.obs.on_complete(self, task, machine_index)
+        self._try_start(mach)
+
+    # -- fault handlers ------------------------------------------------------
+    def _engine_choose(self, candidates: Iterable[int]) -> int:
+        """EFT over the engine's authoritative state: the alive
+        candidate with the least remaining work wins, smallest index on
+        ties.  Used for failure-time re-dispatch, which must not go
+        through the scheduler (its release-order contract only covers
+        fresh releases)."""
+        return min(
+            sorted(candidates),
+            key=lambda j: self.machines[j].waiting_work(self.now),
+        )
+
+    def _park(self, task: Task) -> None:
+        self.parked.append(task)
+        self._obs_hook("on_park", task)
+
+    def _redispatch(self, task: Task) -> None:
+        """Place ``task`` after a failure: onto the best alive machine
+        of its set, or the parking lot if the whole set is down."""
+        candidates = task.eligible(self.m) & self._alive
+        if not candidates:
+            self.assigned_machine.pop(task.tid, None)
+            self._park(task)
+            return
+        machine = self._engine_choose(candidates)
+        self.assigned_machine[task.tid] = machine
+        self.n_requeued += 1
+        mach = self.machines[machine]
+        mach.queue.append(task)
+        self._obs_hook("on_requeue", task, machine)
+        self._try_start(mach)
+
+    def _handle_machine_down(self, machine: int) -> None:
+        mach = self.machines[machine]
+        if not mach.alive:  # pragma: no cover - schedules are normalised
+            return
+        mach.alive = False
+        mach.down_since = self.now
+        mach.epoch += 1  # pending COMPLETE events become stale
+        self._alive.discard(machine)
+        self._obs_hook("on_machine_down", machine)
+        displaced: list[Task] = []
+        if mach.current is not None:
+            task = mach.current
+            work_done = self.now - mach.stint_start
+            residual = mach.busy_until - self.now
+            mach.busy_time += work_done  # the machine *was* occupied
+            mach.current = None
+            if self.fault_policy == RESUME:
+                mach.paused = task
+                mach.paused_residual = residual
+                self._credited[task.tid] = self._credited.get(task.tid, 0.0) + work_done
+            else:  # restart-elsewhere: progress is lost
+                self.wasted_work += work_done
+                self.starts.pop(task.tid, None)
+                displaced.append(task)
+        mach.busy_until = self.now
+        displaced.extend(mach.queue)
+        mach.queue.clear()
+        for task in displaced:
+            self._redispatch(task)
+
+    def _handle_machine_up(self, machine: int) -> None:
+        mach = self.machines[machine]
+        if mach.alive:  # pragma: no cover - schedules are normalised
+            return
+        mach.alive = True
+        mach.downtime += self.now - mach.down_since
+        self._alive.add(machine)
+        self._obs_hook("on_machine_up", machine)
+        if mach.paused is not None:
+            task, residual = mach.paused, mach.paused_residual
+            mach.paused = None
+            mach.paused_residual = 0.0
+            mach.current = task
+            mach.stint_start = self.now
+            mach.busy_until = self.now + residual
+            self.n_resumed += 1
+            self.events.push(
+                mach.busy_until, EventKind.COMPLETE, (machine, task, mach.epoch)
+            )
+            self._obs_hook("on_resume", task, machine)
+        # Recovery may revive parked tasks (their alive set was empty);
+        # re-dispatch in park order at this very instant.
+        if self.parked:
+            still_parked: list[Task] = []
+            for task in self.parked:
+                candidates = task.eligible(self.m) & self._alive
+                if not candidates:
+                    still_parked.append(task)
+                    continue
+                target = self._engine_choose(candidates)
+                self.assigned_machine[task.tid] = target
+                tgt = self.machines[target]
+                tgt.queue.append(task)
+                self._obs_hook("on_unpark", task, target)
+                self._try_start(tgt)
+            self.parked = still_parked
         self._try_start(mach)
 
     # -- run ------------------------------------------------------------------
@@ -200,6 +421,10 @@ class Simulator:
                 self._handle_complete(*ev.payload)
             elif ev.kind is EventKind.OBSERVE:
                 ev.payload(self)
+            elif ev.kind is EventKind.MACHINE_DOWN:
+                self._handle_machine_down(ev.payload)
+            elif ev.kind is EventKind.MACHINE_UP:
+                self._handle_machine_up(ev.payload)
             else:  # pragma: no cover - START events are implicit
                 raise RuntimeError(f"unexpected event kind {ev.kind}")
         if until is not None and self.now < until:
@@ -216,15 +441,29 @@ class Simulator:
         started_tasks = tuple(t for t in self._tasks if t.tid in self.starts)
         inst = Instance(m=self.m, tasks=started_tasks)
         sched = Schedule(inst, placements)
-        # Started tasks have determined completions (no preemption);
-        # pending tasks contribute their age as a flow lower bound.
-        flows = [sched.flow_of(t.tid) for t in started_tasks]
-        pending_ages = [self.now - t.release for t in self._tasks if t.tid not in self.starts]
-        all_flows = flows + pending_ages
+        fault_active = self.faults is not None and bool(self.faults)
+        if fault_active:
+            # Under faults a start no longer determines the completion
+            # (the machine may fail): completed tasks use their actual
+            # engine completion times, everything still open — queued,
+            # in-flight, paused, parked — contributes its age as a
+            # lower bound.
+            all_flows = [
+                self.completions[t.tid] - t.release
+                if t.tid in self.completions
+                else self.now - t.release
+                for t in self._tasks
+            ]
+        else:
+            # Started tasks have determined completions (no preemption);
+            # pending tasks contribute their age as a flow lower bound.
+            flows = [sched.flow_of(t.tid) for t in started_tasks]
+            pending_ages = [self.now - t.release for t in self._tasks if t.tid not in self.starts]
+            all_flows = flows + pending_ages
         makespan = max(self.completions.values(), default=0.0)
         completed_busy = sum(m.busy_time for m in self.machines.values())
         in_flight_busy = sum(
-            self.now - self.starts[m.current.tid]
+            self.now - m.stint_start
             for m in self.machines.values()
             if m.current is not None
         )
@@ -236,9 +475,12 @@ class Simulator:
             len(self.completions) == len(self._tasks) and not self.events.has_work()
         )
         # Over [0, horizon] each machine's credited segments are
-        # disjoint, so utilisation is <= 1 by construction.
+        # disjoint and lie within its alive time, so utilisation is
+        # <= 1 by construction once downtime leaves the denominator.
         horizon = makespan if all_done else max(self.now, makespan)
-        util = total_busy / (self.m * horizon) if horizon > 0 else 0.0
+        downtime = self.faults.total_downtime(horizon) if fault_active else 0.0
+        capacity = self.m * horizon - downtime
+        util = total_busy / capacity if capacity > 0 else 0.0
         return SimulationResult(
             schedule=sched,
             max_flow=max(all_flows, default=0.0),
@@ -247,6 +489,11 @@ class Simulator:
             n_completed=len(self.completions),
             utilization=util,
             n_pending=len(self._tasks) - len(self.starts),
+            n_requeued=self.n_requeued,
+            n_parked=len(self.parked),
+            n_resumed=self.n_resumed,
+            total_downtime=downtime,
+            wasted_work=self.wasted_work,
         )
 
     # -- state inspection -----------------------------------------------------
@@ -262,6 +509,7 @@ class Simulator:
         for t in self._tasks:
             if t.tid in self.completions:
                 continue
-            if self.assigned_machine[t.tid] in wanted:
+            # Parked tasks have no assignment (``get`` misses them).
+            if self.assigned_machine.get(t.tid) in wanted:
                 count += 1
         return count

@@ -4,10 +4,11 @@ A minimal, allocation-light event core: events are ``(time, priority,
 seq, kind, payload)`` records ordered by time, then by a fixed
 per-kind priority, then by a monotone sequence number.
 
-The within-instant order is pinned: at equal times **COMPLETE fires
-before RELEASE fires before OBSERVE**, and events of the same kind
-fire in scheduling order (FIFO).  Completions-first means a machine
-that frees up at :math:`t` is already idle when a task released at
+The within-instant order is pinned: at equal times **MACHINE_UP fires
+before COMPLETE fires before MACHINE_DOWN fires before RELEASE fires
+before OBSERVE**, and events of the same kind fire in scheduling order
+(FIFO).  Completions-first (among work events) means a machine that
+frees up at :math:`t` is already idle when a task released at
 :math:`t` is dispatched — matching the analytic driver, where starts
 satisfy :math:`\\sigma_i = \\max(r_i, \\text{avail}_j)` with no notion
 of event order.  Releases-before-observers means an OBSERVE callback
@@ -16,6 +17,13 @@ same-time arrivals; adversaries inject *after* the instant's natural
 events, in scheduling order).  The FIFO tie-break within a kind is
 what the paper's adversaries rely on (tasks released "in order" at the
 same instant).
+
+The fault events bracket the instant's work: a machine recovering at
+:math:`t` (MACHINE_UP first) is usable by that instant's releases, a
+task completing exactly when its machine fails (COMPLETE before
+MACHINE_DOWN) counts as completed — the work was done by :math:`t` —
+and a task released at the failure instant (MACHINE_DOWN before
+RELEASE) already sees the machine as dead.
 """
 
 from __future__ import annotations
@@ -36,16 +44,22 @@ class EventKind(Enum):
     START = auto()  #: a machine begins processing a task
     COMPLETE = auto()  #: a machine finishes a task
     OBSERVE = auto()  #: a user/adversary callback fires
+    MACHINE_DOWN = auto()  #: a machine fails (fault injection)
+    MACHINE_UP = auto()  #: a failed machine recovers
 
 
-#: Same-instant firing order (lower fires first): completions free
-#: machines, then releases dispatch onto the settled machines, then
+#: Same-instant firing order (lower fires first): recoveries make
+#: machines usable, completions free machines (a completion at the
+#: exact failure instant still counts — the work was done), failures
+#: take machines out *before* the instant's releases dispatch, then
 #: observers see the settled instant.
 _KIND_PRIORITY: dict[EventKind, int] = {
-    EventKind.COMPLETE: 0,
-    EventKind.START: 1,
-    EventKind.RELEASE: 2,
-    EventKind.OBSERVE: 3,
+    EventKind.MACHINE_UP: 0,
+    EventKind.COMPLETE: 1,
+    EventKind.START: 2,
+    EventKind.MACHINE_DOWN: 3,
+    EventKind.RELEASE: 4,
+    EventKind.OBSERVE: 5,
 }
 
 
@@ -89,10 +103,12 @@ class EventQueue:
         """Time of the earliest pending event, or ``None`` if empty."""
         return self._heap[0].time if self._heap else None
 
+    _NON_WORK = frozenset({EventKind.OBSERVE, EventKind.MACHINE_DOWN, EventKind.MACHINE_UP})
+
     def has_work(self) -> bool:
         """Whether any *work* event (RELEASE/START/COMPLETE, as opposed
-        to OBSERVE callbacks) is still pending."""
-        return any(ev.kind is not EventKind.OBSERVE for ev in self._heap)
+        to OBSERVE callbacks or fault transitions) is still pending."""
+        return any(ev.kind not in self._NON_WORK for ev in self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

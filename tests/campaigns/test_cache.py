@@ -53,3 +53,46 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "never-created")
         assert cache.get("aa" * 8) is None
         assert len(cache) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" * 8, {"i": i})
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_failed_write_cleans_up_and_preserves_old_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        h = "cc" * 8
+        cache.put(h, {"v": "old"})
+
+        class Unserialisable:
+            pass
+
+        try:
+            cache.put(h, {"v": Unserialisable()})
+        except TypeError:
+            pass
+        else:  # pragma: no cover - json must reject the object
+            raise AssertionError("expected TypeError")
+        # the aborted write left no temp file and did not clobber the entry
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert cache.get(h) == {"v": "old"}
+
+    def test_put_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        """The durability barrier: data reaches the disk before the
+        rename publishes the entry."""
+        import os as os_mod
+
+        import repro.campaigns.cache as cache_mod
+
+        synced = []
+        real_fsync = os_mod.fsync
+
+        def spy(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(cache_mod.os, "fsync", spy)
+        ResultCache(tmp_path).put("dd" * 8, {"v": 1})
+        assert len(synced) == 1

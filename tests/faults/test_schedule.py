@@ -1,0 +1,142 @@
+"""FaultSchedule: validation, normalisation, queries, chaos generator."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultSchedule, Outage, chaos_schedule
+
+
+class TestOutage:
+    def test_valid(self):
+        o = Outage(machine=2, start=1.0, end=3.5)
+        assert o.duration == 2.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(machine=0, start=0.0, end=1.0),
+            dict(machine=1, start=-0.5, end=1.0),
+            dict(machine=1, start=2.0, end=2.0),
+            dict(machine=1, start=2.0, end=1.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Outage(**kwargs)
+
+
+class TestNormalisation:
+    def test_overlapping_windows_merge(self):
+        s = FaultSchedule.build([(1, 0.0, 2.0), (1, 1.0, 3.0)])
+        assert s.outages == (Outage(machine=1, start=0.0, end=3.0),)
+
+    def test_touching_windows_merge(self):
+        s = FaultSchedule.build([(1, 0.0, 2.0), (1, 2.0, 4.0)])
+        assert s.n_outages == 1
+        assert s.outages[0].end == 4.0
+
+    def test_distinct_machines_do_not_merge(self):
+        s = FaultSchedule.build([(1, 0.0, 2.0), (2, 1.0, 3.0)])
+        assert s.n_outages == 2
+
+    def test_declaration_order_irrelevant(self):
+        a = FaultSchedule.build([(2, 5.0, 6.0), (1, 0.0, 2.0)])
+        b = FaultSchedule.build([(1, 0.0, 2.0), (2, 5.0, 6.0)])
+        assert a == b
+
+    def test_empty_schedule(self):
+        s = FaultSchedule()
+        assert not s
+        assert s.n_outages == 0
+        assert s.max_machine() == 0
+        assert s.machines() == frozenset()
+        assert s.total_downtime(100.0) == 0.0
+        assert list(s.events()) == []
+
+
+class TestQueries:
+    def setup_method(self):
+        self.s = FaultSchedule.build([(1, 2.0, 4.0), (3, 3.0, 10.0)])
+
+    def test_down_at_half_open(self):
+        assert self.s.down_at(1, 2.0)  # fails at start...
+        assert self.s.down_at(1, 3.999)
+        assert not self.s.down_at(1, 4.0)  # ...alive again at end
+        assert not self.s.down_at(2, 3.0)
+
+    def test_next_recovery(self):
+        assert self.s.next_recovery(1, 2.5) == 4.0
+        assert self.s.next_recovery(1, 4.0) is None
+        assert self.s.next_recovery(2, 0.0) is None
+
+    def test_downtime_clips_at_horizon(self):
+        assert self.s.downtime(3, 5.0) == pytest.approx(2.0)
+        assert self.s.downtime(3, 100.0) == pytest.approx(7.0)
+        assert self.s.downtime(3, 1.0) == 0.0  # outage entirely after horizon
+
+    def test_total_downtime(self):
+        assert self.s.total_downtime(100.0) == pytest.approx(9.0)
+
+    def test_events_order_up_before_down_at_equal_time(self):
+        s = FaultSchedule.build([(1, 0.0, 5.0), (2, 5.0, 6.0)])
+        events = list(s.events())
+        assert events == [(0.0, "down", 1), (5.0, "up", 1), (5.0, "down", 2), (6.0, "up", 2)]
+
+
+class TestJson:
+    def test_round_trip(self):
+        s = FaultSchedule.build([(1, 2.0, 4.0), (3, 3.0, 10.0)])
+        assert FaultSchedule.from_json(s.to_json()) == s
+
+    def test_byte_stable(self):
+        a = FaultSchedule.build([(2, 5.0, 6.0), (1, 0.0, 2.0)])
+        b = FaultSchedule.build([(1, 0.0, 2.0), (2, 5.0, 6.0)])
+        assert a.to_json() == b.to_json()
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a repro-faults"):
+            FaultSchedule.from_json(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="version"):
+            FaultSchedule.from_json(
+                json.dumps({"format": "repro-faults", "version": 99})
+            )
+
+
+class TestChaos:
+    def test_deterministic_under_seed(self):
+        a = chaos_schedule(5, 200.0, mtbf=30.0, mttr=5.0, seed=42)
+        b = chaos_schedule(5, 200.0, mtbf=30.0, mttr=5.0, seed=42)
+        assert a == b and a.to_json() == b.to_json()
+
+    def test_seed_changes_schedule(self):
+        a = chaos_schedule(5, 200.0, mtbf=30.0, mttr=5.0, seed=1)
+        b = chaos_schedule(5, 200.0, mtbf=30.0, mttr=5.0, seed=2)
+        assert a != b
+
+    def test_windows_within_horizon_and_targets(self):
+        s = chaos_schedule(6, 100.0, mtbf=10.0, mttr=2.0, seed=7, machines=[2, 4])
+        assert s.machines() <= {2, 4}
+        for o in s.outages:
+            assert 0.0 <= o.start < o.end <= 100.0
+
+    def test_availability_roughly_matches_ratio(self):
+        # mtbf/(mtbf+mttr) = 0.8 expected availability; generous tolerance.
+        horizon = 5000.0
+        s = chaos_schedule(4, horizon, mtbf=20.0, mttr=5.0, seed=3)
+        availability = 1.0 - s.total_downtime(horizon) / (4 * horizon)
+        assert 0.7 < availability < 0.9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m=0, horizon=10.0, mtbf=1.0, mttr=1.0),
+            dict(m=2, horizon=0.0, mtbf=1.0, mttr=1.0),
+            dict(m=2, horizon=10.0, mtbf=0.0, mttr=1.0),
+            dict(m=2, horizon=10.0, mtbf=1.0, mttr=-1.0),
+            dict(m=2, horizon=10.0, mtbf=1.0, mttr=1.0, machines=[3]),
+        ],
+    )
+    def test_invalid_arguments(self, kwargs):
+        with pytest.raises(ValueError):
+            chaos_schedule(**kwargs)

@@ -1,0 +1,60 @@
+"""Zero-fault identity: an empty FaultSchedule must be a no-op, byte-for-byte.
+
+The fault layer's cardinal rule — running the simulator with
+``faults=FaultSchedule()`` (or ``faults=None``) must produce *exactly*
+the artefacts of the pre-fault-injection engine on the golden
+workloads: identical serialised traces and identical ``repro-metrics``
+snapshots.  Any float reordering, eager metric creation, or task-object
+substitution in the fault paths shows up here as a byte diff.
+"""
+
+import pytest
+
+from repro.campaigns import dumps_trace, record
+from repro.campaigns.goldens import GOLDEN_CASES
+from repro.faults import FaultSchedule
+from repro.obs.sim import SimRecorder
+from repro.obs.snapshot import metrics_snapshot, metrics_to_json
+from repro.simulation import Simulator
+
+
+def run_sim(name, faults):
+    case = GOLDEN_CASES[name]
+    recorder = SimRecorder()
+    sim = Simulator(case.make_scheduler(), obs=recorder, faults=faults)
+    sim.add_instance(case.make_instance())
+    result = sim.run()
+    trace_bytes = dumps_trace(
+        record(result.schedule, scheduler=sim.scheduler.name, meta={"golden": name})
+    )
+    metrics_bytes = metrics_to_json(metrics_snapshot(recorder.registry))
+    return result, trace_bytes, metrics_bytes
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+class TestZeroFaultIdentity:
+    def test_trace_bytes_identical(self, name):
+        _, baseline, _ = run_sim(name, faults=None)
+        _, empty, _ = run_sim(name, faults=FaultSchedule())
+        assert baseline == empty
+
+    def test_metrics_snapshot_bytes_identical(self, name):
+        _, _, baseline = run_sim(name, faults=None)
+        _, _, empty = run_sim(name, faults=FaultSchedule())
+        assert baseline == empty
+
+    def test_no_fault_metric_families_appear(self, name):
+        _, _, metrics = run_sim(name, faults=FaultSchedule())
+        for family in ("machine_failures", "machine_down", "tasks_requeued",
+                       "tasks_parked", "downtime_total"):
+            assert family not in metrics
+
+    def test_result_fields_identical(self, name):
+        base, _, _ = run_sim(name, faults=None)
+        empty, _, _ = run_sim(name, faults=FaultSchedule())
+        assert base.max_flow == empty.max_flow
+        assert base.mean_flow == empty.mean_flow
+        assert base.makespan == empty.makespan
+        assert base.utilization == empty.utilization
+        assert empty.n_requeued == 0
+        assert empty.total_downtime == 0.0
