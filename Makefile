@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -71,6 +71,29 @@ faults-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
 		results/.faults-smoke/a.json results/.faults-smoke/b.json
 	rm -rf results/.faults-smoke
+
+# Serving smoke: a short loopback bench-serve must drop nothing
+# (errors: 0), place identically across two same-seed runs (equal
+# assignment digests) and write a schema-valid metrics snapshot.
+serve-smoke:
+	rm -rf results/.serve-smoke
+	mkdir -p results/.serve-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 4 --k 2 \
+		--rate 400 --n 250 --proc 0.005 --seed 42 \
+		--metrics results/.serve-smoke/a.metrics.json \
+		| tee results/.serve-smoke/a.txt
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 4 --k 2 \
+		--rate 400 --n 250 --proc 0.005 --seed 42 \
+		--metrics results/.serve-smoke/b.metrics.json \
+		| tee results/.serve-smoke/b.txt
+	grep -q "errors: 0" results/.serve-smoke/a.txt
+	grep -q "errors: 0" results/.serve-smoke/b.txt
+	grep "assignments sha256" results/.serve-smoke/a.txt > results/.serve-smoke/a.sha
+	grep "assignments sha256" results/.serve-smoke/b.txt > results/.serve-smoke/b.sha
+	cmp results/.serve-smoke/a.sha results/.serve-smoke/b.sha
+	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
+		results/.serve-smoke/a.metrics.json results/.serve-smoke/b.metrics.json
+	rm -rf results/.serve-smoke
 
 # Runner-resilience: a crashing unit must yield exactly one failed
 # outcome (not a pool abort), retries must heal a flaky unit, and an

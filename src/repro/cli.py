@@ -15,6 +15,9 @@ Usage::
     python -m repro faulted --m 8 --k 2 --mtbf 60 --mttr 5 --policy restart
     python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
     python -m repro replay --golden eft-min-m4 --scheduler eft-max
+    python -m repro serve --socket /tmp/repro.sock --m 4 --slo 0.1
+    python -m repro drive --socket /tmp/repro.sock --rate 200 --n 500 --shutdown
+    python -m repro bench-serve --m 4 --rate 400 --n 250 --proc 0.005 --seed 42
     python -m repro ratios
     python -m repro explore --m 15 --k 3
     python -m repro tails --load 0.45
@@ -33,6 +36,14 @@ workload trace through any scheduler.  ``--metrics PATH`` (on
 ``campaign``, ``fig10`` and ``fig11``) writes a canonical
 :mod:`repro.obs` metrics snapshot — byte-identical for any ``-j`` —
 validatable with ``python -m repro.obs.validate PATH``.
+
+The serving verbs run the dispatch algorithms live (:mod:`repro.serve`):
+``serve`` starts the service on a unix socket or TCP port, ``drive``
+replays a generated workload against it open-loop at its Poisson
+pacing, and ``bench-serve`` runs both ends in one process over a
+loopback socket — placements are deterministic per seed, so two
+``bench-serve`` runs with the same arguments print the same
+``assignments sha256`` line.
 """
 
 from __future__ import annotations
@@ -162,6 +173,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="eft-min|eft-max|eft-rand|least-work|round-robin|random (default: the recorded one)",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+
+    def _endpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", default=None, metavar="PATH", help="unix socket endpoint")
+        p.add_argument("--host", default="127.0.0.1", help="TCP host (with --port)")
+        p.add_argument("--port", type=int, default=None, help="TCP port endpoint")
+
+    def _workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--source", default="spec", choices=["spec", "kv"],
+                       help="workload generator: WorkloadSpec or KeyValueStore request stream")
+        p.add_argument("--m", type=int, default=4)
+        p.add_argument("--n", type=int, default=200, help="number of requests")
+        p.add_argument("--rate", type=float, default=100.0, help="Poisson arrivals per virtual unit")
+        p.add_argument("--k", type=int, default=2, help="replication factor")
+        p.add_argument("--strategy", default="overlapping", choices=["overlapping", "disjoint"])
+        p.add_argument("--proc", type=float, default=0.01, help="processing time (virtual units)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--time-scale", type=float, default=1.0,
+                       help="wall seconds per virtual time unit")
+
+    p = sub.add_parser("serve", help="run the live dispatch service until a client sends shutdown")
+    _endpoint_args(p)
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument(
+        "--scheduler",
+        default="eft-min",
+        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+    p.add_argument("--slo", type=float, default=None,
+                   help="shed requests whose estimated flow exceeds this (virtual units)")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="shed when every eligible machine has this many requests queued")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="wall seconds per virtual time unit")
+    p.add_argument("--on-unavailable", default="park", choices=["park", "shed"],
+                   help="requests whose whole machine set is down: hold or reject")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="write a canonical metrics snapshot here periodically and at exit")
+    p.add_argument("--snapshot-every", type=float, default=1.0,
+                   help="seconds between snapshots (with --snapshot)")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="repro-faults JSON schedule to kill/revive workers at runtime")
+
+    p = sub.add_parser("drive", help="replay a generated workload against a running service")
+    _endpoint_args(p)
+    _workload_args(p)
+    p.add_argument("--shutdown", action="store_true", help="shut the server down afterwards")
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="serve + drive over an in-process loopback socket (deterministic per seed)",
+    )
+    _workload_args(p)
+    p.add_argument(
+        "--scheduler",
+        default="eft-min",
+        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+    )
+    p.add_argument("--slo", type=float, default=None,
+                   help="shed requests whose estimated flow exceeds this (virtual units)")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="shed when every eligible machine has this many requests queued")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="repro-faults JSON schedule to kill/revive workers at runtime")
+    p.add_argument("--metrics", default=None, metavar="PATH", help="write a metrics snapshot JSON")
 
     p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
     p.add_argument("--m", type=int, default=8)
@@ -433,6 +509,115 @@ def _run_replay(args) -> str:
     return "\n".join(lines)
 
 
+def _check_endpoint(verb: str, args) -> None:
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit(f"{verb}: provide exactly one endpoint — --socket PATH or --port N")
+
+
+def _load_faults(path: str | None):
+    if path is None:
+        return None
+    from pathlib import Path
+
+    from .faults.schedule import FaultSchedule
+
+    return FaultSchedule.from_json(Path(path).read_text())
+
+
+def _run_serve(args) -> str:
+    import asyncio
+    import json
+
+    from .serve import ServeConfig, serve
+
+    _check_endpoint("serve", args)
+    config = ServeConfig(
+        m=args.m,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        slo=args.slo,
+        max_queue_depth=args.max_queue,
+        time_scale=args.time_scale,
+        on_unavailable=args.on_unavailable,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    )
+    stats = asyncio.run(
+        serve(
+            config,
+            socket_path=args.socket,
+            host=args.host if args.socket is None else None,
+            port=args.port,
+            faults=_load_faults(args.faults),
+        )
+    )
+    return "final stats:\n" + json.dumps(stats, indent=2, sort_keys=True)
+
+
+def _run_drive(args) -> str:
+    import asyncio
+
+    from .serve import build_drive_instance, drive
+
+    _check_endpoint("drive", args)
+    instance = build_drive_instance(
+        source=args.source,
+        m=args.m,
+        n=args.n,
+        rate=args.rate,
+        k=args.k,
+        strategy=args.strategy,
+        proc=args.proc,
+        seed=args.seed,
+    )
+    report = asyncio.run(
+        drive(
+            instance,
+            socket_path=args.socket,
+            host=args.host if args.socket is None else None,
+            port=args.port,
+            time_scale=args.time_scale,
+            target_rate=args.rate,
+            shutdown=args.shutdown,
+        )
+    )
+    return report.to_text()
+
+
+def _run_bench_serve(args) -> str:
+    from .serve import ServeConfig, build_drive_instance, run_loopback_sync
+
+    instance = build_drive_instance(
+        source=args.source,
+        m=args.m,
+        n=args.n,
+        rate=args.rate,
+        k=args.k,
+        strategy=args.strategy,
+        proc=args.proc,
+        seed=args.seed,
+    )
+    config = ServeConfig(
+        m=args.m,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        slo=args.slo,
+        max_queue_depth=args.max_queue,
+        time_scale=args.time_scale,
+    )
+    report = run_loopback_sync(
+        instance,
+        config,
+        target_rate=args.rate,
+        faults=_load_faults(args.faults),
+        metrics_path=args.metrics,
+    )
+    lines = [report.to_text()]
+    if args.metrics:
+        lines.append(f"metrics: {args.metrics}")
+    return "\n".join(lines)
+
+
 def _run_ratios(args) -> str:
     from .experiments import ratios
 
@@ -533,6 +718,9 @@ _HANDLERS = {
     "campaign": _run_campaign,
     "faulted": _run_faulted,
     "replay": _run_replay,
+    "serve": _run_serve,
+    "drive": _run_drive,
+    "bench-serve": _run_bench_serve,
     "ratios": _run_ratios,
     "explore": _run_explore,
     "tails": _run_tails,

@@ -1,0 +1,86 @@
+"""Real-time online dispatch service.
+
+The serving layer runs the paper's immediate-dispatch algorithms as a
+live asyncio service rather than inside the discrete-event simulator:
+
+* :mod:`~repro.serve.protocol` — length-prefixed JSON framing over
+  unix sockets or TCP;
+* :mod:`~repro.serve.dispatcher` — the virtual-clocked decision core,
+  sharing the scheduler ``submit`` contract with the engine;
+* :mod:`~repro.serve.admission` — bounded-queue backpressure and SLO
+  load shedding keyed to the paper's waiting-work flow bound;
+* :mod:`~repro.serve.metrics` — live :mod:`repro.obs` metrics
+  (flow histograms, shed counters, queue-depth gauges, canonical
+  snapshot dumps);
+* :mod:`~repro.serve.frontend` — workers, fault kill/revive, the
+  protocol frontend (``repro serve``);
+* :mod:`~repro.serve.driver` — open-loop Poisson load generation
+  (``repro drive``);
+* :mod:`~repro.serve.shadow` — virtual-time replay proving the service
+  takes exactly the engine's decisions (golden-trace byte identity);
+* :mod:`~repro.serve.loopback` — in-process service+driver runs
+  (``repro bench-serve``).
+"""
+
+from .admission import SHED_QUEUE_FULL, SHED_SLO, AdmissionController, estimated_flow
+from .dispatcher import (
+    DISPATCHED,
+    PARKED,
+    REQUEUED,
+    SHED,
+    DispatchDecision,
+    Dispatcher,
+)
+from .driver import DriveReport, build_drive_instance, drive, percentile
+from .frontend import ServeConfig, ServeService, build_service, serve
+from .loopback import run_loopback, run_loopback_sync
+from .metrics import ServeMetrics
+from .protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    task_from_wire,
+    task_to_wire,
+    write_frame,
+)
+from .shadow import check_shadow_golden, shadow_golden_trace, shadow_replay, shadow_trace
+
+__all__ = [
+    "AdmissionController",
+    "DISPATCHED",
+    "DispatchDecision",
+    "Dispatcher",
+    "DriveReport",
+    "MAX_FRAME",
+    "PARKED",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "REQUEUED",
+    "SHED",
+    "SHED_QUEUE_FULL",
+    "SHED_SLO",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeService",
+    "build_drive_instance",
+    "build_service",
+    "check_shadow_golden",
+    "decode_frame",
+    "drive",
+    "encode_frame",
+    "estimated_flow",
+    "percentile",
+    "read_frame",
+    "run_loopback",
+    "run_loopback_sync",
+    "serve",
+    "shadow_golden_trace",
+    "shadow_replay",
+    "shadow_trace",
+    "task_from_wire",
+    "task_to_wire",
+    "write_frame",
+]

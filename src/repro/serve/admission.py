@@ -1,0 +1,103 @@
+"""Admission control: bounded-queue backpressure and SLO load shedding.
+
+The controller decides *before* a request touches the scheduler, from
+the same analytic state the dispatch decision will use — so admission
+is deterministic given the request stream, and a shed request consumes
+nothing (in particular, no random tie-break draw), leaving the
+decisions for every admitted request identical to a run that never saw
+the shed ones.
+
+Two independent mechanisms, each optional:
+
+**Bounded queues** (``max_queue_depth``): a request is rejected with
+reason ``"queue_full"`` when every alive machine of its processing set
+already holds at least ``max_queue_depth`` uncompleted requests — the
+classic per-endpoint backpressure of replicated stores.
+
+**SLO shedding** (``slo``): the paper bounds EFT's flow by the waiting
+work of the machine a task lands on (the :math:`w_t(j) + p_i` shape of
+the Theorem 8 profile argument).  The controller evaluates exactly that
+bound and sheds with reason ``"slo"`` when it exceeds the configured
+objective.  For EFT the estimate is *exact*, not a bound: whatever the
+tie-break, EFT starts task :math:`T_i` at
+
+.. math::
+
+    \\sigma_i = \\max\\bigl(r_i, \\min_{j \\in \\mathcal{M}_i} C_{j,i-1}\\bigr)
+
+because the chosen machine's completion time is at most
+:math:`t'_{min,i} = \\max(r_i, \\min_j C_j)` (Equation (2)) and at least
+:math:`\\min_j C_j` — so ``estimated_flow`` is the flow the request
+*will* achieve if admitted.  For the non-EFT baselines it is a lower
+bound (they may pick a busier machine), making the shed decision
+conservative: nothing is shed that any immediate-dispatch policy could
+have served within the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..core.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dispatcher import Dispatcher
+
+__all__ = ["AdmissionController", "SHED_QUEUE_FULL", "SHED_SLO", "estimated_flow"]
+
+SHED_SLO = "slo"
+SHED_QUEUE_FULL = "queue_full"
+
+
+def estimated_flow(
+    task: Task, candidates: Iterable[int], completions: Mapping[int, float]
+) -> float:
+    """Flow ``task`` achieves under EFT over ``candidates`` given the
+    machines' committed completion times (exact for EFT, a lower bound
+    for other immediate-dispatch policies — see the module notes)."""
+    earliest = min(completions[j] for j in candidates)
+    return max(task.release, earliest) + task.proc - task.release
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Admission policy of a :class:`~repro.serve.dispatcher.Dispatcher`.
+
+    Parameters
+    ----------
+    slo:
+        Maximum acceptable estimated flow (virtual time units), or
+        ``None`` to disable SLO shedding.
+    max_queue_depth:
+        Maximum uncompleted requests per machine before backpressure,
+        or ``None`` to disable the bound.
+    """
+
+    slo: float | None = None
+    max_queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slo is not None and self.slo <= 0:
+            raise ValueError(f"slo must be > 0, got {self.slo}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.slo is not None or self.max_queue_depth is not None
+
+    def review(
+        self, task: Task, candidates: frozenset[int], dispatcher: "Dispatcher"
+    ) -> str | None:
+        """Shed reason for ``task`` over the alive ``candidates``, or
+        ``None`` to admit.  Queue bound first (cheaper), then SLO."""
+        if self.max_queue_depth is not None:
+            depth = min(dispatcher.depth(j, task.release) for j in candidates)
+            if depth >= self.max_queue_depth:
+                return SHED_QUEUE_FULL
+        if self.slo is not None:
+            flow = estimated_flow(task, candidates, dispatcher.scheduler.completions)
+            if flow > self.slo:
+                return SHED_SLO
+        return None

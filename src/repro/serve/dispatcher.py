@@ -1,0 +1,269 @@
+"""The dispatch decision core of the serving layer.
+
+:class:`Dispatcher` is a *synchronous, virtual-clocked* wrapper around
+an :class:`~repro.core.dispatch.ImmediateDispatchScheduler`: every
+placement decision is a pure function of the admitted request stream
+(release times stamped by the workload, not the wall clock), which is
+what makes the service deterministic and shadow-checkable:
+
+* **determinism** — two live runs over the same request stream produce
+  identical task→machine assignments, whatever the wall-clock jitter,
+  because the asyncio layer (:mod:`repro.serve.frontend`) only *enacts*
+  decisions taken here;
+* **shadow mode** — feeding a recorded arrival stream through
+  :meth:`submit` reproduces the discrete-event
+  :class:`~repro.simulation.engine.Simulator` exactly, decision for
+  decision, since both drive the *same* scheduler object through the
+  same ``submit`` contract (:mod:`repro.serve.shadow` turns this into a
+  byte-identity check against the golden traces).
+
+Fault handling mirrors the engine's degraded dispatch: a request whose
+eligible set intersected with the alive machines is empty is *parked*
+(or shed, with ``on_unavailable="shed"``); a partially-dead set
+restricts the scheduler's view to the alive machines.  Failure-time
+re-dispatch (:meth:`redispatch`) bypasses the scheduler — whose
+``submit`` contract only covers fresh releases in release order — and
+places the task on the alive candidate with the least committed work,
+smallest index on ties, exactly like the engine's failure path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.schedule import Schedule
+from ..core.task import Instance, Task
+from .admission import AdmissionController
+from .metrics import ServeMetrics
+
+__all__ = [
+    "DISPATCHED",
+    "PARKED",
+    "REQUEUED",
+    "SHED",
+    "DispatchDecision",
+    "Dispatcher",
+]
+
+DISPATCHED = "dispatched"
+SHED = "shed"
+PARKED = "parked"
+REQUEUED = "requeued"
+
+#: reason attached to requests rejected because their whole processing
+#: set was down (only with ``on_unavailable="shed"``).
+SHED_UNAVAILABLE = "unavailable"
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchDecision:
+    """Outcome of one submitted request.
+
+    ``status`` is one of :data:`DISPATCHED` (placed on ``machine`` with
+    analytic ``start`` and ``est_flow``), :data:`SHED` (rejected;
+    ``reason`` says why), :data:`PARKED` (whole processing set down,
+    held for a revival) or :data:`REQUEUED` (placed by the failure /
+    unpark path rather than the scheduler).
+    """
+
+    task: Task
+    status: str
+    machine: int | None = None
+    start: float | None = None
+    est_flow: float | None = None
+    reason: str | None = None
+
+
+class Dispatcher:
+    """Virtual-clocked immediate-dispatch decision engine.
+
+    Parameters
+    ----------
+    scheduler:
+        The dispatch policy (e.g. :class:`repro.core.eft.EFT` with any
+        tie-break).  The dispatcher calls ``scheduler.submit`` for every
+        admitted fresh release, so the scheduler's bookkeeping stays
+        authoritative — the same integration contract the simulator
+        uses.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`;
+        reviewed *before* the scheduler sees the request, so shed
+        requests perturb nothing (not even a random tie-break draw).
+    metrics:
+        Optional :class:`~repro.serve.metrics.ServeMetrics`.
+    on_unavailable:
+        ``"park"`` (default; mirror the engine — hold until a machine
+        of the set revives) or ``"shed"`` (reject with reason
+        ``"unavailable"``).
+    """
+
+    def __init__(
+        self,
+        scheduler: ImmediateDispatchScheduler,
+        admission: AdmissionController | None = None,
+        metrics: ServeMetrics | None = None,
+        on_unavailable: str = "park",
+    ) -> None:
+        if on_unavailable not in ("park", "shed"):
+            raise ValueError(f"on_unavailable must be 'park' or 'shed', got {on_unavailable!r}")
+        self.scheduler = scheduler
+        self.m = scheduler.m
+        self.admission = admission if (admission is None or admission.enabled) else None
+        self.metrics = metrics
+        self.on_unavailable = on_unavailable
+        self.alive: set[int] = set(range(1, self.m + 1))
+        self.parked: list[Task] = []
+        self.decisions: list[DispatchDecision] = []
+        #: committed placements ``tid -> (machine, start)`` of every
+        #: dispatched/requeued task — the dispatcher's own books, so
+        #: :meth:`schedule` never reaches into scheduler internals.
+        self.placements: dict[int, tuple[int, float]] = {}
+        self._tasks: dict[int, Task] = {}
+        #: per-machine min-heap of analytic completion times — the
+        #: uncompleted-request depth used by bounded-queue admission.
+        self._inflight: dict[int, list[float]] = {j: [] for j in range(1, self.m + 1)}
+        self.n_dispatched = 0
+        self.n_shed = 0
+        self.n_requeued = 0
+
+    # -- analytic state -----------------------------------------------------
+    def depth(self, machine: int, now: float) -> int:
+        """Number of requests committed to ``machine`` and analytically
+        uncompleted at ``now`` (completions at exactly ``now`` have
+        left the queue — the half-open convention of the engine)."""
+        heap = self._inflight[machine]
+        while heap and heap[0] <= now:
+            heappop(heap)
+        return len(heap)
+
+    def waiting_work(self, machine: int, now: float) -> float:
+        """Committed-but-unfinished work on ``machine`` at ``now`` —
+        the :math:`w_t(j)` the admission SLO is keyed to."""
+        return max(0.0, self.scheduler.completions[machine] - now)
+
+    # -- the decision path ---------------------------------------------------
+    def submit(self, task: Task) -> DispatchDecision:
+        """Decide one fresh release (requests must arrive in release
+        order, the online contract of the underlying scheduler)."""
+        if self.metrics is not None:
+            self.metrics.on_request()
+        eligible = task.eligible(self.m)
+        alive_eligible = eligible & self.alive
+        if not alive_eligible:
+            if self.on_unavailable == "shed":
+                return self._shed(task, SHED_UNAVAILABLE)
+            return self._park(task)
+        if self.admission is not None:
+            reason = self.admission.review(task, alive_eligible, self)
+            if reason is not None:
+                return self._shed(task, reason)
+        if alive_eligible != eligible:
+            # Degraded dispatch over the alive subset, as in the engine:
+            # the scheduler decides on the restricted view while the
+            # original task stays authoritative in our books.
+            record = self.scheduler.submit(task.restricted_to(alive_eligible))
+        else:
+            record = self.scheduler.submit(task)
+        return self._commit(task, record.machine, record.start, DISPATCHED)
+
+    def redispatch(self, task: Task, now: float, reason: str = "failure") -> DispatchDecision:
+        """Place a displaced task (machine failure, unpark): EFT over
+        the engine's authoritative committed work, least waiting work
+        wins, smallest index on ties — the engine's failure-path rule.
+        Parks again if the whole set is still down."""
+        candidates = task.eligible(self.m) & self.alive
+        if not candidates:
+            return self._park(task)
+        machine = min(sorted(candidates), key=lambda j: self.waiting_work(j, now))
+        start = max(now, self.scheduler.completions[machine])
+        # The scheduler's completion bookkeeping must absorb the
+        # re-placement (future EFT decisions see the extra work), but
+        # its release-order submit contract does not cover re-dispatch,
+        # so the books are updated directly — as the engine does.
+        self.scheduler.completions[machine] = start + task.proc
+        self.scheduler.task_counts[machine] += 1
+        self.n_requeued += 1
+        if self.metrics is not None:
+            self.metrics.on_requeue()
+        return self._commit(task, machine, start, REQUEUED, reason=reason)
+
+    def _commit(
+        self, task: Task, machine: int, start: float, status: str, reason: str | None = None
+    ) -> DispatchDecision:
+        heappush(self._inflight[machine], start + task.proc)
+        self.placements[task.tid] = (machine, start)
+        self._tasks[task.tid] = task
+        est_flow = start + task.proc - task.release
+        decision = DispatchDecision(
+            task=task, status=status, machine=machine, start=start,
+            est_flow=est_flow, reason=reason,
+        )
+        self.decisions.append(decision)
+        self.n_dispatched += 1
+        if self.metrics is not None:
+            self.metrics.on_dispatch(machine, est_flow, self.depth(machine, task.release))
+        return decision
+
+    def _shed(self, task: Task, reason: str) -> DispatchDecision:
+        decision = DispatchDecision(task=task, status=SHED, reason=reason)
+        self.decisions.append(decision)
+        self.n_shed += 1
+        if self.metrics is not None:
+            self.metrics.on_shed(reason)
+        return decision
+
+    def _park(self, task: Task) -> DispatchDecision:
+        self.parked.append(task)
+        decision = DispatchDecision(task=task, status=PARKED)
+        self.decisions.append(decision)
+        if self.metrics is not None:
+            self.metrics.on_park(len(self.parked))
+        return decision
+
+    # -- fault surface -------------------------------------------------------
+    def kill(self, machine: int) -> None:
+        """Mark ``machine`` dead: it receives no further dispatches.
+        Re-routing its queued work is the service layer's job (it owns
+        the live queues) via :meth:`redispatch`."""
+        if not (1 <= machine <= self.m):
+            raise ValueError(f"machine {machine} outside 1..{self.m}")
+        if machine not in self.alive:
+            return
+        self.alive.discard(machine)
+        if self.metrics is not None:
+            self.metrics.on_kill(machine, len(self.alive))
+
+    def revive(self, machine: int, now: float = 0.0) -> list[DispatchDecision]:
+        """Mark ``machine`` alive again and re-dispatch every parked
+        task whose set now intersects the alive machines, in park order
+        (the engine's recovery rule).  Returns the unpark decisions."""
+        if not (1 <= machine <= self.m):
+            raise ValueError(f"machine {machine} outside 1..{self.m}")
+        if machine in self.alive:
+            return []
+        self.alive.add(machine)
+        if self.metrics is not None:
+            self.metrics.on_revive(machine, len(self.alive))
+        pending, self.parked = self.parked, []
+        unparked: list[DispatchDecision] = []
+        still_parked: list[Task] = []
+        for task in pending:
+            if task.eligible(self.m) & self.alive:
+                unparked.append(self.redispatch(task, now, reason="unpark"))
+                if self.metrics is not None:
+                    self.metrics.on_unpark(len(still_parked))
+            else:
+                still_parked.append(task)
+        # ``redispatch`` cannot have re-parked (candidates were checked
+        # and the alive set only grew), so ``self.parked`` is empty here.
+        self.parked = still_parked + self.parked
+        return unparked
+
+    # -- results -------------------------------------------------------------
+    def schedule(self) -> Schedule:
+        """The committed schedule of every dispatched request (shed and
+        still-parked requests excluded)."""
+        inst = Instance(m=self.m, tasks=tuple(self._tasks.values()))
+        return Schedule(inst, dict(self.placements))

@@ -1,0 +1,235 @@
+"""Open-loop load generator for the dispatch service.
+
+The driver replays a scheduling :class:`~repro.core.task.Instance` —
+built from a :class:`~repro.simulation.workload.WorkloadSpec` or a
+:class:`~repro.simulation.kvstore.KeyValueStore` request stream — over
+the wire at the workload's own Poisson pacing: request ``i`` is sent at
+wall offset ``release_i * time_scale`` whether or not earlier responses
+have arrived (open loop, so a saturated service sees the true arrival
+process, not one throttled by its own latency).  Responses are
+collected concurrently on the same connection.
+
+Because the service decides placements from the *virtual* release
+stamps carried by the requests, a drive of the same workload (same
+seed) reports identical task→machine assignments on every run — the
+:attr:`DriveReport.assignments_digest` makes that a one-line check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.task import Instance
+from ..simulation.kvstore import KeyValueStore
+from ..simulation.workload import WorkloadSpec, generate_workload
+from .protocol import read_frame, task_to_wire, write_frame
+
+__all__ = ["DriveReport", "build_drive_instance", "drive", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``values`` by nearest-rank on the
+    sorted data; 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+@dataclass
+class DriveReport:
+    """Outcome of one drive run.
+
+    ``n_errors`` counts requests the server answered with ``ok: false``
+    *plus* submits that never got a response — a correct run reports
+    zero (the "no requests dropped by a bug" invariant; shed requests
+    are accounted separately, they are policy, not bugs).
+    """
+
+    n_sent: int = 0
+    n_acked: int = 0
+    n_dispatched: int = 0
+    n_shed: int = 0
+    n_parked: int = 0
+    n_errors: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    est_flows: list[float] = field(default_factory=list)
+    assignments: list[tuple[int, int]] = field(default_factory=list)
+    elapsed: float = 0.0
+    target_rate: float | None = None
+    server_stats: dict[str, Any] | None = None
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.n_sent / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def assignments_digest(self) -> str:
+        """SHA-256 over the ``tid:machine`` assignment list in
+        submission order — equal digests mean identical placements."""
+        payload = ",".join(f"{tid}:{machine}" for tid, machine in self.assignments)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_text(self) -> str:
+        lines = [
+            f"drive report: sent {self.n_sent} requests in {self.elapsed:.3f} s "
+            + (
+                f"(target {self.target_rate:.1f} rps, achieved {self.achieved_rate:.1f} rps)"
+                if self.target_rate
+                else f"(achieved {self.achieved_rate:.1f} rps)"
+            ),
+            f"acked: {self.n_acked}/{self.n_sent}  errors: {self.n_errors}",
+            f"dispatched: {self.n_dispatched}  shed: {self.n_shed}"
+            + (
+                " (" + ", ".join(f"{k} {v}" for k, v in sorted(self.shed_by_reason.items())) + ")"
+                if self.shed_by_reason
+                else ""
+            )
+            + f"  parked: {self.n_parked}",
+        ]
+        if self.est_flows:
+            lines.append(
+                "est flow (virtual units): "
+                f"p50={percentile(self.est_flows, 0.50):.6g}  "
+                f"p99={percentile(self.est_flows, 0.99):.6g}  "
+                f"max={max(self.est_flows):.6g}"
+            )
+        if self.server_stats is not None:
+            s = self.server_stats
+            wall = s.get("metrics", {}).get("histograms", {}).get("wall_flow")
+            extra = ""
+            if wall and wall.get("count"):
+                extra = (
+                    f", wall flow mean={wall['sum'] / wall['count']:.6g} "
+                    f"max={wall['max']:.6g} (virtual units)"
+                )
+            lines.append(f"server: completed {s.get('completed', 0)}{extra}")
+        lines.append(f"assignments sha256: {self.assignments_digest}")
+        return "\n".join(lines)
+
+
+def build_drive_instance(
+    source: str = "spec",
+    m: int = 4,
+    n: int = 200,
+    rate: float = 100.0,
+    k: int = 2,
+    strategy: str = "overlapping",
+    proc: float = 0.01,
+    seed: int = 0,
+    n_keys: int = 512,
+    key_zipf_s: float = 0.0,
+) -> Instance:
+    """Build the request stream a drive replays.
+
+    ``source="spec"`` draws a Figure-11-style workload (machine-level
+    popularity) from a :class:`WorkloadSpec`; ``source="kv"`` runs the
+    key-granularity pipeline (hash ring, per-key replica sets) of
+    :class:`KeyValueStore`.  Either way releases are Poisson with
+    ``rate`` arrivals per virtual unit and every request runs ``proc``
+    units, so the offered load is ``rate * proc / m``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if proc <= 0:
+        raise ValueError("proc must be > 0")
+    rng = np.random.default_rng(seed)
+    if source == "spec":
+        spec = WorkloadSpec(m=m, n=n, lam=rate, k=k, strategy=strategy, case="uniform", proc=proc)
+        return generate_workload(spec, rng=rng)
+    if source == "kv":
+        store = KeyValueStore.build(m, n_keys=n_keys, k=k, strategy=strategy, key_zipf_s=key_zipf_s)
+        return store.request_stream(lam=rate, n=n, rng=rng, proc=proc)
+    raise ValueError(f"unknown drive source {source!r} (expected 'spec' or 'kv')")
+
+
+async def drive(
+    instance: Instance,
+    socket_path: str | Path | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    time_scale: float = 1.0,
+    target_rate: float | None = None,
+    drain: bool = True,
+    stats: bool = True,
+    shutdown: bool = False,
+) -> DriveReport:
+    """Replay ``instance`` against a running service and report.
+
+    Requests go out open-loop at ``release * time_scale`` wall offsets;
+    after the last submit the driver (optionally) drains the service,
+    pulls the final stats and (optionally) shuts the server down.
+    """
+    if (socket_path is None) == (host is None or port is None):
+        raise ValueError("drive needs exactly one of socket_path or host+port")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be > 0")
+    if socket_path is not None:
+        reader, writer = await asyncio.open_unix_connection(path=str(socket_path))
+    else:
+        reader, writer = await asyncio.open_connection(host=host, port=port)
+    report = DriveReport(target_rate=target_rate)
+    tasks = list(instance)
+    acks: list[dict[str, Any] | None] = []
+
+    async def collect() -> None:
+        for _ in range(len(tasks)):
+            acks.append(await read_frame(reader))
+
+    loop = asyncio.get_running_loop()
+    collector = loop.create_task(collect())
+    try:
+        t0 = loop.time()
+        for task in tasks:
+            delay = t0 + task.release * time_scale - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await write_frame(writer, {"op": "submit", **task_to_wire(task)})
+            report.n_sent += 1
+        await collector
+        report.elapsed = loop.time() - t0
+        if drain:
+            await write_frame(writer, {"op": "drain"})
+            await read_frame(reader)
+        if stats:
+            await write_frame(writer, {"op": "stats"})
+            response = await read_frame(reader)
+            if response is not None and response.get("ok"):
+                report.server_stats = response.get("stats")
+        if shutdown:
+            await write_frame(writer, {"op": "shutdown"})
+            await read_frame(reader)
+    finally:
+        collector.cancel()
+        await asyncio.gather(collector, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    for ack in acks:
+        if ack is None or not ack.get("ok"):
+            report.n_errors += 1
+            continue
+        report.n_acked += 1
+        status = ack.get("status")
+        if status == "dispatched" or status == "requeued":
+            report.n_dispatched += 1
+            report.assignments.append((ack["tid"], ack["machine"]))
+            report.est_flows.append(float(ack["est_flow"]))
+        elif status == "shed":
+            report.n_shed += 1
+            reason = ack.get("reason") or "unknown"
+            report.shed_by_reason[reason] = report.shed_by_reason.get(reason, 0) + 1
+        elif status == "parked":
+            report.n_parked += 1
+    report.n_errors += report.n_sent - len(acks)
+    return report

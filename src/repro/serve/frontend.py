@@ -1,0 +1,374 @@
+"""The asyncio serving layer: workers, frontend, live faults.
+
+:class:`ServeService` enacts the virtual-clocked decisions of a
+:class:`~repro.serve.dispatcher.Dispatcher` in real time: one asyncio
+worker per machine pulls dispatched requests off its FIFO queue and
+"serves" each for ``proc * time_scale`` wall seconds — the same
+one-task-at-a-time, run-to-completion machine model as the engine.
+The frontend accepts :mod:`repro.serve.protocol` frames over a unix
+socket or TCP and answers every ``submit`` immediately with the
+dispatch decision (the push model: no response ever waits on service
+completion).
+
+The division of labour is strict: *which machine gets a request* is
+decided by the dispatcher from the request's virtual release stamp, so
+assignments are reproducible run over run; the asyncio layer only
+controls *when* the work physically happens, which is where wall-clock
+jitter lives (and is measured, in the ``wall_flow`` histogram).
+
+Fault injection: :meth:`ServeService.kill` stops a machine (its queued
+requests are re-dispatched over the alive machines; the in-flight one
+finishes — drain-on-failure semantics), :meth:`ServeService.revive`
+brings it back and re-dispatches parked requests.
+:meth:`ServeService.apply_faults` replays a
+:class:`repro.faults.FaultSchedule` in scaled wall time, so the same
+outage scenarios used in degraded-mode simulation drive the live
+service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..campaigns.trace import make_scheduler
+from ..faults.schedule import FaultSchedule
+from ..obs.snapshot import write_metrics
+from .admission import AdmissionController
+from .dispatcher import DISPATCHED, REQUEUED, DispatchDecision, Dispatcher
+from .metrics import ServeMetrics
+from .protocol import ProtocolError, read_frame, task_from_wire, write_frame
+
+__all__ = ["ServeConfig", "ServeService", "build_service", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Construction parameters of a dispatch service.
+
+    ``time_scale`` is wall seconds per virtual time unit: a request
+    with ``proc=0.01`` occupies its machine for ``0.01 * time_scale``
+    wall seconds.  ``slo`` / ``max_queue_depth`` configure admission
+    (``None`` disables each); ``snapshot_path`` + ``snapshot_every``
+    enable the periodic canonical metrics dump.
+    """
+
+    m: int = 4
+    scheduler: str = "eft-min"
+    seed: int = 0
+    slo: float | None = None
+    max_queue_depth: int | None = None
+    time_scale: float = 1.0
+    on_unavailable: str = "park"
+    snapshot_path: str | None = None
+    snapshot_every: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("need at least one machine")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        if self.snapshot_every <= 0:
+            raise ValueError("snapshot_every must be > 0")
+
+
+def build_service(config: ServeConfig) -> "ServeService":
+    """Wire a :class:`ServeService` from a :class:`ServeConfig`."""
+    scheduler = make_scheduler(config.scheduler, config.m, seed=config.seed)
+    metrics = ServeMetrics()
+    admission = AdmissionController(slo=config.slo, max_queue_depth=config.max_queue_depth)
+    dispatcher = Dispatcher(
+        scheduler,
+        admission=admission if admission.enabled else None,
+        metrics=metrics,
+        on_unavailable=config.on_unavailable,
+    )
+    return ServeService(dispatcher, metrics, time_scale=config.time_scale)
+
+
+class ServeService:
+    """Real-time enactment of a :class:`Dispatcher`.
+
+    Must be :meth:`start`-ed inside a running event loop; :meth:`stop`
+    cancels the workers.  ``time_scale`` converts virtual time units to
+    wall seconds.
+    """
+
+    def __init__(
+        self, dispatcher: Dispatcher, metrics: ServeMetrics, time_scale: float = 1.0
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        self.dispatcher = dispatcher
+        self.metrics = metrics
+        self.time_scale = time_scale
+        self.m = dispatcher.m
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._workers: list[asyncio.Task] = []
+        self._t0: float | None = None
+        self._outstanding = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.n_completed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        if self._workers:
+            raise RuntimeError("service already started")
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time()
+        self._queues = {j: asyncio.Queue() for j in range(1, self.m + 1)}
+        self._workers = [
+            loop.create_task(self._worker(j), name=f"serve-worker-{j}")
+            for j in range(1, self.m + 1)
+        ]
+
+    async def stop(self) -> None:
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+
+    def now(self) -> float:
+        """Wall time since :meth:`start`, in virtual units."""
+        if self._t0 is None:
+            return 0.0
+        return (asyncio.get_running_loop().time() - self._t0) / self.time_scale
+
+    # -- request path --------------------------------------------------------
+    def submit(self, task) -> DispatchDecision:
+        """Decide and, if dispatched, enqueue for real-time service."""
+        decision = self.dispatcher.submit(task)
+        if decision.status == DISPATCHED:
+            self._enqueue(decision)
+        return decision
+
+    def _enqueue(self, decision: DispatchDecision) -> None:
+        self._outstanding += 1
+        self._idle.clear()
+        arrival = asyncio.get_running_loop().time()
+        self._queues[decision.machine].put_nowait((decision.task, arrival))
+
+    async def _worker(self, machine: int) -> None:
+        queue = self._queues[machine]
+        while True:
+            task, arrival = await queue.get()
+            if machine not in self.dispatcher.alive:
+                # Killed with work still queued (race with kill's own
+                # drain): route it like any displaced task.
+                self._outstanding -= 1
+                self._route_displaced(task, arrival)
+                self._settle()
+                continue
+            await asyncio.sleep(task.proc * self.time_scale)
+            loop_now = asyncio.get_running_loop().time()
+            self.metrics.on_complete((loop_now - arrival) / self.time_scale)
+            self.n_completed += 1
+            self._outstanding -= 1
+            self._settle()
+
+    def _settle(self) -> None:
+        if self._outstanding == 0:
+            self._idle.set()
+
+    def _route_displaced(self, task, arrival: float) -> None:
+        decision = self.dispatcher.redispatch(task, self.now())
+        if decision.status == REQUEUED:
+            self._outstanding += 1
+            self._idle.clear()
+            self._queues[decision.machine].put_nowait((task, arrival))
+        # parked: it re-enters the queues at the next revive
+
+    async def drain(self) -> int:
+        """Wait until every dispatched request finished service (parked
+        requests don't count — they hold no machine); returns the
+        completion count so far."""
+        await self._idle.wait()
+        return self.n_completed
+
+    # -- fault surface -------------------------------------------------------
+    def kill(self, machine: int) -> int:
+        """Stop ``machine``: no further dispatches, queued requests are
+        re-dispatched over the alive machines (the in-flight request
+        finishes — drain-on-failure).  Returns how many were displaced."""
+        self.dispatcher.kill(machine)
+        displaced = []
+        queue = self._queues.get(machine)
+        if queue is not None:
+            while not queue.empty():
+                displaced.append(queue.get_nowait())
+        for task, arrival in displaced:
+            self._outstanding -= 1
+            self._route_displaced(task, arrival)
+        self._settle()
+        return len(displaced)
+
+    def revive(self, machine: int) -> int:
+        """Revive ``machine`` and enqueue any unparked requests;
+        returns how many left the parking lot."""
+        arrival = asyncio.get_running_loop().time()
+        unparked = self.dispatcher.revive(machine, self.now())
+        for decision in unparked:
+            self._outstanding += 1
+            self._idle.clear()
+            self._queues[decision.machine].put_nowait((decision.task, arrival))
+        return len(unparked)
+
+    async def apply_faults(self, faults: FaultSchedule) -> None:
+        """Replay ``faults`` in scaled wall time (run as a background
+        task alongside the frontend)."""
+        if faults.max_machine() > self.m:
+            raise ValueError(
+                f"fault schedule references machine {faults.max_machine()}, "
+                f"but the service has m={self.m}"
+            )
+        loop = asyncio.get_running_loop()
+        t0 = self._t0 if self._t0 is not None else loop.time()
+        for time_, kind, machine in faults.events():
+            delay = t0 + time_ * self.time_scale - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if kind == "down":
+                self.kill(machine)
+            else:
+                self.revive(machine)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus the live metrics snapshot (the
+        ``stats`` op payload)."""
+        d = self.dispatcher
+        return {
+            "now": self.now(),
+            "m": self.m,
+            "alive": sorted(d.alive),
+            "requests": d.n_dispatched + d.n_shed + len(d.parked),
+            "dispatched": d.n_dispatched,
+            "shed": d.n_shed,
+            "requeued": d.n_requeued,
+            "parked": len(d.parked),
+            "completed": self.n_completed,
+            "outstanding": self._outstanding,
+            "metrics": self.metrics.registry.snapshot(),
+        }
+
+    async def snapshot_loop(self, path: str | Path, every: float) -> None:
+        """Periodically dump the canonical metrics snapshot to ``path``
+        (run as a background task; the final state is written by
+        :func:`serve` on shutdown)."""
+        while True:
+            await asyncio.sleep(every)
+            write_metrics(self.metrics.registry, path, meta={"source": "repro-serve"})
+
+    # -- frontend ------------------------------------------------------------
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stop_event: asyncio.Event | None = None,
+    ) -> None:
+        """Serve one protocol connection until EOF (or ``shutdown``,
+        which also sets ``stop_event`` for the server loop)."""
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    self.metrics.on_error()
+                    await write_frame(writer, {"ok": False, "error": str(exc)})
+                    break  # framing is lost; drop the connection
+                if message is None:
+                    break
+                response = await self._handle_op(message)
+                await write_frame(writer, response)
+                if message.get("op") == "shutdown":
+                    if stop_event is not None:
+                        stop_event.set()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_op(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "pong", "now": self.now()}
+        if op == "submit":
+            try:
+                decision = self.submit(task_from_wire(message))
+            except (ProtocolError, ValueError) as exc:
+                self.metrics.on_error()
+                return {"ok": False, "op": "submit", "tid": message.get("tid"), "error": str(exc)}
+            return {
+                "ok": True,
+                "op": "submit",
+                "tid": decision.task.tid,
+                "status": decision.status,
+                "machine": decision.machine,
+                "start": decision.start,
+                "est_flow": decision.est_flow,
+                "reason": decision.reason,
+            }
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.stats()}
+        if op == "drain":
+            completed = await self.drain()
+            return {"ok": True, "op": "drain", "completed": completed}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        self.metrics.on_error()
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve(
+    config: ServeConfig,
+    socket_path: str | Path | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    faults: FaultSchedule | None = None,
+) -> dict[str, Any]:
+    """Run a dispatch service until a client sends ``shutdown`` (or the
+    task is cancelled); returns the final stats.
+
+    Exactly one endpoint must be given: a unix ``socket_path`` or a TCP
+    ``host``/``port`` pair.
+    """
+    if (socket_path is None) == (host is None or port is None):
+        raise ValueError("serve needs exactly one of socket_path or host+port")
+    service = build_service(config)
+    await service.start()
+    stop_event = asyncio.Event()
+
+    async def on_connection(reader, writer):
+        await service.handle_connection(reader, writer, stop_event)
+
+    if socket_path is not None:
+        server = await asyncio.start_unix_server(on_connection, path=str(socket_path))
+    else:
+        server = await asyncio.start_server(on_connection, host=host, port=port)
+    background: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+    if faults is not None and faults:
+        background.append(loop.create_task(service.apply_faults(faults)))
+    if config.snapshot_path is not None:
+        background.append(
+            loop.create_task(service.snapshot_loop(config.snapshot_path, config.snapshot_every))
+        )
+    try:
+        async with server:
+            await stop_event.wait()
+    finally:
+        for task in background:
+            task.cancel()
+        await asyncio.gather(*background, return_exceptions=True)
+        await service.stop()
+        if config.snapshot_path is not None:
+            write_metrics(
+                service.metrics.registry, config.snapshot_path, meta={"source": "repro-serve"}
+            )
+    return service.stats()

@@ -1,0 +1,150 @@
+"""Wire protocol of the dispatch service: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one message object.  The framing is
+deliberately minimal — any language can speak it with a socket and a
+JSON library — and symmetric: requests and responses use the same
+encoding.
+
+Requests are objects with an ``op`` field:
+
+``{"op": "ping"}``
+    liveness probe; answered with ``{"ok": true, "op": "pong", "now": t}``
+    where ``t`` is the service's current *virtual* time.
+``{"op": "submit", "tid": i, "release": r, "proc": p,
+  "machine_set": [..] | null, "key": k | null}``
+    one request of the online stream (the wire form of
+    :class:`repro.core.task.Task`); answered immediately with the
+    dispatch decision — the service never blocks a submit on service
+    completion.
+``{"op": "stats"}``
+    answered with the live metrics snapshot and service counters.
+``{"op": "drain"}``
+    blocks until every dispatched request has finished service.
+``{"op": "shutdown"}``
+    acknowledges, then stops the server.
+
+Every response carries ``"ok"`` (``false`` plus an ``"error"`` string
+when the request could not be handled — a malformed task, an
+out-of-order release — so one bad request never tears down the
+connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+from ..core.task import Task
+
+__all__ = [
+    "MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "task_from_wire",
+    "task_to_wire",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Frames above this size are rejected — a corrupted length prefix must
+#: not make the reader allocate gigabytes.
+MAX_FRAME = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames or messages."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialise ``message`` to one wire frame (header + JSON body)."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """Parse a frame body (the bytes after the length prefix)."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"declared frame length {length} exceeds MAX_FRAME={MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict[str, Any]) -> None:
+    """Encode and send one frame, waiting for the transport to drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def task_to_wire(task: Task) -> dict[str, Any]:
+    """The ``submit`` payload for ``task`` (sans the ``op`` field)."""
+    return {
+        "tid": task.tid,
+        "release": task.release,
+        "proc": task.proc,
+        "machine_set": None if task.machines is None else sorted(task.machines),
+        "key": task.key,
+    }
+
+
+def task_from_wire(message: dict[str, Any]) -> Task:
+    """Build the :class:`Task` of a ``submit`` message.
+
+    Raises :class:`ProtocolError` on missing or ill-typed fields (the
+    :class:`Task` validators catch the value errors: negative release,
+    non-positive proc, empty or out-of-range machine sets).
+    """
+    try:
+        tid = int(message["tid"])
+        release = float(message["release"])
+        proc = float(message["proc"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed submit message: {exc}") from exc
+    machine_set = message.get("machine_set")
+    if machine_set is not None:
+        try:
+            machine_set = frozenset(int(j) for j in machine_set)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed machine_set: {exc}") from exc
+    key = message.get("key")
+    try:
+        return Task(
+            tid=tid,
+            release=release,
+            proc=proc,
+            machines=machine_set,
+            key=None if key is None else int(key),
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc

@@ -1,0 +1,86 @@
+"""Virtual-time shadow mode: the service cross-checked against the engine.
+
+The live :class:`~repro.serve.dispatcher.Dispatcher` and the
+discrete-event :class:`~repro.simulation.engine.Simulator` drive the
+*same* scheduler object through the same ``submit`` contract, so on a
+recorded arrival stream they must take identical decisions.  Shadow
+mode makes that an executable guarantee: replay a stream through the
+dispatcher with admission disabled, record the committed schedule as a
+:mod:`repro.campaigns.trace` and compare **bytes** with the trace the
+engine (or the checked-in golden fixture) produces.
+
+This is the deployment safety net: any change to the serving layer
+that would alter a placement — a reordered tie-break, a drifted
+completion-time bookkeeping, an admission check that leaks into the
+admitted path — shows up as a golden diff before it ships.
+"""
+
+from __future__ import annotations
+
+from ..campaigns.goldens import GOLDEN_CASES, GoldenMismatch, golden_path
+from ..campaigns.trace import Trace, dumps, record
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.task import Instance
+from .dispatcher import DispatchDecision, Dispatcher
+
+__all__ = [
+    "check_shadow_golden",
+    "shadow_golden_trace",
+    "shadow_replay",
+    "shadow_trace",
+]
+
+
+def shadow_replay(
+    instance: Instance, scheduler: ImmediateDispatchScheduler
+) -> tuple[Dispatcher, list[DispatchDecision]]:
+    """Feed ``instance`` through a fresh :class:`Dispatcher` in virtual
+    time (no admission, no faults) and return it with its decisions."""
+    if scheduler.m != instance.m:
+        raise ValueError(f"instance has m={instance.m}, scheduler has m={scheduler.m}")
+    if scheduler.n_dispatched:
+        raise ValueError("shadow replay needs a fresh scheduler (tasks already dispatched)")
+    dispatcher = Dispatcher(scheduler)
+    decisions = [dispatcher.submit(task) for task in instance]
+    return dispatcher, decisions
+
+
+def shadow_trace(
+    instance: Instance,
+    scheduler: ImmediateDispatchScheduler,
+    meta: dict | None = None,
+) -> Trace:
+    """The schedule trace of a shadow replay, in the exact format
+    :func:`repro.campaigns.trace.record` emits for the engine."""
+    dispatcher, _ = shadow_replay(instance, scheduler)
+    return record(dispatcher.schedule(), scheduler=scheduler.name, meta=meta or {})
+
+
+def shadow_golden_trace(name: str) -> Trace:
+    """Regenerate the golden case ``name`` through the *dispatcher*
+    (not the bare scheduler), with the golden's own provenance meta —
+    byte-comparable to the checked-in fixture."""
+    case = GOLDEN_CASES[name]
+    return shadow_trace(
+        case.make_instance(),
+        case.make_scheduler(),
+        meta={"golden": name, "description": case.description},
+    )
+
+
+def check_shadow_golden(name: str) -> Trace:
+    """Assert the dispatcher reproduces golden ``name`` byte-for-byte.
+
+    Returns the shadow trace on success; raises
+    :class:`~repro.campaigns.goldens.GoldenMismatch` otherwise.
+    """
+    path = golden_path(name)
+    if not path.is_file():
+        raise GoldenMismatch(f"golden {name!r} missing on disk: {path}")
+    shadow = shadow_golden_trace(name)
+    if dumps(shadow) != path.read_text():
+        raise GoldenMismatch(
+            f"shadow dispatcher diverged from golden {name!r}: trace is not "
+            f"byte-identical to {path}"
+        )
+    return shadow

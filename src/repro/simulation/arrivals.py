@@ -8,6 +8,8 @@ unit); :math:`\\lambda/m` is the average cluster load, so
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 __all__ = ["poisson_release_times", "batch_release_times", "load_to_rate", "rate_to_load"]
@@ -21,10 +23,12 @@ def poisson_release_times(
     Inter-arrival gaps are i.i.d. ``Exponential(1/lam)``; times are the
     cumulative sums offset by ``start``.
     """
-    if lam <= 0:
-        raise ValueError("arrival rate must be > 0")
+    if not math.isfinite(lam) or lam <= 0:
+        raise ValueError("arrival rate must be finite and > 0")
     if n < 0:
         raise ValueError("n must be >= 0")
+    if not math.isfinite(start):
+        raise ValueError("start must be finite")
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     gaps = gen.exponential(scale=1.0 / lam, size=n)
     return start + np.cumsum(gaps)
@@ -35,6 +39,8 @@ def batch_release_times(batch_size: int, n_batches: int, period: float = 1.0) ->
     multiple of ``period`` (the adversaries' release pattern)."""
     if batch_size < 1 or n_batches < 1:
         raise ValueError("batch_size and n_batches must be >= 1")
+    if not math.isfinite(period) or period <= 0:
+        raise ValueError("period must be finite and > 0")
     times = np.repeat(np.arange(n_batches, dtype=float) * period, batch_size)
     return times
 
@@ -42,11 +48,17 @@ def batch_release_times(batch_size: int, n_batches: int, period: float = 1.0) ->
 def load_to_rate(load: float, m: int) -> float:
     """Average cluster load (0..1 scale, unit tasks) to arrival rate:
     :math:`\\lambda = \\text{load} \\cdot m`."""
-    if load <= 0:
-        raise ValueError("load must be > 0")
+    if not math.isfinite(load) or load <= 0:
+        raise ValueError("load must be finite and > 0")
+    if m < 1:
+        raise ValueError("need at least one machine")
     return load * m
 
 
 def rate_to_load(lam: float, m: int) -> float:
     """Arrival rate to average cluster load: :math:`\\lambda / m`."""
+    if not math.isfinite(lam) or lam <= 0:
+        raise ValueError("arrival rate must be finite and > 0")
+    if m < 1:
+        raise ValueError("need at least one machine")
     return lam / m

@@ -1,0 +1,39 @@
+"""Regression guard: every registered subcommand answers ``--help``.
+
+A subparser whose lazy imports, argument declarations or handler wiring
+break shows up here before any heavier integration test runs — and the
+parser/handler tables cannot drift apart silently.
+"""
+
+import pytest
+
+from repro.cli import _HANDLERS, build_parser, main
+
+
+def _subcommands() -> list[str]:
+    parser = build_parser()
+    (sub,) = parser._subparsers._group_actions
+    return sorted(sub.choices)
+
+
+@pytest.mark.parametrize("command", _subcommands())
+def test_subcommand_help_exits_zero(command, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([command, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "usage:" in out
+    assert command in out
+
+
+def test_every_subcommand_has_a_handler():
+    assert set(_subcommands()) == set(_HANDLERS)
+
+
+def test_top_level_help(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for command in _subcommands():
+        assert command in out

@@ -1,0 +1,164 @@
+"""Unit tests for the virtual-clocked dispatch decision core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EFT, Instance, Task, eft_schedule
+from repro.serve import DISPATCHED, PARKED, REQUEUED, SHED, Dispatcher
+from repro.simulation.engine import Simulator
+from repro.simulation.workload import WorkloadSpec, generate_workload
+
+
+def _random_instance(seed: int, m: int = 5, n: int = 60) -> Instance:
+    spec = WorkloadSpec(m=m, n=n, lam=3.0, k=2, strategy="overlapping", case="uniform")
+    return generate_workload(spec, rng=np.random.default_rng(seed))
+
+
+@st.composite
+def small_instances(draw):
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=0, max_value=12))
+    releases = sorted(
+        draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False)) for _ in range(n)
+    )
+    tasks = []
+    for i, r in enumerate(releases):
+        proc = draw(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+        machines = draw(
+            st.one_of(
+                st.none(),
+                st.frozensets(st.integers(min_value=1, max_value=m), min_size=1),
+            )
+        )
+        tasks.append(Task(tid=i, release=r, proc=proc, machines=machines))
+    return Instance(m=m, tasks=tuple(tasks))
+
+
+class TestShadowEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_eft_schedule(self, seed):
+        """Fault-free dispatcher placements == the analytic EFT run."""
+        inst = _random_instance(seed)
+        dispatcher = Dispatcher(EFT(inst.m, tiebreak="min"))
+        for task in inst:
+            decision = dispatcher.submit(task)
+            assert decision.status == DISPATCHED
+        assert dispatcher.schedule().same_placements(eft_schedule(inst, tiebreak="min"))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_simulator(self, seed):
+        """Dispatcher and discrete-event engine take identical decisions."""
+        inst = _random_instance(seed)
+        dispatcher = Dispatcher(EFT(inst.m, tiebreak="min"))
+        for task in inst:
+            dispatcher.submit(task)
+        sim = Simulator(EFT(inst.m, tiebreak="min"))
+        sim.add_instance(inst)
+        result = sim.run()
+        assert dispatcher.schedule().same_placements(result.schedule)
+
+    @settings(max_examples=60, deadline=None)
+    @given(inst=small_instances())
+    def test_matches_eft_schedule_property(self, inst):
+        dispatcher = Dispatcher(EFT(inst.m, tiebreak="min"))
+        for task in inst:
+            dispatcher.submit(task)
+        assert dispatcher.schedule().same_placements(eft_schedule(inst, tiebreak="min"))
+
+    def test_randomised_tiebreak_reproducible(self):
+        inst = _random_instance(7)
+        runs = []
+        for _ in range(2):
+            d = Dispatcher(EFT(inst.m, tiebreak="rand", rng=42))
+            for task in inst:
+                d.submit(task)
+            runs.append(d.placements)
+        assert runs[0] == runs[1]
+
+
+class TestAnalyticState:
+    def test_depth_counts_uncompleted(self):
+        d = Dispatcher(EFT(1, tiebreak="min"))
+        d.submit(Task(tid=0, release=0.0, proc=1.0))
+        d.submit(Task(tid=1, release=0.0, proc=1.0))
+        assert d.depth(1, 0.0) == 2
+        assert d.depth(1, 1.0) == 1  # half-open: completion at t has left
+        assert d.depth(1, 2.0) == 0
+
+    def test_waiting_work(self):
+        d = Dispatcher(EFT(1, tiebreak="min"))
+        d.submit(Task(tid=0, release=0.0, proc=3.0))
+        assert d.waiting_work(1, 1.0) == pytest.approx(2.0)
+        assert d.waiting_work(1, 5.0) == 0.0
+
+    def test_est_flow_is_exact_for_eft(self):
+        inst = _random_instance(5)
+        d = Dispatcher(EFT(inst.m, tiebreak="min"))
+        decisions = [d.submit(t) for t in inst]
+        sched = eft_schedule(inst, tiebreak="min")
+        for dec in decisions:
+            assert dec.est_flow == pytest.approx(sched.flow_of(dec.task.tid))
+
+
+class TestFaults:
+    def test_unavailable_parks_then_unparks_on_revive(self):
+        d = Dispatcher(EFT(2, tiebreak="min"))
+        d.kill(1)
+        task = Task(tid=0, release=0.0, proc=1.0, machines=frozenset({1}))
+        assert d.submit(task).status == PARKED
+        assert d.parked == [task]
+        unparked = d.revive(1, now=2.0)
+        assert [u.status for u in unparked] == [REQUEUED]
+        assert d.parked == []
+        assert d.placements[0] == (1, 2.0)
+
+    def test_unavailable_shed_mode(self):
+        d = Dispatcher(EFT(2, tiebreak="min"), on_unavailable="shed")
+        d.kill(2)
+        decision = d.submit(Task(tid=0, release=0.0, proc=1.0, machines=frozenset({2})))
+        assert decision.status == SHED
+        assert decision.reason == "unavailable"
+
+    def test_degraded_dispatch_restricts_to_alive(self):
+        d = Dispatcher(EFT(3, tiebreak="min"))
+        d.kill(1)
+        decision = d.submit(Task(tid=0, release=0.0, proc=1.0, machines=frozenset({1, 2})))
+        assert decision.status == DISPATCHED
+        assert decision.machine == 2
+
+    def test_redispatch_least_waiting_work_smallest_index(self):
+        d = Dispatcher(EFT(3, tiebreak="min"))
+        # Load machine 1 with 2 units, machine 2 with 1, machine 3 with 1.
+        d.submit(Task(tid=0, release=0.0, proc=2.0, machines=frozenset({1})))
+        d.submit(Task(tid=1, release=0.0, proc=1.0, machines=frozenset({2})))
+        d.submit(Task(tid=2, release=0.0, proc=1.0, machines=frozenset({3})))
+        moved = Task(tid=3, release=0.0, proc=1.0)
+        decision = d.redispatch(moved, now=0.0)
+        # Machines 2 and 3 tie on waiting work 1.0: smallest index wins.
+        assert decision.status == REQUEUED
+        assert decision.machine == 2
+        assert decision.start == pytest.approx(1.0)
+        # The scheduler's books absorbed the re-placement.
+        assert d.scheduler.completions[2] == pytest.approx(2.0)
+
+    def test_kill_revive_idempotent(self):
+        d = Dispatcher(EFT(2, tiebreak="min"))
+        d.kill(1)
+        d.kill(1)
+        assert d.alive == {2}
+        assert d.revive(2) == []  # already alive
+        d.revive(1)
+        assert d.alive == {1, 2}
+
+    def test_invalid_machine_rejected(self):
+        d = Dispatcher(EFT(2, tiebreak="min"))
+        with pytest.raises(ValueError):
+            d.kill(0)
+        with pytest.raises(ValueError):
+            d.revive(3)
+
+    def test_invalid_on_unavailable_rejected(self):
+        with pytest.raises(ValueError):
+            Dispatcher(EFT(2, tiebreak="min"), on_unavailable="explode")

@@ -1,0 +1,110 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.task import Task
+from repro.serve import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    task_from_wire,
+    task_to_wire,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_all(data: bytes) -> list:
+    async def go():
+        reader = _reader_with(data)
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "submit", "tid": 3, "release": 0.25, "machine_set": [1, 2]}
+        assert decode_frame(encode_frame(message)[4:]) == message
+
+    def test_read_frames_in_sequence(self):
+        frames = [{"op": "ping"}, {"op": "stats"}, {"a": [1, 2, 3]}]
+        data = b"".join(encode_frame(f) for f in frames)
+        assert _read_all(data) == frames
+
+    def test_clean_eof_returns_none(self):
+        assert _read_all(b"") == []
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            _read_all(b"\x00\x00")
+
+    def test_eof_mid_body_raises(self):
+        data = encode_frame({"op": "ping"})[:-2]
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read_all(data)
+
+    def test_oversized_declared_length_rejected(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            _read_all(header + b"x")
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(b"[1, 2]")
+
+    def test_garbage_body_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestTaskWire:
+    def test_roundtrip_restricted(self):
+        task = Task(tid=7, release=1.5, proc=0.25, machines=frozenset({2, 4}), key=9)
+        assert task_from_wire(task_to_wire(task)) == task
+
+    def test_roundtrip_unrestricted(self):
+        task = Task(tid=0, release=0.0, proc=1.0)
+        wire = task_to_wire(task)
+        assert wire["machine_set"] is None
+        assert task_from_wire(wire) == task
+
+    def test_wire_is_json_safe(self):
+        wire = task_to_wire(Task(tid=1, release=0.0, proc=1.0, machines=frozenset({3, 1})))
+        assert wire["machine_set"] == [1, 3]
+        assert decode_frame(encode_frame(wire)[4:]) == wire  # must serialise cleanly
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {},
+            {"tid": 1, "release": 0.0},  # missing proc
+            {"tid": "x", "release": None, "proc": 1.0},
+            {"tid": 1, "release": 0.0, "proc": 1.0, "machine_set": ["a"]},
+            {"tid": 1, "release": -1.0, "proc": 1.0},  # Task validator
+            {"tid": 1, "release": 0.0, "proc": 0.0},  # Task validator
+            {"tid": 1, "release": 0.0, "proc": 1.0, "machine_set": []},  # empty set
+        ],
+    )
+    def test_malformed_submits_rejected(self, message):
+        with pytest.raises(ProtocolError):
+            task_from_wire(message)

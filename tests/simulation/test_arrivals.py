@@ -1,7 +1,11 @@
 """Unit tests for arrival processes."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simulation import (
     batch_release_times,
@@ -9,6 +13,8 @@ from repro.simulation import (
     poisson_release_times,
     rate_to_load,
 )
+
+NON_FINITE = [math.inf, -math.inf, math.nan]
 
 
 class TestPoisson:
@@ -40,6 +46,16 @@ class TestPoisson:
     def test_zero_n(self):
         assert poisson_release_times(1.0, 0).size == 0
 
+    @pytest.mark.parametrize("bad", NON_FINITE)
+    def test_non_finite_lam_rejected(self, bad):
+        with pytest.raises(ValueError):
+            poisson_release_times(bad, 10)
+
+    @pytest.mark.parametrize("bad", NON_FINITE)
+    def test_non_finite_start_rejected(self, bad):
+        with pytest.raises(ValueError):
+            poisson_release_times(1.0, 10, start=bad)
+
 
 class TestBatches:
     def test_pattern(self):
@@ -53,6 +69,11 @@ class TestBatches:
     def test_invalid(self):
         with pytest.raises(ValueError):
             batch_release_times(0, 1)
+
+    @pytest.mark.parametrize("bad", NON_FINITE + [0.0, -1.0])
+    def test_bad_period_rejected(self, bad):
+        with pytest.raises(ValueError):
+            batch_release_times(1, 3, period=bad)
 
 
 class TestLoadConversion:
@@ -68,3 +89,34 @@ class TestLoadConversion:
     def test_invalid_load(self):
         with pytest.raises(ValueError):
             load_to_rate(0.0, 15)
+
+    @pytest.mark.parametrize("bad", NON_FINITE)
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ValueError):
+            load_to_rate(bad, 15)
+        with pytest.raises(ValueError):
+            rate_to_load(bad, 15)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            load_to_rate(0.5, 0)
+        with pytest.raises(ValueError):
+            rate_to_load(1.0, 0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        load=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+        m=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_roundtrip_load_property(self, load, m):
+        """rate_to_load inverts load_to_rate across the sane domain."""
+        assert rate_to_load(load_to_rate(load, m), m) == pytest.approx(load, rel=1e-12)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lam=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+        m=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_roundtrip_rate_property(self, lam, m):
+        """load_to_rate inverts rate_to_load across the sane domain."""
+        assert load_to_rate(rate_to_load(lam, m), m) == pytest.approx(lam, rel=1e-12)
