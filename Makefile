@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -94,6 +94,34 @@ serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.validate \
 		results/.serve-smoke/a.metrics.json results/.serve-smoke/b.metrics.json
 	rm -rf results/.serve-smoke
+
+# Sharded serving smoke: a 3-shard loopback router over a disjoint
+# workload (m=6, k=2) must drop nothing, place deterministically across
+# two runs, and — Theorem 6 — byte-match the single-dispatcher digest.
+shard-smoke:
+	rm -rf results/.shard-smoke
+	mkdir -p results/.shard-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 6 --k 2 \
+		--strategy disjoint --shards 3 --rate 600 --n 180 \
+		--proc 0.005 --seed 42 \
+		| tee results/.shard-smoke/a.txt
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 6 --k 2 \
+		--strategy disjoint --shards 3 --rate 600 --n 180 \
+		--proc 0.005 --seed 42 \
+		| tee results/.shard-smoke/b.txt
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 6 --k 2 \
+		--strategy disjoint --shards 1 --rate 600 --n 180 \
+		--proc 0.005 --seed 42 \
+		| tee results/.shard-smoke/single.txt
+	grep -q "errors: 0" results/.shard-smoke/a.txt
+	grep -q "errors: 0" results/.shard-smoke/b.txt
+	grep -q "3 shard(s)" results/.shard-smoke/a.txt
+	grep "assignments sha256" results/.shard-smoke/a.txt > results/.shard-smoke/a.sha
+	grep "assignments sha256" results/.shard-smoke/b.txt > results/.shard-smoke/b.sha
+	grep "assignments sha256" results/.shard-smoke/single.txt > results/.shard-smoke/single.sha
+	cmp results/.shard-smoke/a.sha results/.shard-smoke/b.sha
+	cmp results/.shard-smoke/a.sha results/.shard-smoke/single.sha
+	rm -rf results/.shard-smoke
 
 # Runner-resilience: a crashing unit must yield exactly one failed
 # outcome (not a pool abort), retries must heal a flaky unit, and an

@@ -60,6 +60,11 @@ def _instance_eft_min_m4() -> Instance:
     return generate_workload(spec, rng=np.random.default_rng(7))
 
 
+def _instance_eft_min_m6_disjoint() -> Instance:
+    spec = WorkloadSpec(m=6, n=36, lam=4.0, k=2, strategy="disjoint", case="shuffled", s=1.0)
+    return generate_workload(spec, rng=np.random.default_rng(17))
+
+
 def _instance_eft_rand_m5() -> Instance:
     spec = WorkloadSpec(m=5, n=30, lam=4.0, k=2, strategy="disjoint", case="worst", s=1.0)
     return generate_workload(spec, rng=np.random.default_rng(11))
@@ -71,6 +76,15 @@ GOLDEN_CASES: dict[str, GoldenCase] = {
         description="EFT-Min on 24 overlapping-replicated tasks, m=4, k=2 (seed 7)",
         make_instance=_instance_eft_min_m4,
         make_scheduler=lambda: EFT(4, tiebreak="min"),
+    ),
+    # Disjoint replication admits an exact multi-shard cut (Theorem 6),
+    # so this case doubles as the sharded-tier byte-identity oracle
+    # (repro.serve.shard.shadow checks it on a 3-shard plan).
+    "eft-min-m6-disjoint": GoldenCase(
+        name="eft-min-m6-disjoint",
+        description="EFT-Min on 36 disjoint-replicated tasks, m=6, k=2 (seed 17)",
+        make_instance=_instance_eft_min_m6_disjoint,
+        make_scheduler=lambda: EFT(6, tiebreak="min"),
     ),
     "eft-rand-m5": GoldenCase(
         name="eft-rand-m5",

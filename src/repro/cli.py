@@ -16,8 +16,11 @@ Usage::
     python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
     python -m repro replay --golden eft-min-m4 --scheduler eft-max
     python -m repro serve --socket /tmp/repro.sock --m 4 --slo 0.1
+    python -m repro serve-sharded --socket /tmp/repro.sock --m 6 --shards 3 --align-k 2
+    python -m repro route --m 6 --shards 3 --strategy overlapping --k 2 --set 3,4
     python -m repro drive --socket /tmp/repro.sock --rate 200 --n 500 --shutdown
     python -m repro bench-serve --m 4 --rate 400 --n 250 --proc 0.005 --seed 42
+    python -m repro bench-serve --m 8 --shards 4 --strategy disjoint --rate 2000 --n 2000
     python -m repro ratios
     python -m repro explore --m 15 --k 3
     python -m repro tails --load 0.45
@@ -44,6 +47,13 @@ pacing, and ``bench-serve`` runs both ends in one process over a
 loopback socket — placements are deterministic per seed, so two
 ``bench-serve`` runs with the same arguments print the same
 ``assignments sha256`` line.
+
+The sharded tier (:mod:`repro.serve.shard`): ``serve-sharded`` runs N
+dispatcher shards behind the interval-aware router on one endpoint,
+``route`` prints a shard plan and where a processing set would land,
+and ``bench-serve --shards N`` runs one real server process per shard
+with client-side routing — on a disjoint plan the merged digest equals
+the single-server one (Theorem 6), while throughput scales.
 """
 
 from __future__ import annotations
@@ -216,6 +226,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="PATH",
                    help="repro-faults JSON schedule to kill/revive workers at runtime")
 
+    p = sub.add_parser(
+        "serve-sharded",
+        help="run N dispatcher shards behind the interval-aware router on one endpoint",
+    )
+    _endpoint_args(p)
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--shards", type=int, default=2, help="number of dispatcher shards")
+    p.add_argument("--align-k", type=int, default=None,
+                   help="align shard boundaries to disjoint replication groups of this k "
+                   "(zero cross-talk, Theorem 6); default: even intervals")
+    p.add_argument(
+        "--scheduler",
+        default="eft-min",
+        help="eft-min|eft-max|eft-rand|least-work|round-robin|random (per shard)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed (shard s uses seed+s)")
+    p.add_argument("--slo", type=float, default=None,
+                   help="shard-local: shed requests whose estimated flow exceeds this")
+    p.add_argument("--max-queue", type=int, default=None,
+                   help="shard-local: shed when every eligible machine has this many queued")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="wall seconds per virtual time unit")
+    p.add_argument("--on-unavailable", default="park", choices=["park", "shed"],
+                   help="requests whose whole machine set is down fleet-wide: hold or reject")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="write the canonical fleet-rollup metrics snapshot here periodically")
+    p.add_argument("--snapshot-every", type=float, default=1.0,
+                   help="seconds between snapshots (with --snapshot)")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="repro-faults JSON schedule to kill/revive machines through the router")
+
+    p = sub.add_parser(
+        "route",
+        help="print a shard plan: intervals, handoff sets, where a processing set lands",
+    )
+    p.add_argument("--m", type=int, default=6)
+    p.add_argument("--shards", type=int, default=2, help="number of dispatcher shards")
+    p.add_argument("--align-k", type=int, default=None,
+                   help="align shard boundaries to disjoint replication groups of this k")
+    p.add_argument("--strategy", default=None, choices=["overlapping", "disjoint"],
+                   help="classify this replication family against the plan")
+    p.add_argument("--k", type=int, default=2, help="replication factor (with --strategy)")
+    p.add_argument("--set", default=None, metavar="J1,J2,...",
+                   help="route this processing set (comma-separated 1-based machines)")
+
     p = sub.add_parser("drive", help="replay a generated workload against a running service")
     _endpoint_args(p)
     _workload_args(p)
@@ -238,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default=None, metavar="PATH",
                    help="repro-faults JSON schedule to kill/revive workers at runtime")
     p.add_argument("--metrics", default=None, metavar="PATH", help="write a metrics snapshot JSON")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="run N real server processes with client-side shard routing "
+                   "(N=1 is the fair single-server baseline; disjoint plans keep the "
+                   "digest identical to an unsharded run)")
 
     p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
     p.add_argument("--m", type=int, default=8)
@@ -554,6 +613,77 @@ def _run_serve(args) -> str:
     return "final stats:\n" + json.dumps(stats, indent=2, sort_keys=True)
 
 
+def _run_serve_sharded(args) -> str:
+    import asyncio
+    import json
+
+    from .serve import ShardServeConfig, serve_sharded
+
+    _check_endpoint("serve-sharded", args)
+    config = ShardServeConfig(
+        m=args.m,
+        shards=args.shards,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        align_k=args.align_k,
+        slo=args.slo,
+        max_queue_depth=args.max_queue,
+        time_scale=args.time_scale,
+        on_unavailable=args.on_unavailable,
+        snapshot_path=args.snapshot,
+        snapshot_every=args.snapshot_every,
+    )
+    stats = asyncio.run(
+        serve_sharded(
+            config,
+            socket_path=args.socket,
+            host=args.host if args.socket is None else None,
+            port=args.port,
+            faults=_load_faults(args.faults),
+        )
+    )
+    return "final stats:\n" + json.dumps(stats, indent=2, sort_keys=True)
+
+
+def _run_route(args) -> str:
+    from .serve import ShardPlan
+
+    if args.align_k is not None:
+        plan = ShardPlan.aligned(args.m, args.align_k, args.shards)
+    else:
+        plan = ShardPlan.even(args.m, args.shards)
+    lines = [plan.describe()]
+    if args.strategy is not None:
+        from .psets.replication import get_strategy
+
+        strat = get_strategy(args.strategy, args.m, args.k)
+        family = [strat.replicas(u) for u in range(1, args.m + 1)]
+        if plan.is_disjoint_for(family):
+            lines.append(
+                f"{args.strategy}(k={args.k}): disjoint on this plan — "
+                "zero cross-talk (Theorem 6 composition)"
+            )
+        else:
+            handoff = plan.handoff_sets(family)
+            sets = ", ".join("{" + ",".join(map(str, sorted(s))) + "}" for s in handoff)
+            lines.append(
+                f"{args.strategy}(k={args.k}): {len(handoff)} handoff set(s) "
+                f"straddle a boundary: {sets}"
+            )
+    if args.set is not None:
+        try:
+            s = frozenset(int(x) for x in args.set.split(","))
+        except ValueError as exc:
+            raise SystemExit(f"route: malformed --set {args.set!r}: {exc}") from exc
+        r = plan.route(s)
+        if r.is_local:
+            lines.append(f"set {sorted(s)} -> shard {r.owner} (local)")
+        else:
+            frags = ", ".join(f"shard {sid}: {sorted(f)}" for sid, f in r.fragments)
+            lines.append(f"set {sorted(s)} -> owner shard {r.owner}; fragments: {frags}")
+    return "\n".join(lines)
+
+
 def _run_drive(args) -> str:
     import asyncio
 
@@ -597,6 +727,24 @@ def _run_bench_serve(args) -> str:
         proc=args.proc,
         seed=args.seed,
     )
+    if args.shards is not None:
+        if args.slo is not None or args.max_queue is not None or args.faults or args.metrics:
+            raise SystemExit(
+                "bench-serve --shards does not support --slo/--max-queue/--faults/--metrics"
+            )
+        from .serve import plan_for_instance, run_sharded_loopback_sync
+
+        plan = plan_for_instance(instance, args.shards)
+        report = run_sharded_loopback_sync(
+            instance,
+            args.shards,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            target_rate=args.rate,
+            plan=plan,
+        )
+        return "\n".join([plan.describe(), report.to_text()])
     config = ServeConfig(
         m=args.m,
         scheduler=args.scheduler,
@@ -719,6 +867,8 @@ _HANDLERS = {
     "faulted": _run_faulted,
     "replay": _run_replay,
     "serve": _run_serve,
+    "serve-sharded": _run_serve_sharded,
+    "route": _run_route,
     "drive": _run_drive,
     "bench-serve": _run_bench_serve,
     "ratios": _run_ratios,

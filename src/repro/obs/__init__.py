@@ -15,7 +15,10 @@ campaign runner:
   per-field aggregation of unit results (the ``--metrics`` payload);
 * :mod:`~repro.obs.snapshot` — versioned, canonical-JSON snapshots
   with a hand-rolled schema validator
-  (``python -m repro.obs.validate``).
+  (``python -m repro.obs.validate``);
+* :mod:`~repro.obs.rollup` — fleet aggregation of per-member
+  registries/snapshots (the sharded serve tier's per-shard + rollup
+  metrics view).
 
 ``repro.obs`` is a leaf package: it imports nothing from the engine or
 the campaign layer at run time, so both can instrument themselves with
@@ -24,6 +27,7 @@ it without cycles.
 
 from .campaign import campaign_metrics, numeric_leaves
 from .recorders import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries, linear_edges
+from .rollup import rollup_registries, rollup_snapshots
 from .sim import DEFAULT_FLOW_EDGES, DEFAULT_GAP_EDGES, SimObserver, SimRecorder
 from .snapshot import (
     METRICS_FORMAT,
@@ -57,6 +61,8 @@ __all__ = [
     "metrics_snapshot",
     "metrics_to_json",
     "numeric_leaves",
+    "rollup_registries",
+    "rollup_snapshots",
     "validate_metrics",
     "write_metrics",
 ]

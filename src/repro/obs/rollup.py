@@ -1,0 +1,138 @@
+"""Fleet rollups: aggregate per-member metric snapshots into one view.
+
+The sharded serve tier runs one :class:`~repro.obs.recorders.MetricsRegistry`
+per dispatcher shard (plus one for the router).  Operators want both
+views at once: the per-shard breakdown *and* the fleet total, in one
+canonical byte-stable snapshot.  :func:`rollup_snapshots` produces
+exactly that from the members' ``registry.snapshot()`` dicts:
+
+* **counters** are summed — every decision happens on exactly one
+  shard, so fleet totals are exact;
+* **gauges** are summed — the serve-tier gauges (queue depths, parked
+  counts, alive machines) are all additive over disjoint shards; a
+  last-write-wins gauge that is *not* additive should not be rolled up;
+* **histograms** with identical edges are merged bucket-wise (counts,
+  totals, running min/max); differing edges are an error, not a silent
+  mix;
+* **series** are concatenated in member order (member names sorted),
+  which keeps the rollup deterministic.
+
+With ``members=True`` the rollup additionally carries every member's
+metrics under a ``<member>/`` name prefix, so one snapshot file holds
+the whole hierarchy.  Rollups are pure functions of the member
+snapshots: equal inputs give byte-identical canonical JSON, the same
+discipline as :mod:`repro.obs.snapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .recorders import MetricsRegistry
+
+__all__ = ["rollup_registries", "rollup_snapshots"]
+
+_SECTIONS = ("counters", "gauges", "series", "histograms")
+
+
+def _merge_histogram(where: str, into: dict[str, Any], hist: Mapping[str, Any]) -> None:
+    if list(into["edges"]) != list(hist["edges"]):
+        raise ValueError(
+            f"histogram {where!r}: members disagree on bucket edges "
+            f"({into['edges']} vs {hist['edges']}) — cannot roll up"
+        )
+    into["counts"] = [a + b for a, b in zip(into["counts"], hist["counts"])]
+    if hist["count"]:
+        if into["count"]:
+            into["min"] = min(into["min"], hist["min"])
+            into["max"] = max(into["max"], hist["max"])
+        else:
+            into["min"], into["max"] = hist["min"], hist["max"]
+    into["count"] += hist["count"]
+    into["sum"] += hist["sum"]
+
+
+def rollup_snapshots(
+    snapshots: Mapping[str, Mapping[str, Any]], members: bool = True
+) -> dict[str, Any]:
+    """Aggregate member ``registry.snapshot()`` dicts into one fleet
+    snapshot dict (same ``counters/gauges/series/histograms`` shape).
+
+    ``snapshots`` maps a member name (e.g. ``"shard0"``) to its
+    snapshot; members are processed in sorted name order.  With
+    ``members=True`` the result also contains every member metric under
+    the prefixed name ``"<member>/<metric>"``.
+    """
+    fleet: dict[str, dict[str, Any]] = {section: {} for section in _SECTIONS}
+    for member in sorted(snapshots):
+        snap = snapshots[member]
+        unknown = set(snap) - set(_SECTIONS)
+        if unknown:
+            raise ValueError(f"member {member!r}: unknown metric sections {sorted(unknown)}")
+        for name, value in snap.get("counters", {}).items():
+            fleet["counters"][name] = fleet["counters"].get(name, 0) + value
+            if members:
+                fleet["counters"][f"{member}/{name}"] = value
+        for name, value in snap.get("gauges", {}).items():
+            fleet["gauges"][name] = fleet["gauges"].get(name, 0.0) + value
+            if members:
+                fleet["gauges"][f"{member}/{name}"] = value
+        for name, series in snap.get("series", {}).items():
+            agg = fleet["series"].setdefault(name, {"times": [], "values": []})
+            agg["times"].extend(series["times"])
+            agg["values"].extend(series["values"])
+            if members:
+                fleet["series"][f"{member}/{name}"] = {
+                    "times": list(series["times"]),
+                    "values": list(series["values"]),
+                }
+        for name, hist in snap.get("histograms", {}).items():
+            agg = fleet["histograms"].get(name)
+            if agg is None:
+                fleet["histograms"][name] = {
+                    "edges": list(hist["edges"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+            else:
+                _merge_histogram(name, agg, hist)
+            if members:
+                fleet["histograms"][f"{member}/{name}"] = {
+                    "edges": list(hist["edges"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+    return fleet
+
+
+def rollup_registries(
+    registries: Mapping[str, MetricsRegistry], members: bool = True
+) -> MetricsRegistry:
+    """Roll member registries up into a fresh :class:`MetricsRegistry`
+    (snapshot-compatible with :func:`repro.obs.snapshot.write_metrics`)."""
+    fleet_snap = rollup_snapshots(
+        {name: reg.snapshot() for name, reg in registries.items()}, members=members
+    )
+    out = MetricsRegistry()
+    for name, value in fleet_snap["counters"].items():
+        out.counter(name).inc(value)
+    for name, value in fleet_snap["gauges"].items():
+        out.gauge(name).set(value)
+    for name, series in fleet_snap["series"].items():
+        ts = out.series(name)
+        for t, v in zip(series["times"], series["values"]):
+            ts.observe(t, v)
+    for name, hist in fleet_snap["histograms"].items():
+        h = out.histogram(name, tuple(hist["edges"]))
+        h.counts = list(hist["counts"])
+        h.count = hist["count"]
+        h.total = hist["sum"]
+        h.vmin = hist["min"]
+        h.vmax = hist["max"]
+    return out

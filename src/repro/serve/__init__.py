@@ -19,7 +19,11 @@ live asyncio service rather than inside the discrete-event simulator:
 * :mod:`~repro.serve.shadow` — virtual-time replay proving the service
   takes exactly the engine's decisions (golden-trace byte identity);
 * :mod:`~repro.serve.loopback` — in-process service+driver runs
-  (``repro bench-serve``).
+  (``repro bench-serve``);
+* :mod:`~repro.serve.shard` — the sharded tier: :class:`ShardPlan`
+  partitioning, the interval-aware :class:`ShardRouter` with
+  cross-shard failure handoff, the ``serve-sharded`` frontend and the
+  multi-process ``bench-serve --shards N`` driver.
 """
 
 from .admission import SHED_QUEUE_FULL, SHED_SLO, AdmissionController, estimated_flow
@@ -41,12 +45,32 @@ from .protocol import (
     ProtocolError,
     decode_frame,
     encode_frame,
+    check_version,
     read_frame,
     task_from_wire,
     task_to_wire,
+    version_error,
+    versioned,
     write_frame,
 )
 from .shadow import check_shadow_golden, shadow_golden_trace, shadow_replay, shadow_trace
+from .shard import (
+    Route,
+    RoutedDecision,
+    ShardPlan,
+    ShardRouter,
+    ShardServeConfig,
+    ShardServeService,
+    build_sharded_service,
+    check_shard_shadow_golden,
+    partition_instance,
+    plan_for_instance,
+    run_sharded_loopback,
+    run_sharded_loopback_sync,
+    serve_sharded,
+    shard_shadow_replay,
+    shard_shadow_traces,
+)
 
 __all__ = [
     "AdmissionController",
@@ -59,28 +83,46 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "REQUEUED",
+    "Route",
+    "RoutedDecision",
     "SHED",
     "SHED_QUEUE_FULL",
     "SHED_SLO",
     "ServeConfig",
     "ServeMetrics",
     "ServeService",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardServeConfig",
+    "ShardServeService",
     "build_drive_instance",
     "build_service",
+    "build_sharded_service",
     "check_shadow_golden",
+    "check_shard_shadow_golden",
+    "check_version",
     "decode_frame",
     "drive",
     "encode_frame",
     "estimated_flow",
+    "partition_instance",
     "percentile",
+    "plan_for_instance",
     "read_frame",
     "run_loopback",
     "run_loopback_sync",
+    "run_sharded_loopback",
+    "run_sharded_loopback_sync",
     "serve",
+    "serve_sharded",
     "shadow_golden_trace",
     "shadow_replay",
     "shadow_trace",
+    "shard_shadow_replay",
+    "shard_shadow_traces",
     "task_from_wire",
     "task_to_wire",
+    "version_error",
+    "versioned",
     "write_frame",
 ]

@@ -28,16 +28,21 @@ import numpy as np
 from ..core.task import Instance
 from ..simulation.kvstore import KeyValueStore
 from ..simulation.workload import WorkloadSpec, generate_workload
-from .protocol import read_frame, task_to_wire, write_frame
+from ..obs.rollup import rollup_snapshots
+from .protocol import read_frame, task_to_wire, versioned, write_frame
 
 __all__ = ["DriveReport", "build_drive_instance", "drive", "percentile"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-quantile (0..1) of ``values`` by nearest-rank on the
-    sorted data; 0.0 on empty input."""
+    sorted data.
+
+    Raises :class:`ValueError` on an empty sequence — a percentile of
+    nothing is not 0, and silently reporting one hid empty-tail bugs.
+    """
     if not values:
-        return 0.0
+        raise ValueError("percentile() of an empty sequence")
     ordered = sorted(values)
     idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
     return ordered[idx]
@@ -113,6 +118,65 @@ class DriveReport:
             lines.append(f"server: completed {s.get('completed', 0)}{extra}")
         lines.append(f"assignments sha256: {self.assignments_digest}")
         return "\n".join(lines)
+
+    @classmethod
+    def merge(
+        cls, reports: Sequence["DriveReport"], order: Sequence[int] | None = None
+    ) -> "DriveReport":
+        """Merge per-shard drive reports into one fleet report.
+
+        Counters sum; ``elapsed`` is the slowest shard (the drives ran
+        concurrently); assignments and estimated flows are reassembled
+        in ``order`` (the tid sequence of the full instance — submission
+        order, so the merged :attr:`assignments_digest` is directly
+        comparable to a single-connection drive of the same workload),
+        falling back to tid order.  Per-shard server stats are kept
+        under ``"shards"`` with their metrics rolled up fleet-wide
+        (:func:`repro.obs.rollup.rollup_snapshots`).
+        """
+        if not reports:
+            raise ValueError("merge() of no reports")
+        merged = cls()
+        placed: list[tuple[int, int, float]] = []
+        targets = [r.target_rate for r in reports if r.target_rate]
+        merged.target_rate = sum(targets) if targets else None
+        for r in reports:
+            merged.n_sent += r.n_sent
+            merged.n_acked += r.n_acked
+            merged.n_dispatched += r.n_dispatched
+            merged.n_shed += r.n_shed
+            merged.n_parked += r.n_parked
+            merged.n_errors += r.n_errors
+            for reason, count in r.shed_by_reason.items():
+                merged.shed_by_reason[reason] = merged.shed_by_reason.get(reason, 0) + count
+            placed.extend(
+                (tid, machine, flow)
+                for (tid, machine), flow in zip(r.assignments, r.est_flows)
+            )
+            merged.elapsed = max(merged.elapsed, r.elapsed)
+        rank = (
+            {tid: i for i, tid in enumerate(order)}
+            if order is not None
+            else {tid: tid for tid, _, _ in placed}
+        )
+        placed.sort(key=lambda p: rank.get(p[0], p[0]))
+        merged.assignments = [(tid, machine) for tid, machine, _ in placed]
+        merged.est_flows = [flow for _, _, flow in placed]
+        shard_stats = [r.server_stats for r in reports if r.server_stats is not None]
+        if shard_stats:
+            merged.server_stats = {
+                "shards": shard_stats,
+                "completed": sum(s.get("completed", 0) for s in shard_stats),
+                "metrics": rollup_snapshots(
+                    {
+                        f"shard{i}": s["metrics"]
+                        for i, s in enumerate(shard_stats)
+                        if "metrics" in s
+                    },
+                    members=False,
+                ),
+            }
+        return merged
 
 
 def build_drive_instance(
@@ -191,7 +255,7 @@ async def drive(
             delay = t0 + task.release * time_scale - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            await write_frame(writer, {"op": "submit", **task_to_wire(task)})
+            await write_frame(writer, versioned({"op": "submit", **task_to_wire(task)}))
             report.n_sent += 1
         await collector
         report.elapsed = loop.time() - t0

@@ -28,12 +28,21 @@ Every response carries ``"ok"`` (``false`` plus an ``"error"`` string
 when the request could not be handled — a malformed task, an
 out-of-order release — so one bad request never tears down the
 connection).
+
+Versioning: a message may carry a ``"v"`` field naming the protocol
+version it speaks.  Frames without ``"v"`` are treated as the current
+version (the pre-versioning wire form stays valid); frames carrying a
+*different* version are answered with an error response that names
+both versions, so a router and a shard built from different revisions
+detect the skew on the first frame instead of mis-parsing each other
+(:func:`check_version`, :func:`versioned`).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import struct
 from typing import Any
 
@@ -43,11 +52,14 @@ __all__ = [
     "MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "check_version",
     "decode_frame",
     "encode_frame",
     "read_frame",
     "task_from_wire",
     "task_to_wire",
+    "version_error",
+    "versioned",
     "write_frame",
 ]
 
@@ -107,6 +119,32 @@ async def write_frame(writer: asyncio.StreamWriter, message: dict[str, Any]) -> 
     await writer.drain()
 
 
+def versioned(message: dict[str, Any]) -> dict[str, Any]:
+    """Copy of ``message`` stamped with the current protocol version."""
+    return {"v": PROTOCOL_VERSION, **message}
+
+
+def check_version(message: dict[str, Any]) -> str | None:
+    """Version-mismatch complaint for ``message``, or ``None`` if it is
+    speakable.  Messages without a ``"v"`` field pass (implicit current
+    version); any other value than :data:`PROTOCOL_VERSION` fails."""
+    v = message.get("v")
+    if v is None or v == PROTOCOL_VERSION:
+        return None
+    return f"protocol version mismatch: peer speaks v{v!r}, this end speaks v{PROTOCOL_VERSION}"
+
+
+def version_error(message: dict[str, Any], complaint: str) -> dict[str, Any]:
+    """The error response for a version-mismatched request — carries
+    this end's version so the peer can log both sides of the skew."""
+    return {
+        "ok": False,
+        "op": message.get("op"),
+        "v": PROTOCOL_VERSION,
+        "error": complaint,
+    }
+
+
 def task_to_wire(task: Task) -> dict[str, Any]:
     """The ``submit`` payload for ``task`` (sans the ``op`` field)."""
     return {
@@ -131,6 +169,13 @@ def task_from_wire(message: dict[str, Any]) -> Task:
         proc = float(message["proc"])
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed submit message: {exc}") from exc
+    # Python's json module happily emits and parses NaN/Infinity, and
+    # the Task validators don't catch NaN (``nan < 0`` is false), so
+    # non-finite stamps must be rejected at the wire boundary.
+    if not math.isfinite(release):
+        raise ProtocolError(f"non-finite release {release!r}")
+    if not math.isfinite(proc):
+        raise ProtocolError(f"non-finite proc {proc!r}")
     machine_set = message.get("machine_set")
     if machine_set is not None:
         try:

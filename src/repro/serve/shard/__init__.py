@@ -1,0 +1,51 @@
+"""Sharded serve tier: N dispatcher shards behind an interval-aware router.
+
+Scales :mod:`repro.serve` from one dispatcher to a fleet, on the
+paper's own structure:
+
+* :mod:`~repro.serve.shard.plan` — :class:`ShardPlan`, partitioning
+  machines ``1..m`` into contiguous shard intervals: exact disjoint
+  partitions (Theorem 6 composition, zero cross-talk) and interval
+  covers for overlapping rings with an explicit bounded handoff set;
+* :mod:`~repro.serve.shard.router` — :class:`ShardRouter`, the
+  virtual-clocked decision tier: shard-local dispatch, shard-local
+  admission, deterministic cross-shard failure handoff via the
+  engine's least-waiting-work rule;
+* :mod:`~repro.serve.shard.service` — :class:`ShardServeService` /
+  :func:`serve_sharded`, the asyncio frontend (same wire protocol,
+  plus ``route`` / ``kill`` / ``revive`` ops) with fleet-rollup
+  metrics (``repro serve-sharded``);
+* :mod:`~repro.serve.shard.shadow` — golden byte-identity of the
+  sharded tier on disjoint plans, merged and per shard;
+* :mod:`~repro.serve.shard.bench` — one real server process per shard
+  with client-side routing (``repro bench-serve --shards N``).
+"""
+
+from .bench import (
+    partition_instance,
+    plan_for_instance,
+    run_sharded_loopback,
+    run_sharded_loopback_sync,
+)
+from .plan import Route, ShardPlan
+from .router import RoutedDecision, ShardRouter
+from .service import ShardServeConfig, ShardServeService, build_sharded_service, serve_sharded
+from .shadow import check_shard_shadow_golden, shard_shadow_replay, shard_shadow_traces
+
+__all__ = [
+    "Route",
+    "RoutedDecision",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardServeConfig",
+    "ShardServeService",
+    "build_sharded_service",
+    "check_shard_shadow_golden",
+    "partition_instance",
+    "plan_for_instance",
+    "run_sharded_loopback",
+    "run_sharded_loopback_sync",
+    "serve_sharded",
+    "shard_shadow_replay",
+    "shard_shadow_traces",
+]

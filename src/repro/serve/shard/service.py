@@ -1,29 +1,28 @@
-"""The asyncio serving layer: workers, frontend, live faults.
+"""The sharded asyncio tier: router frontend over N dispatcher shards.
 
-:class:`ServeService` enacts the virtual-clocked decisions of a
-:class:`~repro.serve.dispatcher.Dispatcher` in real time: one asyncio
-worker per machine pulls dispatched requests off its FIFO queue and
-"serves" each for ``proc * time_scale`` wall seconds — the same
-one-task-at-a-time, run-to-completion machine model as the engine.
-The frontend accepts :mod:`repro.serve.protocol` frames over a unix
-socket or TCP and answers every ``submit`` immediately with the
-dispatch decision (the push model: no response ever waits on service
-completion).
+:class:`ShardServeService` is the real-time enactment of a
+:class:`~repro.serve.shard.router.ShardRouter`, the sharded analogue of
+:class:`repro.serve.frontend.ServeService`: one asyncio worker per
+*global* machine pulls dispatched requests off its FIFO queue and
+serves each for ``proc * time_scale`` wall seconds.  The frontend
+speaks the same length-prefixed JSON protocol as the single-dispatcher
+service — every existing client and driver works unchanged — plus three
+router-only ops:
 
-The division of labour is strict: *which machine gets a request* is
-decided by the dispatcher from the request's virtual release stamp, so
-assignments are reproducible run over run; the asyncio layer only
-controls *when* the work physically happens, which is where wall-clock
-jitter lives (and is measured, in the ``wall_flow`` histogram).
+``{"op": "route"}``
+    answered with the shard plan (``ShardPlan.to_json`` payload), so a
+    smart client can route submits shard-side without a round trip per
+    request (:mod:`repro.serve.shard.bench` does exactly this);
+``{"op": "kill", "machine": j}`` / ``{"op": "revive", "machine": j}``
+    live fault injection *through the router*: the kill drains the
+    machine's queue and re-places the displaced work fleet-wide with
+    the cross-shard handoff rule; the revive re-places router-parked
+    requests.
 
-Fault injection: :meth:`ServeService.kill` stops a machine (its queued
-requests are re-dispatched over the alive machines; the in-flight one
-finishes — drain-on-failure semantics), :meth:`ServeService.revive`
-brings it back and re-dispatches parked requests.
-:meth:`ServeService.apply_faults` replays a
-:class:`repro.faults.FaultSchedule` in scaled wall time, so the same
-outage scenarios used in degraded-mode simulation drive the live
-service.
+The division of labour matches the single-dispatcher tier: *which
+shard and machine* a request lands on is the router's virtual-clocked
+decision (pure function of release stamps); the asyncio layer only
+controls when the work physically runs.
 """
 
 from __future__ import annotations
@@ -33,13 +32,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from ..campaigns.trace import make_scheduler
-from ..faults.schedule import FaultSchedule
-from ..obs.snapshot import write_metrics
-from .admission import AdmissionController
-from .dispatcher import DISPATCHED, REQUEUED, DispatchDecision, Dispatcher
-from .metrics import ServeMetrics
-from .protocol import (
+from ...faults.schedule import FaultSchedule
+from ...obs.snapshot import write_metrics
+from ..dispatcher import DISPATCHED, REQUEUED
+from ..protocol import (
     ProtocolError,
     check_version,
     read_frame,
@@ -47,24 +43,30 @@ from .protocol import (
     version_error,
     write_frame,
 )
+from .plan import ShardPlan
+from .router import RoutedDecision, ShardRouter
 
-__all__ = ["ServeConfig", "ServeService", "build_service", "serve"]
+__all__ = ["ShardServeConfig", "ShardServeService", "build_sharded_service", "serve_sharded"]
 
 
 @dataclass(frozen=True)
-class ServeConfig:
-    """Construction parameters of a dispatch service.
+class ShardServeConfig:
+    """Construction parameters of a sharded dispatch service.
 
-    ``time_scale`` is wall seconds per virtual time unit: a request
-    with ``proc=0.01`` occupies its machine for ``0.01 * time_scale``
-    wall seconds.  ``slo`` / ``max_queue_depth`` configure admission
-    (``None`` disables each); ``snapshot_path`` + ``snapshot_every``
-    enable the periodic canonical metrics dump.
+    The plan comes from ``intervals`` when given (explicit 1-based
+    inclusive shard intervals), else from :meth:`ShardPlan.aligned`
+    when ``align_k`` is set (disjoint-replication-aligned boundaries,
+    zero cross-talk), else :meth:`ShardPlan.even`.  The remaining knobs
+    mirror :class:`repro.serve.frontend.ServeConfig`; ``slo`` and
+    ``max_queue_depth`` configure *shard-local* admission.
     """
 
     m: int = 4
+    shards: int = 1
     scheduler: str = "eft-min"
     seed: int = 0
+    align_k: int | None = None
+    intervals: tuple[tuple[int, int], ...] | None = None
     slo: float | None = None
     max_queue_depth: int | None = None
     time_scale: float = 1.0
@@ -75,43 +77,48 @@ class ServeConfig:
     def __post_init__(self) -> None:
         if self.m < 1:
             raise ValueError("need at least one machine")
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
         if self.time_scale <= 0:
             raise ValueError("time_scale must be > 0")
         if self.snapshot_every <= 0:
             raise ValueError("snapshot_every must be > 0")
 
+    def make_plan(self) -> ShardPlan:
+        if self.intervals is not None:
+            return ShardPlan(m=self.m, intervals=tuple(self.intervals))
+        if self.align_k is not None:
+            return ShardPlan.aligned(self.m, self.align_k, self.shards)
+        return ShardPlan.even(self.m, self.shards)
 
-def build_service(config: ServeConfig) -> "ServeService":
-    """Wire a :class:`ServeService` from a :class:`ServeConfig`."""
-    scheduler = make_scheduler(config.scheduler, config.m, seed=config.seed)
-    metrics = ServeMetrics()
-    admission = AdmissionController(slo=config.slo, max_queue_depth=config.max_queue_depth)
-    dispatcher = Dispatcher(
-        scheduler,
-        admission=admission if admission.enabled else None,
-        metrics=metrics,
+
+def build_sharded_service(config: ShardServeConfig) -> "ShardServeService":
+    """Wire a :class:`ShardServeService` from a :class:`ShardServeConfig`."""
+    router = ShardRouter(
+        config.make_plan(),
+        scheduler=config.scheduler,
+        seed=config.seed,
+        slo=config.slo,
+        max_queue_depth=config.max_queue_depth,
         on_unavailable=config.on_unavailable,
     )
-    return ServeService(dispatcher, metrics, time_scale=config.time_scale)
+    return ShardServeService(router, time_scale=config.time_scale)
 
 
-class ServeService:
-    """Real-time enactment of a :class:`Dispatcher`.
+class ShardServeService:
+    """Real-time enactment of a :class:`ShardRouter`.
 
     Must be :meth:`start`-ed inside a running event loop; :meth:`stop`
     cancels the workers.  ``time_scale`` converts virtual time units to
     wall seconds.
     """
 
-    def __init__(
-        self, dispatcher: Dispatcher, metrics: ServeMetrics, time_scale: float = 1.0
-    ) -> None:
+    def __init__(self, router: ShardRouter, time_scale: float = 1.0) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be > 0")
-        self.dispatcher = dispatcher
-        self.metrics = metrics
+        self.router = router
         self.time_scale = time_scale
-        self.m = dispatcher.m
+        self.m = router.m
         self._queues: dict[int, asyncio.Queue] = {}
         self._workers: list[asyncio.Task] = []
         self._t0: float | None = None
@@ -119,6 +126,7 @@ class ServeService:
         self._idle = asyncio.Event()
         self._idle.set()
         self.n_completed = 0
+        self.n_errors = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
@@ -128,7 +136,7 @@ class ServeService:
         self._t0 = loop.time()
         self._queues = {j: asyncio.Queue() for j in range(1, self.m + 1)}
         self._workers = [
-            loop.create_task(self._worker(j), name=f"serve-worker-{j}")
+            loop.create_task(self._worker(j), name=f"shard-worker-{j}")
             for j in range(1, self.m + 1)
         ]
 
@@ -145,33 +153,39 @@ class ServeService:
         return (asyncio.get_running_loop().time() - self._t0) / self.time_scale
 
     # -- request path --------------------------------------------------------
-    def submit(self, task) -> DispatchDecision:
-        """Decide and, if dispatched, enqueue for real-time service."""
-        decision = self.dispatcher.submit(task)
-        if decision.status == DISPATCHED:
-            self._enqueue(decision)
-        return decision
+    def submit(self, task) -> RoutedDecision:
+        """Route, decide and, if dispatched, enqueue for real-time
+        service on the placed machine's worker."""
+        routed = self.router.submit(task)
+        if routed.status in (DISPATCHED, REQUEUED):
+            self._enqueue(routed)
+        return routed
 
-    def _enqueue(self, decision: DispatchDecision) -> None:
+    def _enqueue(self, routed: RoutedDecision) -> None:
         self._outstanding += 1
         self._idle.clear()
         arrival = asyncio.get_running_loop().time()
-        self._queues[decision.machine].put_nowait((decision.task, arrival))
+        self._queues[routed.machine].put_nowait((routed.decision.task, arrival))
+
+    def _alive(self, machine: int) -> bool:
+        sid = self.router.plan.shard_of(machine)
+        return machine in self.router.dispatchers[sid].alive
 
     async def _worker(self, machine: int) -> None:
         queue = self._queues[machine]
         while True:
             task, arrival = await queue.get()
-            if machine not in self.dispatcher.alive:
-                # Killed with work still queued (race with kill's own
-                # drain): route it like any displaced task.
+            if not self._alive(machine):
+                # Killed with work still queued: route it like any
+                # displaced task (possibly across shards).
                 self._outstanding -= 1
                 self._route_displaced(task, arrival)
                 self._settle()
                 continue
             await asyncio.sleep(task.proc * self.time_scale)
             loop_now = asyncio.get_running_loop().time()
-            self.metrics.on_complete((loop_now - arrival) / self.time_scale)
+            sid = self.router.plan.shard_of(machine)
+            self.router.shard_metrics[sid].on_complete((loop_now - arrival) / self.time_scale)
             self.n_completed += 1
             self._outstanding -= 1
             self._settle()
@@ -181,12 +195,12 @@ class ServeService:
             self._idle.set()
 
     def _route_displaced(self, task, arrival: float) -> None:
-        decision = self.dispatcher.redispatch(task, self.now())
-        if decision.status == REQUEUED:
+        routed = self.router.redispatch(task, self.now())
+        if routed.status == REQUEUED:
             self._outstanding += 1
             self._idle.clear()
-            self._queues[decision.machine].put_nowait((task, arrival))
-        # parked: it re-enters the queues at the next revive
+            self._queues[routed.machine].put_nowait((task, arrival))
+        # parked at the router: re-enters the queues at the next revive
 
     async def drain(self) -> int:
         """Wait until every dispatched request finished service (parked
@@ -197,10 +211,10 @@ class ServeService:
 
     # -- fault surface -------------------------------------------------------
     def kill(self, machine: int) -> int:
-        """Stop ``machine``: no further dispatches, queued requests are
-        re-dispatched over the alive machines (the in-flight request
-        finishes — drain-on-failure).  Returns how many were displaced."""
-        self.dispatcher.kill(machine)
+        """Stop ``machine`` through the router: no further dispatches,
+        its queued requests re-placed fleet-wide (cross-shard handoff
+        when the home shard is out).  Returns how many were displaced."""
+        self.router.kill(machine)
         displaced = []
         queue = self._queues.get(machine)
         if queue is not None:
@@ -213,19 +227,21 @@ class ServeService:
         return len(displaced)
 
     def revive(self, machine: int) -> int:
-        """Revive ``machine`` and enqueue any unparked requests;
-        returns how many left the parking lot."""
+        """Revive ``machine`` through the router and enqueue any
+        re-placed router-parked requests; returns how many left the
+        parking lot."""
         arrival = asyncio.get_running_loop().time()
-        unparked = self.dispatcher.revive(machine, self.now())
-        for decision in unparked:
-            self._outstanding += 1
-            self._idle.clear()
-            self._queues[decision.machine].put_nowait((decision.task, arrival))
-        return len(unparked)
+        replaced = self.router.revive(machine, self.now())
+        for routed in replaced:
+            if routed.status == REQUEUED:
+                self._outstanding += 1
+                self._idle.clear()
+                self._queues[routed.machine].put_nowait((routed.decision.task, arrival))
+        return len(replaced)
 
     async def apply_faults(self, faults: FaultSchedule) -> None:
-        """Replay ``faults`` in scaled wall time (run as a background
-        task alongside the frontend)."""
+        """Replay ``faults`` in scaled wall time through the router
+        (run as a background task alongside the frontend)."""
         if faults.max_machine() > self.m:
             raise ValueError(
                 f"fault schedule references machine {faults.max_machine()}, "
@@ -244,30 +260,29 @@ class ServeService:
 
     # -- introspection -------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Service counters plus the live metrics snapshot (the
-        ``stats`` op payload)."""
-        d = self.dispatcher
-        return {
-            "now": self.now(),
-            "m": self.m,
-            "alive": sorted(d.alive),
-            "requests": d.n_dispatched + d.n_shed + len(d.parked),
-            "dispatched": d.n_dispatched,
-            "shed": d.n_shed,
-            "requeued": d.n_requeued,
-            "parked": len(d.parked),
-            "completed": self.n_completed,
-            "outstanding": self._outstanding,
-            "metrics": self.metrics.registry.snapshot(),
-        }
+        """Router + per-shard counters plus the fleet metrics rollup
+        (the ``stats`` op payload)."""
+        stats = self.router.stats()
+        stats.update(
+            {
+                "now": self.now(),
+                "completed": self.n_completed,
+                "outstanding": self._outstanding,
+                "errors": self.n_errors,
+                "metrics": self.router.fleet_registry().snapshot(),
+            }
+        )
+        return stats
 
     async def snapshot_loop(self, path: str | Path, every: float) -> None:
-        """Periodically dump the canonical metrics snapshot to ``path``
-        (run as a background task; the final state is written by
-        :func:`serve` on shutdown)."""
+        """Periodically dump the canonical fleet-rollup snapshot to
+        ``path`` (run as a background task; the final state is written
+        by :func:`serve_sharded` on shutdown)."""
         while True:
             await asyncio.sleep(every)
-            write_metrics(self.metrics.registry, path, meta={"source": "repro-serve"})
+            write_metrics(
+                self.router.fleet_registry(), path, meta={"source": "repro-serve-sharded"}
+            )
 
     # -- frontend ------------------------------------------------------------
     async def handle_connection(
@@ -283,7 +298,7 @@ class ServeService:
                 try:
                     message = await read_frame(reader)
                 except ProtocolError as exc:
-                    self.metrics.on_error()
+                    self.n_errors += 1
                     await write_frame(writer, {"ok": False, "error": str(exc)})
                     break  # framing is lost; drop the connection
                 if message is None:
@@ -304,27 +319,46 @@ class ServeService:
     async def _handle_op(self, message: dict[str, Any]) -> dict[str, Any]:
         complaint = check_version(message)
         if complaint is not None:
-            self.metrics.on_error()
+            self.n_errors += 1
             return version_error(message, complaint)
         op = message.get("op")
         if op == "ping":
-            return {"ok": True, "op": "pong", "now": self.now()}
+            return {"ok": True, "op": "pong", "now": self.now(), "shards": self.router.n_shards}
         if op == "submit":
             try:
-                decision = self.submit(task_from_wire(message))
+                routed = self.submit(task_from_wire(message))
             except (ProtocolError, ValueError) as exc:
-                self.metrics.on_error()
+                self.n_errors += 1
                 return {"ok": False, "op": "submit", "tid": message.get("tid"), "error": str(exc)}
+            d = routed.decision
             return {
                 "ok": True,
                 "op": "submit",
-                "tid": decision.task.tid,
-                "status": decision.status,
-                "machine": decision.machine,
-                "start": decision.start,
-                "est_flow": decision.est_flow,
-                "reason": decision.reason,
+                "tid": d.task.tid,
+                "status": d.status,
+                "machine": d.machine,
+                "start": d.start,
+                "est_flow": d.est_flow,
+                "reason": d.reason,
+                "shard": routed.shard,
+                "handoff": routed.handoff,
             }
+        if op == "route":
+            return {"ok": True, "op": "route", "plan": self.router.plan.to_json()}
+        if op == "kill":
+            try:
+                displaced = self.kill(int(message["machine"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                self.n_errors += 1
+                return {"ok": False, "op": "kill", "error": str(exc)}
+            return {"ok": True, "op": "kill", "displaced": displaced}
+        if op == "revive":
+            try:
+                unparked = self.revive(int(message["machine"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                self.n_errors += 1
+                return {"ok": False, "op": "revive", "error": str(exc)}
+            return {"ok": True, "op": "revive", "unparked": unparked}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.stats()}
         if op == "drain":
@@ -332,26 +366,26 @@ class ServeService:
             return {"ok": True, "op": "drain", "completed": completed}
         if op == "shutdown":
             return {"ok": True, "op": "shutdown"}
-        self.metrics.on_error()
+        self.n_errors += 1
         return {"ok": False, "error": f"unknown op {op!r}"}
 
 
-async def serve(
-    config: ServeConfig,
+async def serve_sharded(
+    config: ShardServeConfig,
     socket_path: str | Path | None = None,
     host: str | None = None,
     port: int | None = None,
     faults: FaultSchedule | None = None,
 ) -> dict[str, Any]:
-    """Run a dispatch service until a client sends ``shutdown`` (or the
-    task is cancelled); returns the final stats.
+    """Run a sharded dispatch service until a client sends ``shutdown``
+    (or the task is cancelled); returns the final stats.
 
     Exactly one endpoint must be given: a unix ``socket_path`` or a TCP
     ``host``/``port`` pair.
     """
     if (socket_path is None) == (host is None or port is None):
-        raise ValueError("serve needs exactly one of socket_path or host+port")
-    service = build_service(config)
+        raise ValueError("serve_sharded needs exactly one of socket_path or host+port")
+    service = build_sharded_service(config)
     await service.start()
     stop_event = asyncio.Event()
 
@@ -380,6 +414,8 @@ async def serve(
         await service.stop()
         if config.snapshot_path is not None:
             write_metrics(
-                service.metrics.registry, config.snapshot_path, meta={"source": "repro-serve"}
+                service.router.fleet_registry(),
+                config.snapshot_path,
+                meta={"source": "repro-serve-sharded"},
             )
     return service.stats()

@@ -1,0 +1,96 @@
+"""Unit tests for fleet metric rollups (repro.obs.rollup)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, rollup_registries, rollup_snapshots
+
+
+def _registry(dispatched, depth, flows=()):
+    reg = MetricsRegistry()
+    reg.counter("dispatched_total").inc(dispatched)
+    reg.gauge("queue_depth").set(depth)
+    hist = reg.histogram("est_flow", (0.1, 1.0, 10.0))
+    hist.observe_all(flows)
+    return reg
+
+
+class TestRollupSnapshots:
+    def test_counters_and_gauges_sum(self):
+        snap = rollup_snapshots(
+            {"a": _registry(3, 2.0).snapshot(), "b": _registry(4, 1.5).snapshot()}
+        )
+        assert snap["counters"]["dispatched_total"] == 7
+        assert snap["gauges"]["queue_depth"] == 3.5
+
+    def test_members_prefixed(self):
+        snap = rollup_snapshots(
+            {"a": _registry(3, 2.0).snapshot(), "b": _registry(4, 1.5).snapshot()}
+        )
+        assert snap["counters"]["a/dispatched_total"] == 3
+        assert snap["counters"]["b/dispatched_total"] == 4
+        assert snap["gauges"]["a/queue_depth"] == 2.0
+
+    def test_members_false_omits_prefixes(self):
+        snap = rollup_snapshots(
+            {"a": _registry(3, 2.0).snapshot(), "b": _registry(4, 1.5).snapshot()},
+            members=False,
+        )
+        assert "a/dispatched_total" not in snap["counters"]
+        assert snap["counters"]["dispatched_total"] == 7
+
+    def test_histograms_merge_bucketwise(self):
+        snap = rollup_snapshots(
+            {
+                "a": _registry(0, 0.0, flows=[0.05, 0.5]).snapshot(),
+                "b": _registry(0, 0.0, flows=[5.0]).snapshot(),
+            },
+            members=False,
+        )
+        hist = snap["histograms"]["est_flow"]
+        assert hist["count"] == 3
+        assert hist["counts"] == [1, 1, 1, 0]
+        assert hist["min"] == 0.05 and hist["max"] == 5.0
+        assert hist["sum"] == pytest.approx(5.55)
+
+    def test_histogram_edge_mismatch_is_an_error(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", (1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket edges"):
+            rollup_snapshots({"a": a.snapshot(), "b": b.snapshot()})
+
+    def test_series_concatenate_in_member_order(self):
+        a = MetricsRegistry()
+        a.series("load").observe(0.0, 1.0)
+        b = MetricsRegistry()
+        b.series("load").observe(0.5, 2.0)
+        snap = rollup_snapshots({"b": b.snapshot(), "a": a.snapshot()}, members=False)
+        assert snap["series"]["load"] == {"times": [0.0, 0.5], "values": [1.0, 2.0]}
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric sections"):
+            rollup_snapshots({"a": {"bogus": {}}})
+
+    def test_rollup_is_deterministic(self):
+        members = {
+            "shard0": _registry(3, 2.0, flows=[0.2]).snapshot(),
+            "shard1": _registry(4, 1.5, flows=[2.0]).snapshot(),
+        }
+        one = json.dumps(rollup_snapshots(members), sort_keys=True)
+        two = json.dumps(rollup_snapshots(dict(reversed(members.items()))), sort_keys=True)
+        assert one == two
+
+
+class TestRollupRegistries:
+    def test_roundtrip_through_registry(self):
+        members = {
+            "shard0": _registry(3, 2.0, flows=[0.2]),
+            "shard1": _registry(4, 1.5, flows=[2.0]),
+        }
+        fleet = rollup_registries(members)
+        assert fleet.snapshot() == rollup_snapshots(
+            {name: reg.snapshot() for name, reg in members.items()}
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for driver-side reporting: percentile and report merging."""
+
+import pytest
+
+from repro.serve import DriveReport, percentile
+
+
+class TestPercentile:
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError, match="empty sequence"):
+            percentile([], 0.5)
+
+    def test_single_value(self):
+        assert percentile([3.5], 0.0) == 3.5
+        assert percentile([3.5], 1.0) == 3.5
+
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 3.0  # round(0.5 * 3) = 2 -> sorted[2]
+
+
+def _report(**kwargs):
+    defaults = dict(n_sent=2, n_acked=2, n_dispatched=2, elapsed=1.0)
+    return DriveReport(**{**defaults, **kwargs})
+
+
+class TestMerge:
+    def test_merge_of_nothing_raises(self):
+        with pytest.raises(ValueError, match="no reports"):
+            DriveReport.merge([])
+
+    def test_counters_sum_and_elapsed_is_max(self):
+        a = _report(n_shed=1, elapsed=0.5, shed_by_reason={"slo": 1})
+        b = _report(n_parked=1, n_errors=1, elapsed=2.0, shed_by_reason={"slo": 2, "queue_full": 1})
+        merged = DriveReport.merge([a, b])
+        assert merged.n_sent == 4 and merged.n_acked == 4
+        assert merged.n_shed == 1 and merged.n_parked == 1 and merged.n_errors == 1
+        assert merged.elapsed == 2.0
+        assert merged.shed_by_reason == {"slo": 3, "queue_full": 1}
+
+    def test_target_rate_sums_or_none(self):
+        assert DriveReport.merge([_report(), _report()]).target_rate is None
+        merged = DriveReport.merge([_report(target_rate=100.0), _report(target_rate=50.0)])
+        assert merged.target_rate == 150.0
+
+    def test_assignments_reassembled_in_order(self):
+        a = _report(assignments=[(0, 1), (4, 2)], est_flows=[0.1, 0.2])
+        b = _report(assignments=[(3, 5), (1, 6)], est_flows=[0.3, 0.4])
+        merged = DriveReport.merge([a, b], order=[0, 1, 3, 4])
+        assert merged.assignments == [(0, 1), (1, 6), (3, 5), (4, 2)]
+        assert merged.est_flows == [0.1, 0.4, 0.3, 0.2]
+
+    def test_digest_matches_single_report_of_same_stream(self):
+        full = _report(assignments=[(0, 1), (1, 6), (3, 5), (4, 2)], est_flows=[0.0] * 4)
+        a = _report(assignments=[(0, 1), (4, 2)], est_flows=[0.0] * 2)
+        b = _report(assignments=[(3, 5), (1, 6)], est_flows=[0.0] * 2)
+        merged = DriveReport.merge([a, b], order=[0, 1, 3, 4])
+        assert merged.assignments_digest == full.assignments_digest
+
+    def test_tid_order_fallback(self):
+        a = _report(assignments=[(7, 1)], est_flows=[0.0])
+        b = _report(assignments=[(2, 3)], est_flows=[0.0])
+        merged = DriveReport.merge([a, b])
+        assert merged.assignments == [(2, 3), (7, 1)]
+
+    def test_server_stats_rolled_up(self):
+        a = _report(server_stats={"completed": 2, "metrics": {"counters": {"dispatched_total": 2}}})
+        b = _report(server_stats={"completed": 3, "metrics": {"counters": {"dispatched_total": 3}}})
+        merged = DriveReport.merge([a, b])
+        assert merged.server_stats["completed"] == 5
+        assert merged.server_stats["metrics"]["counters"]["dispatched_total"] == 5
+        assert len(merged.server_stats["shards"]) == 2
+
+    def test_to_text_of_merged_report_is_renderable(self):
+        a = _report(assignments=[(0, 1)], est_flows=[0.5], target_rate=10.0)
+        b = _report(assignments=[(1, 2)], est_flows=[0.7], target_rate=10.0)
+        text = DriveReport.merge([a, b]).to_text()
+        assert "assignments sha256:" in text
+        assert "target 20.0 rps" in text

@@ -1,0 +1,127 @@
+"""Property tests for the task wire codec (Hypothesis).
+
+The round-trip ``task_from_wire(task_to_wire(t)) == t`` must hold for
+every valid task, survive a real encode/decode through the frame layer,
+and the decoder must reject every non-finite or negative numeric field
+— json happily carries ``NaN``/``Infinity``, so the wire boundary is
+the last line of defence.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import Task
+from repro.serve import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_version,
+    decode_frame,
+    encode_frame,
+    task_from_wire,
+    task_to_wire,
+    version_error,
+    versioned,
+)
+
+finite_release = st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+finite_proc = st.floats(
+    min_value=1e-9, max_value=1e12, allow_nan=False, allow_infinity=False, exclude_min=True
+)
+machine_sets = st.one_of(
+    st.none(),
+    st.frozensets(st.integers(min_value=1, max_value=64), min_size=1, max_size=8),
+)
+tasks = st.builds(
+    Task,
+    tid=st.integers(min_value=0, max_value=2**31),
+    release=finite_release,
+    proc=finite_proc,
+    machines=machine_sets,
+    key=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+)
+
+non_finite = st.sampled_from([math.nan, math.inf, -math.inf])
+
+
+class TestRoundTrip:
+    @given(task=tasks)
+    @settings(max_examples=200)
+    def test_wire_roundtrip_identity(self, task):
+        assert task_from_wire(task_to_wire(task)) == task
+
+    @given(task=tasks)
+    @settings(max_examples=100)
+    def test_roundtrip_survives_framing(self, task):
+        frame = encode_frame(versioned({"op": "submit", **task_to_wire(task)}))
+        message = decode_frame(frame[4:])
+        assert check_version(message) is None
+        assert task_from_wire(message) == task
+
+    @given(task=tasks)
+    def test_wire_machine_set_is_sorted_list(self, task):
+        wire = task_to_wire(task)
+        if task.machines is None:
+            assert wire["machine_set"] is None
+        else:
+            assert wire["machine_set"] == sorted(task.machines)
+
+
+class TestRejection:
+    @given(task=tasks, bad=non_finite)
+    @settings(max_examples=50)
+    def test_non_finite_release_rejected(self, task, bad):
+        wire = {**task_to_wire(task), "release": bad}
+        with pytest.raises(ProtocolError, match="non-finite|malformed"):
+            task_from_wire(wire)
+
+    @given(task=tasks, bad=non_finite)
+    @settings(max_examples=50)
+    def test_non_finite_proc_rejected(self, task, bad):
+        wire = {**task_to_wire(task), "proc": bad}
+        with pytest.raises(ProtocolError, match="non-finite|malformed"):
+            task_from_wire(wire)
+
+    @given(task=tasks, release=st.floats(max_value=-1e-9, allow_nan=False))
+    @settings(max_examples=50)
+    def test_negative_release_rejected(self, task, release):
+        wire = {**task_to_wire(task), "release": release}
+        with pytest.raises(ProtocolError):
+            task_from_wire(wire)
+
+    @given(task=tasks, proc=st.floats(max_value=0.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_non_positive_proc_rejected(self, task, proc):
+        wire = {**task_to_wire(task), "proc": proc}
+        with pytest.raises(ProtocolError):
+            task_from_wire(wire)
+
+    @given(task=tasks, machine=st.integers(max_value=0))
+    @settings(max_examples=50)
+    def test_non_positive_machine_index_rejected(self, task, machine):
+        wire = {**task_to_wire(task), "machine_set": [machine]}
+        with pytest.raises(ProtocolError):
+            task_from_wire(wire)
+
+
+class TestVersioning:
+    @given(op=st.sampled_from(["ping", "submit", "stats", "drain"]))
+    def test_versioned_stamps_current(self, op):
+        message = versioned({"op": op})
+        assert message["v"] == PROTOCOL_VERSION
+        assert check_version(message) is None
+
+    def test_absent_version_passes(self):
+        # v0 peers (pre-version frames) must keep working.
+        assert check_version({"op": "ping"}) is None
+
+    @given(v=st.one_of(st.integers(), st.text(max_size=4)).filter(lambda v: v != PROTOCOL_VERSION))
+    @settings(max_examples=50)
+    def test_any_other_version_fails(self, v):
+        complaint = check_version({"op": "ping", "v": v})
+        assert complaint is not None and "version mismatch" in complaint
+        error = version_error({"op": "ping", "v": v}, complaint)
+        assert error["ok"] is False and error["v"] == PROTOCOL_VERSION
+        assert error["op"] == "ping"

@@ -1,0 +1,123 @@
+"""Unit tests for ShardPlan: constructors, routing, handoff sets."""
+
+import pytest
+
+from repro.psets.replication import get_strategy
+from repro.serve import ShardPlan
+
+
+def _family(strategy: str, m: int, k: int):
+    strat = get_strategy(strategy, m, k)
+    return [strat.replicas(u) for u in range(1, m + 1)]
+
+
+class TestConstruction:
+    def test_single(self):
+        plan = ShardPlan.single(5)
+        assert plan.n_shards == 1
+        assert plan.machines(0) == frozenset(range(1, 6))
+
+    def test_even_split(self):
+        plan = ShardPlan.even(10, 3)
+        assert plan.intervals == ((1, 4), (5, 7), (8, 10))
+        assert [plan.shard_of(j) for j in (1, 4, 5, 7, 8, 10)] == [0, 0, 1, 1, 2, 2]
+
+    def test_intervals_must_cover(self):
+        with pytest.raises(ValueError, match="cover"):
+            ShardPlan(m=4, intervals=((1, 2), (4, 4)))
+        with pytest.raises(ValueError, match="consecutive|cover"):
+            ShardPlan(m=4, intervals=((2, 4),))
+
+    def test_aligned_respects_group_boundaries(self):
+        # m=6, k=2: groups {1,2} {3,4} {5,6}; 3 shards = one group each.
+        plan = ShardPlan.aligned(6, 2, 3)
+        assert plan.intervals == ((1, 2), (3, 4), (5, 6))
+        assert plan.is_disjoint_for(_family("disjoint", 6, 2))
+
+    def test_aligned_uneven_groups(self):
+        # m=7, k=3: groups {1..3} {4..6} {7}; 2 shards -> 2+1 groups.
+        plan = ShardPlan.aligned(7, 3, 2)
+        assert plan.intervals == ((1, 6), (7, 7))
+        assert plan.is_disjoint_for(_family("disjoint", 7, 3))
+
+    def test_aligned_too_many_shards(self):
+        with pytest.raises(ValueError, match="disjoint groups"):
+            ShardPlan.aligned(6, 2, 4)
+
+    def test_for_family_disjoint(self):
+        fam = _family("disjoint", 6, 2)
+        plan = ShardPlan.for_family(fam, 6, 3)
+        assert plan.n_shards == 3
+        assert plan.is_disjoint_for(fam)
+
+    def test_for_family_respects_gapped_spans(self):
+        # {1, 3} must keep machines 1..3 in one shard even though 2 is absent.
+        plan = ShardPlan.for_family([{1, 3}, {4}, {5, 6}], 6, 2)
+        assert plan.shard_of(1) == plan.shard_of(3)
+
+    def test_for_family_rejects_ring_wrap(self):
+        with pytest.raises(ValueError, match="ring seam"):
+            ShardPlan.for_family(_family("overlapping", 6, 2), 6, 2)
+
+    def test_for_family_rejects_overconstrained(self):
+        # Spans 1..5 and 2..6 jointly forbid every interior cut, yet no
+        # single set wraps the seam — the cut-count check must fire.
+        with pytest.raises(ValueError, match="admits only"):
+            ShardPlan.for_family([set(range(1, 6)), set(range(2, 7))], 6, 2)
+
+
+class TestRouting:
+    def test_local_route(self):
+        plan = ShardPlan.even(6, 2)
+        route = plan.route({1, 2})
+        assert route.is_local and route.owner == 0
+        assert route.owner_fragment == frozenset({1, 2})
+
+    def test_straddling_route_owned_by_ring_start(self):
+        plan = ShardPlan.even(6, 2)
+        route = plan.route({3, 4})  # ring interval starting at 3 (shard 0)
+        assert not route.is_local
+        assert route.owner == 0
+        assert route.fragment(0) == frozenset({3})
+        assert route.fragment(1) == frozenset({4})
+
+    def test_wrapped_ring_interval_owner(self):
+        plan = ShardPlan.even(6, 2)
+        route = plan.route({6, 1})  # I_2(6) wraps: start machine 6 -> shard 1
+        assert route.owner == 1
+
+    def test_non_interval_owner_is_largest_fragment(self):
+        plan = ShardPlan.even(6, 2)
+        route = plan.route({1, 4, 5})  # not a ring interval
+        assert route.owner == 1  # fragment {4,5} beats {1}
+
+    def test_route_rejects_bad_sets(self):
+        plan = ShardPlan.even(4, 2)
+        with pytest.raises(ValueError, match="empty"):
+            plan.route(set())
+        with pytest.raises(ValueError, match="outside"):
+            plan.route({0, 1})
+
+    def test_handoff_sets_bounded(self):
+        m, k, n_shards = 12, 3, 4
+        plan = ShardPlan.even(m, n_shards)
+        handoff = plan.handoff_sets(_family("overlapping", m, k))
+        assert 0 < len(handoff) <= n_shards * (k - 1)
+        local = [s for s in _family("overlapping", m, k) if plan.route(s).is_local]
+        assert len(local) + len(handoff) == m  # every ring set classified once
+
+    def test_disjoint_family_has_no_handoff(self):
+        plan = ShardPlan.aligned(6, 2, 3)
+        assert plan.handoff_sets(_family("disjoint", 6, 2)) == []
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        plan = ShardPlan.even(9, 4)
+        assert ShardPlan.from_json(plan.to_json()) == plan
+
+    def test_describe_mentions_every_shard(self):
+        text = ShardPlan.even(6, 3).describe()
+        assert "3 shard(s)" in text
+        for sid in range(3):
+            assert f"shard {sid}" in text
