@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke rebalance-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -122,6 +122,29 @@ shard-smoke:
 	cmp results/.shard-smoke/a.sha results/.shard-smoke/b.sha
 	cmp results/.shard-smoke/a.sha results/.shard-smoke/single.sha
 	rm -rf results/.shard-smoke
+
+# Rebalance smoke: on a hotspot-shift workload the adaptive policy
+# must beat both static placements on p99 flow, the recorded trace
+# must replay byte-identically, and two same-seed runs must print
+# identical reports.
+rebalance-smoke:
+	rm -rf results/.rebalance-smoke
+	mkdir -p results/.rebalance-smoke
+	PYTHONPATH=src $(PYTHON) -m repro rebalance --m 12 --n 1500 \
+		--policy compare --seed 0 \
+		--events results/.rebalance-smoke/reb.trace.jsonl \
+		| tee results/.rebalance-smoke/a.txt
+	PYTHONPATH=src $(PYTHON) -m repro rebalance --m 12 --n 1500 \
+		--policy compare --seed 0 \
+		| tee results/.rebalance-smoke/b.txt
+	grep -q "adaptive beats both static p99: yes" results/.rebalance-smoke/a.txt
+	grep "sha256" results/.rebalance-smoke/a.txt > results/.rebalance-smoke/a.sha
+	grep "sha256" results/.rebalance-smoke/b.txt > results/.rebalance-smoke/b.sha
+	cmp results/.rebalance-smoke/a.sha results/.rebalance-smoke/b.sha
+	PYTHONPATH=src $(PYTHON) -m repro replay \
+		results/.rebalance-smoke/reb.trace.jsonl \
+		| grep -q "byte-identical replay: yes"
+	rm -rf results/.rebalance-smoke
 
 # Runner-resilience: a crashing unit must yield exactly one failed
 # outcome (not a pool abort), retries must heal a flaky unit, and an

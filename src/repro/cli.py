@@ -15,6 +15,9 @@ Usage::
     python -m repro faulted --m 8 --k 2 --mtbf 60 --mttr 5 --policy restart
     python -m repro replay results/campaigns/fig11/eft-min.trace.jsonl
     python -m repro replay --golden eft-min-m4 --scheduler eft-max
+    python -m repro rebalance --m 12 --n 4000 --policy compare
+    python -m repro rebalance --policy adaptive --events results/rebalance.trace.jsonl
+    python -m repro replay results/rebalance.trace.jsonl
     python -m repro serve --socket /tmp/repro.sock --m 4 --slo 0.1
     python -m repro serve-sharded --socket /tmp/repro.sock --m 6 --shards 3 --align-k 2
     python -m repro route --m 6 --shards 3 --strategy overlapping --k 2 --set 3,4
@@ -47,6 +50,12 @@ pacing, and ``bench-serve`` runs both ends in one process over a
 loopback socket — placements are deterministic per seed, so two
 ``bench-serve`` runs with the same arguments print the same
 ``assignments sha256`` line.
+
+``rebalance`` (:mod:`repro.rebalance`) runs a dynamic hotspot-shift
+workload under static placements and under the LP-driven adaptive
+controller — ``--policy compare`` races all three arms on the same
+seeded stream, ``--events PATH`` records every placement decision as a
+versioned trace that ``replay`` re-runs and byte-compares.
 
 The sharded tier (:mod:`repro.serve.shard`): ``serve-sharded`` runs N
 dispatcher shards behind the interval-aware router on one endpoint,
@@ -183,6 +192,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="eft-min|eft-max|eft-rand|least-work|round-robin|random (default: the recorded one)",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
+
+    p = sub.add_parser(
+        "rebalance",
+        help="dynamic hotspot-shift workload: static placements vs LP-driven adaptive re-replication",
+    )
+    p.add_argument("--m", type=int, default=12)
+    p.add_argument("--n", type=int, default=4000, help="number of requests")
+    p.add_argument("--k", type=int, default=2, help="initial replication factor")
+    p.add_argument("--s", type=float, default=1.5, help="Zipf shape of the hotspot popularity")
+    p.add_argument("--lam", type=float, default=None,
+                   help="constant arrival rate (default 0.55*m)")
+    p.add_argument("--shift-at", type=float, default=None, dest="shift_at",
+                   help="virtual time of the hotspot rotation (default mid-run)")
+    p.add_argument("--rotation", type=int, default=None,
+                   help="ring rotation applied at the shift (default m//2)")
+    p.add_argument("--proc", type=float, default=1.0, help="processing time (virtual units)")
+    p.add_argument("--strategy", default="overlapping", choices=["overlapping", "disjoint"],
+                   help="initial placement family")
+    p.add_argument("--policy", default="compare", choices=["compare", "static", "adaptive"],
+                   help="compare races static-overlapping/static-disjoint/adaptive on one stream")
+    p.add_argument(
+        "--scheduler",
+        default="eft-min",
+        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cadence", type=float, default=25.0, help="virtual time between controller checks")
+    p.add_argument("--window", type=float, default=50.0, help="popularity estimation window")
+    p.add_argument("--headroom", type=float, default=0.75,
+                   help="trigger fraction: rebalance when work rate > headroom * lambda*")
+    p.add_argument("--warmup", type=float, default=2.0,
+                   help="virtual-time penalty charged to each newly added replica")
+    p.add_argument("--max-k", type=int, default=None, dest="max_k",
+                   help="cap on any home's replica count (default: m)")
+    p.add_argument("--max-rounds", type=int, default=8, dest="max_rounds",
+                   help="greedy widen rounds per check")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="repro-faults JSON schedule to kill/revive machines mid-run")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="write the versioned rebalance trace (adaptive arm) as JSONL")
 
     def _endpoint_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--socket", default=None, metavar="PATH", help="unix socket endpoint")
@@ -539,14 +588,59 @@ def _run_faulted(args) -> str:
     return "\n".join(lines)
 
 
-def _run_replay(args) -> str:
+def _sniff_trace_format(path: str) -> str | None:
+    """Read the ``format`` field of a trace file's header line, or
+    ``None`` when the file does not start with a JSON header."""
+    import json
+    from pathlib import Path
+
+    try:
+        with Path(path).open() as fh:
+            header = json.loads(fh.readline())
+    except (OSError, ValueError):
+        return None
+    return header.get("format") if isinstance(header, dict) else None
+
+
+def _replay_rebalance(args) -> str | tuple[str, int]:
+    """``replay`` on a rebalance trace: re-run the recorded experiment
+    from the header meta and byte-compare the fresh trace."""
+    from .rebalance import load_rebalance_trace, replay_rebalance
+
+    if args.scheduler is not None:
+        raise SystemExit(
+            "replay: --scheduler does not apply to rebalance traces — the "
+            "recorded scheduler is part of the determinism contract"
+        )
+    trace = load_rebalance_trace(args.trace)
+    result, identical = replay_rebalance(trace)
+    lines = [
+        f"rebalance trace: {args.trace} (m={trace.m}, policy={trace.policy}, "
+        f"scheduler={trace.scheduler}, seed={trace.seed})",
+        f"events: {trace.n_events} check(s), {trace.n_triggered} triggered, "
+        f"final placement version {trace.final_version}",
+        f"replayed  p99={result.flow['p99']:.6g}  max={result.flow['max']:.6g}  "
+        f"digest={result.digest[:16]}",
+        f"byte-identical replay: {'yes' if identical else 'no'}",
+    ]
+    return "\n".join(lines) if identical else ("\n".join(lines), 1)
+
+
+def _run_replay(args) -> str | tuple[str, int]:
     """The ``replay`` subcommand: load a trace, re-run its workload
-    through a scheduler and compare against the recorded placements."""
+    through a scheduler and compare against the recorded placements.
+    Rebalance traces (sniffed from the header) re-run the whole
+    recorded experiment and byte-compare instead."""
     from .campaigns import goldens as goldens_mod
     from .campaigns import load_trace, make_scheduler, replay_into
 
     if (args.trace is None) == (args.golden is None):
         raise SystemExit("replay: provide exactly one of a trace path or --golden NAME")
+    if args.trace is not None:
+        from .rebalance.events import REBALANCE_TRACE_FORMAT
+
+        if _sniff_trace_format(args.trace) == REBALANCE_TRACE_FORMAT:
+            return _replay_rebalance(args)
     if args.golden is not None:
         trace = goldens_mod.load_golden(args.golden)
         source = f"golden {args.golden}"
@@ -565,6 +659,93 @@ def _run_replay(args) -> str:
         f"replayed  Fmax={replayed.max_flow:.6g}  mean flow={replayed.mean_flow:.6g}",
         f"placements match recorded trace: {'yes' if match else 'no'}",
     ]
+    return "\n".join(lines)
+
+
+def _run_rebalance(args) -> str:
+    """The ``rebalance`` subcommand: run the hotspot-shift scenario
+    under one policy or race all three arms on the same stream."""
+    from dataclasses import replace
+    from pathlib import Path
+
+    from .rebalance import RebalanceConfig, dumps_rebalance_trace, run_rebalance
+    from .rebalance.units import default_spec
+
+    params = {
+        "m": args.m,
+        "n": args.n,
+        "k": args.k,
+        "s": args.s,
+        "strategy": args.strategy,
+        "proc": args.proc,
+    }
+    if args.lam is not None:
+        params["lam"] = args.lam
+    if args.shift_at is not None:
+        params["shift_at"] = args.shift_at
+    if args.rotation is not None:
+        params["rotation"] = args.rotation
+    spec = default_spec(params)
+    config = RebalanceConfig(
+        cadence=args.cadence,
+        window=args.window,
+        headroom=args.headroom,
+        warmup=args.warmup,
+        max_k=args.max_k,
+        max_rounds=args.max_rounds,
+    )
+    faults = _load_faults(args.faults)
+
+    shift_at = spec.popularity.shifts[0][0] if getattr(spec.popularity, "shifts", None) else None
+    lines = [
+        f"hotspot-shift workload: m={spec.m} n={spec.n} k={spec.k} "
+        f"s={args.s:g} lam={spec.rate.rate(0.0):g}"
+        + (f" shift@{shift_at:g}" if shift_at is not None else ""),
+    ]
+    if args.policy == "compare":
+        arms = [
+            ("static-overlapping", replace(spec, strategy="overlapping"), "static"),
+            ("static-disjoint", replace(spec, strategy="disjoint"), "static"),
+            ("adaptive", replace(spec, strategy="overlapping"), "adaptive"),
+        ]
+    else:
+        arms = [(args.policy, spec, args.policy)]
+    results = {
+        name: run_rebalance(
+            arm_spec,
+            policy=policy,
+            config=config,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            faults=faults,
+        )
+        for name, arm_spec, policy in arms
+    }
+    lines.append(
+        f"{'policy':<20} {'p50':>8} {'p95':>8} {'p99':>8} {'max':>8} "
+        f"{'rebal':>6} {'moved':>6}"
+    )
+    for name, r in results.items():
+        lines.append(
+            f"{name:<20} {r.flow['p50']:>8.3f} {r.flow['p95']:>8.3f} "
+            f"{r.flow['p99']:>8.3f} {r.flow['max']:>8.3f} "
+            f"{r.n_rebalances:>6d} {r.n_migrated:>6d}"
+        )
+    if args.policy == "compare":
+        adaptive = results["adaptive"]
+        best_static = min(
+            results["static-overlapping"].flow["p99"],
+            results["static-disjoint"].flow["p99"],
+        )
+        wins = adaptive.flow["p99"] < best_static
+        lines.append(f"adaptive beats both static p99: {'yes' if wins else 'no'}")
+    traced = results.get("adaptive") or next(iter(results.values()))
+    lines.append(f"assignments sha256 ({traced.policy}): {traced.digest}")
+    if args.events:
+        path = Path(args.events)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dumps_rebalance_trace(traced.trace))
+        lines.append(f"events: {path}")
     return "\n".join(lines)
 
 
@@ -866,6 +1047,7 @@ _HANDLERS = {
     "campaign": _run_campaign,
     "faulted": _run_faulted,
     "replay": _run_replay,
+    "rebalance": _run_rebalance,
     "serve": _run_serve,
     "serve-sharded": _run_serve_sharded,
     "route": _run_route,

@@ -2,18 +2,31 @@
 
 from .closedform import max_load_disjoint_closed_form, max_load_hall
 from .flow import Dinic
-from .lp import MaxLoadSolution, max_load_flow, max_load_lp, max_load_percent
+from .lp import (
+    DegeneratePopularityError,
+    MaxLoadSolution,
+    clear_solve_cache,
+    max_load_flow,
+    max_load_lp,
+    max_load_lp_cached,
+    max_load_percent,
+    solve_cache_info,
+)
 from .sweep import SweepResult, overlap_gain_ratio, sweep_max_load
 
 __all__ = [
+    "DegeneratePopularityError",
     "Dinic",
     "MaxLoadSolution",
     "SweepResult",
+    "clear_solve_cache",
     "max_load_disjoint_closed_form",
     "max_load_flow",
     "max_load_hall",
     "max_load_lp",
+    "max_load_lp_cached",
     "max_load_percent",
     "overlap_gain_ratio",
+    "solve_cache_info",
     "sweep_max_load",
 ]

@@ -24,6 +24,7 @@ closed forms of :mod:`repro.maxload.closedform`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,7 +34,28 @@ from ..psets.replication import ReplicationStrategy, get_strategy
 from ..simulation.popularity import MachinePopularity
 from .flow import Dinic
 
-__all__ = ["MaxLoadSolution", "max_load_lp", "max_load_flow", "max_load_percent"]
+__all__ = [
+    "DegeneratePopularityError",
+    "MaxLoadSolution",
+    "clear_solve_cache",
+    "max_load_flow",
+    "max_load_lp",
+    "max_load_lp_cached",
+    "max_load_percent",
+    "solve_cache_info",
+]
+
+
+class DegeneratePopularityError(ValueError):
+    """The popularity vector cannot drive the max-load LP.
+
+    Raised for empty, non-finite, negative, zero-mass or
+    not-summing-to-one inputs.  A zero-mass vector would otherwise
+    surface as a numpy divide warning (the :math:`m / \\max_j P(E_j)`
+    bound on :math:`\\lambda`) and an unbounded LP.  Subclasses
+    :class:`ValueError` so existing ``except ValueError`` call sites
+    keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -57,10 +79,20 @@ class MaxLoadSolution:
 
 def _weights(popularity) -> np.ndarray:
     if isinstance(popularity, MachinePopularity):
-        return popularity.weights
-    w = np.asarray(popularity, dtype=float)
-    if w.ndim != 1 or np.any(w < 0) or not np.isclose(w.sum(), 1.0):
-        raise ValueError("popularity must be a probability vector")
+        w = popularity.weights
+    else:
+        w = np.asarray(popularity, dtype=float)
+    if w.ndim != 1 or w.size < 1:
+        raise DegeneratePopularityError("popularity must be a probability vector")
+    if not np.all(np.isfinite(w)) or np.any(w < 0):
+        raise DegeneratePopularityError("popularity must be a probability vector")
+    total = float(w.sum())
+    if total <= 0.0:
+        raise DegeneratePopularityError(
+            "popularity has zero mass — no machine ever receives work"
+        )
+    if not np.isclose(total, 1.0):
+        raise DegeneratePopularityError("popularity must be a probability vector")
     return w
 
 
@@ -116,6 +148,66 @@ def max_load_lp(
         raise RuntimeError(f"max-load LP failed: {res.message}")
     transfer = np.asarray(res.x[:-1]).reshape(m, m)
     return MaxLoadSolution(lam=float(res.x[-1]), m=m, transfer=transfer)
+
+
+_CACHE_MAX = 128
+_solve_cache: "OrderedDict[tuple, MaxLoadSolution]" = OrderedDict()
+_cache_stats = {"hits": 0, "misses": 0}
+
+
+def _placement_key(strat: ReplicationStrategy) -> tuple:
+    """Hashable fingerprint of a placement: the replica set of every
+    home, in home order.  Two strategies with identical sets — e.g. a
+    named ring and an interval placement that happens to equal it —
+    share cache entries."""
+    return tuple(tuple(sorted(strat.replicas(u))) for u in range(1, strat.m + 1))
+
+
+def max_load_lp_cached(
+    popularity,
+    strategy: str | ReplicationStrategy,
+    k: int | None = None,
+) -> MaxLoadSolution:
+    """:func:`max_load_lp` behind a small LRU cache keyed by
+    (popularity bytes, placement replica sets).
+
+    The rebalance controller re-solves the LP on a cadence; between
+    triggers both the estimated popularity (quantised) and the live
+    placement are unchanged, so repeated solves are pure cache hits.
+    """
+    w = _weights(popularity)
+    m = w.size
+    if isinstance(strategy, str):
+        if k is None:
+            raise ValueError("k required when passing a strategy name")
+        strat = get_strategy(strategy, m, k)
+    else:
+        strat = strategy
+        if strat.m != m:
+            raise ValueError(f"strategy has m={strat.m}, popularity has m={m}")
+    key = (w.tobytes(), _placement_key(strat))
+    hit = _solve_cache.get(key)
+    if hit is not None:
+        _solve_cache.move_to_end(key)
+        _cache_stats["hits"] += 1
+        return hit
+    _cache_stats["misses"] += 1
+    sol = max_load_lp(w, strat)
+    _solve_cache[key] = sol
+    while len(_solve_cache) > _CACHE_MAX:
+        _solve_cache.popitem(last=False)
+    return sol
+
+
+def solve_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the :func:`max_load_lp_cached` LRU."""
+    return {"size": len(_solve_cache), "hits": _cache_stats["hits"], "misses": _cache_stats["misses"]}
+
+
+def clear_solve_cache() -> None:
+    """Empty the LRU and reset its counters (test isolation)."""
+    _solve_cache.clear()
+    _cache_stats["hits"] = _cache_stats["misses"] = 0
 
 
 def max_load_flow(

@@ -1,0 +1,164 @@
+"""Versioned rebalance traces: every placement change, on the record.
+
+Format (JSONL, one JSON document per line), sibling of the
+``repro-trace`` schedule format::
+
+    {"format": "repro-rebalance-trace", "version": 1, "m": 12,
+     "policy": "adaptive", "scheduler": "eft-min", "seed": 7,
+     "n_events": 3, "meta": {"spec": {...}, "config": {...},
+     "faults": null, "digest": "..."}}
+    {"version": 0, "time": 50.0, "triggered": false, ...}
+    {"version": 1, "time": 100.0, "triggered": true,
+     "changes": [[3, [3, 2], [3, 3]]], "added": [5], ...}
+
+Every cadence check — triggered or not — is one event line, so a
+trace pins the *absence* of placement changes as strictly as their
+presence.  The header ``meta`` embeds the full dynamic workload spec,
+controller config, fault schedule and the run's assignment digest, so
+``repro replay`` can re-run the experiment from the trace's own bytes
+and byte-compare the re-serialised trace (the same guarantee the
+schedule traces give: floats via ``repr``, fixed key order, no
+dict-order dependence).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .controller import RebalanceDecision
+
+__all__ = [
+    "REBALANCE_TRACE_FORMAT",
+    "REBALANCE_TRACE_VERSION",
+    "RebalanceTrace",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+]
+
+REBALANCE_TRACE_FORMAT = "repro-rebalance-trace"
+REBALANCE_TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RebalanceTrace:
+    """A recorded rebalance run: every cadence decision plus the
+    provenance needed to re-run it."""
+
+    m: int
+    policy: str
+    scheduler: str
+    seed: int
+    decisions: tuple[RebalanceDecision, ...]
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def n_triggered(self) -> int:
+        return sum(1 for d in self.decisions if d.triggered)
+
+    @property
+    def final_version(self) -> int:
+        return self.decisions[-1].version if self.decisions else 0
+
+
+def _event_line(d: RebalanceDecision) -> str:
+    payload = {
+        "version": d.version,
+        "time": d.time,
+        "triggered": d.triggered,
+        "work_rate": d.work_rate,
+        "lam_star": d.lam_star,
+        "lam_star_after": d.lam_star_after,
+        "changes": [[u, list(old), list(new)] for u, old, new in d.changes],
+        "added": list(d.added),
+    }
+    return json.dumps(payload, separators=(", ", ": "))
+
+
+def dumps(trace: RebalanceTrace) -> str:
+    """Serialise to the JSONL format (ends with a newline)."""
+    header = {
+        "format": REBALANCE_TRACE_FORMAT,
+        "version": REBALANCE_TRACE_VERSION,
+        "m": trace.m,
+        "policy": trace.policy,
+        "scheduler": trace.scheduler,
+        "seed": trace.seed,
+        "n_events": trace.n_events,
+        "meta": dict(trace.meta),
+    }
+    lines = [json.dumps(header, sort_keys=True, separators=(", ", ": "))]
+    lines.extend(_event_line(d) for d in trace.decisions)
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> RebalanceTrace:
+    """Parse the JSONL format; inverse of :func:`dumps`."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ValueError("empty rebalance trace")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != REBALANCE_TRACE_FORMAT:
+        raise ValueError(
+            f"not a {REBALANCE_TRACE_FORMAT} file (header: {lines[0][:80]!r})"
+        )
+    version = header.get("version")
+    if version != REBALANCE_TRACE_VERSION:
+        raise ValueError(
+            f"unsupported rebalance trace version {version!r} "
+            f"(supported: {REBALANCE_TRACE_VERSION})"
+        )
+    decisions = []
+    for ln in lines[1:]:
+        d = json.loads(ln)
+        decisions.append(
+            RebalanceDecision(
+                version=int(d["version"]),
+                time=float(d["time"]),
+                triggered=bool(d["triggered"]),
+                work_rate=float(d["work_rate"]),
+                lam_star=float(d["lam_star"]),
+                lam_star_after=(
+                    None if d["lam_star_after"] is None else float(d["lam_star_after"])
+                ),
+                changes=tuple(
+                    (int(u), (int(old[0]), int(old[1])), (int(new[0]), int(new[1])))
+                    for u, old, new in d["changes"]
+                ),
+                added=tuple(int(j) for j in d["added"]),
+            )
+        )
+    n = header.get("n_events")
+    if n is not None and n != len(decisions):
+        raise ValueError(
+            f"trace header declares n_events={n} but {len(decisions)} events follow"
+        )
+    return RebalanceTrace(
+        m=int(header["m"]),
+        policy=str(header.get("policy", "")),
+        scheduler=str(header.get("scheduler", "")),
+        seed=int(header.get("seed", 0)),
+        decisions=tuple(decisions),
+        meta=dict(header.get("meta", {})),
+    )
+
+
+def dump(trace: RebalanceTrace, path: str | Path) -> Path:
+    """Write the trace to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(trace))
+    return path
+
+
+def load(path: str | Path) -> RebalanceTrace:
+    """Read a trace from disk."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,244 @@
+"""The rebalance evaluation harness: workload → dispatch → decisions.
+
+One virtual-clocked run wires everything together:
+
+* a :class:`~repro.simulation.dynamics.DynamicWorkloadSpec` streams
+  ``(release, home, size)`` arrivals — replica sets are resolved at
+  dispatch time against the **live** placement, which is what makes
+  re-replication visible to the workload at all;
+* a :class:`~repro.serve.dispatcher.Dispatcher` (any named scheduler)
+  places each request; machine faults kill/revive machines mid-run and
+  queued work drains off dead machines with the engine's failure rule;
+* under ``policy="adaptive"``, a
+  :class:`~repro.rebalance.controller.RebalanceController` runs its
+  cadence checks at the exact cadence instants (interleaved with fault
+  transitions in time order, faults first on ties) and every triggered
+  proposal is enacted through
+  :meth:`~repro.serve.dispatcher.Dispatcher.apply_placement` — warmup
+  charged, shrunk-away queued work migrated; under ``policy="static"``
+  the placement never moves (the controller is absent entirely, so the
+  static run is byte-identical to the pre-rebalance code path).
+
+Everything is a pure function of ``(spec, policy, config, scheduler,
+seed, faults)``: the run's decisions serialise to a versioned
+:mod:`~repro.rebalance.events` trace whose header embeds all six, and
+:func:`replay_rebalance` re-runs a trace from its own bytes and
+byte-compares — the determinism contract of ``repro replay``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..campaigns.trace import make_scheduler
+from ..core.task import Task
+from ..faults.schedule import FaultSchedule
+from ..serve.dispatcher import Dispatcher
+from ..serve.driver import percentile
+from ..serve.metrics import ServeMetrics
+from ..simulation.dynamics import DynamicWorkloadSpec
+from .controller import RebalanceConfig, RebalanceController
+from .events import RebalanceTrace, dumps as dump_trace
+from .placement import IntervalPlacement
+
+__all__ = ["RebalanceResult", "replay_rebalance", "run_rebalance"]
+
+POLICIES = ("static", "adaptive")
+
+
+@dataclass(frozen=True)
+class RebalanceResult:
+    """Outcome of one harness run."""
+
+    policy: str
+    scheduler: str
+    seed: int
+    n: int
+    flow: dict[str, float]  #: p50/p95/p99/max of analytic flow times
+    digest: str  #: sha256 over the final ``tid:machine`` assignments
+    n_rebalances: int
+    n_migrated: int
+    n_requeued: int
+    final_version: int
+    trace: RebalanceTrace
+    metrics: dict[str, Any]  #: registry snapshot of the run
+
+
+def _assignments_digest(placements: Mapping[int, tuple[int, float]]) -> str:
+    """sha256 over ``tid:machine`` lines in tid order — the same
+    fingerprint discipline as the serve driver's report digest."""
+    h = hashlib.sha256()
+    for tid in sorted(placements):
+        h.update(f"{tid}:{placements[tid][0]}\n".encode())
+    return h.hexdigest()
+
+
+def _drain_dead(dispatcher: Dispatcher, machine: int, now: float) -> None:
+    """Move queued-but-unstarted work off a freshly killed machine with
+    the engine's failure rule (started work finishes in place — the
+    drain-then-die semantics of the serve tier)."""
+    doomed = [
+        tid
+        for tid, (j, start) in sorted(dispatcher.placements.items())
+        if j == machine and start > now
+    ]
+    for tid in doomed:
+        task = dispatcher.withdraw(tid, now)
+        if task is not None:
+            dispatcher.redispatch(task, now, reason="failure")
+
+
+def run_rebalance(
+    spec: DynamicWorkloadSpec,
+    policy: str = "adaptive",
+    config: RebalanceConfig | None = None,
+    scheduler: str = "eft-min",
+    seed: int = 0,
+    faults: FaultSchedule | None = None,
+) -> RebalanceResult:
+    """Run one workload under a static or adaptive placement."""
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    config = config if config is not None else RebalanceConfig()
+    stream = spec.stream(np.random.default_rng(seed))
+    placement = IntervalPlacement.from_strategy(spec.replication())
+    metrics = ServeMetrics()
+    dispatcher = Dispatcher(make_scheduler(scheduler, spec.m, seed=seed), metrics=metrics)
+    controller = (
+        RebalanceController(placement, config=config) if policy == "adaptive" else None
+    )
+    fault_events = list(faults.events()) if faults is not None else []
+    fi = 0
+
+    def current_placement() -> IntervalPlacement:
+        return controller.placement if controller is not None else placement
+
+    def advance(until: float) -> None:
+        """Process fault transitions and cadence checks owed at or
+        before ``until``, in time order (faults first on ties — a
+        cadence check sees the cluster state of its instant)."""
+        nonlocal fi
+        while True:
+            fault_t = fault_events[fi][0] if fi < len(fault_events) else None
+            check_t = (
+                controller.next_due
+                if controller is not None and controller.due(until)
+                else None
+            )
+            take_fault = fault_t is not None and fault_t <= until and (
+                check_t is None or fault_t <= check_t
+            )
+            if take_fault:
+                t, kind, j = fault_events[fi]
+                fi += 1
+                if not (1 <= j <= spec.m):
+                    continue
+                if kind == "down":
+                    dispatcher.kill(j)
+                    _drain_dead(dispatcher, j, t)
+                else:
+                    dispatcher.revive(j, t)
+                continue
+            if check_t is not None and check_t <= until:
+                old_sets = controller.placement.sets()
+                decision = controller.step(check_t)
+                if decision.triggered:
+                    dispatcher.apply_placement(
+                        old_sets,
+                        controller.placement.sets(),
+                        check_t,
+                        warmup=config.warmup,
+                        version=decision.version,
+                    )
+                continue
+            break
+
+    for i in range(stream.n):
+        release = float(stream.releases[i])
+        home = int(stream.homes[i])
+        proc = float(stream.sizes[i])
+        advance(release)
+        task = Task(
+            tid=i,
+            release=release,
+            proc=proc,
+            machines=current_placement().replicas(home),
+            key=home,
+        )
+        dispatcher.submit(task)
+        if controller is not None:
+            controller.observe(release, home, proc)
+
+    flows = [
+        dispatcher.placements[tid][1] + dispatcher._tasks[tid].proc - dispatcher._tasks[tid].release
+        for tid in sorted(dispatcher.placements)
+    ]
+    flow = (
+        {
+            "p50": percentile(flows, 0.50),
+            "p95": percentile(flows, 0.95),
+            "p99": percentile(flows, 0.99),
+            "max": max(flows),
+            "mean": sum(flows) / len(flows),
+        }
+        if flows
+        else {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0, "mean": 0.0}
+    )
+    digest = _assignments_digest(dispatcher.placements)
+    decisions = tuple(controller.decisions) if controller is not None else ()
+    trace = RebalanceTrace(
+        m=spec.m,
+        policy=policy,
+        scheduler=scheduler,
+        seed=seed,
+        decisions=decisions,
+        meta={
+            "spec": spec.to_dict(),
+            "config": config.to_dict(),
+            "faults": None if faults is None else faults.to_json().strip(),
+            "digest": digest,
+        },
+    )
+    return RebalanceResult(
+        policy=policy,
+        scheduler=scheduler,
+        seed=seed,
+        n=stream.n,
+        flow=flow,
+        digest=digest,
+        n_rebalances=sum(1 for d in decisions if d.triggered),
+        n_migrated=sum(
+            1 for d in dispatcher.decisions if d.reason == "rebalance"
+        ),
+        n_requeued=dispatcher.n_requeued,
+        final_version=controller.version if controller is not None else 0,
+        trace=trace,
+        metrics=metrics.registry.snapshot(),
+    )
+
+
+def replay_rebalance(trace: RebalanceTrace) -> tuple[RebalanceResult, bool]:
+    """Re-run a recorded rebalance experiment from its header meta.
+
+    Returns the fresh result and whether its re-serialised trace is
+    byte-identical to the input — the determinism check behind
+    ``repro replay`` on rebalance traces.
+    """
+    meta = trace.meta
+    spec = DynamicWorkloadSpec.from_dict(meta["spec"])
+    config = RebalanceConfig.from_dict(meta.get("config") or {})
+    faults_doc = meta.get("faults")
+    faults = FaultSchedule.from_json(faults_doc) if faults_doc else None
+    result = run_rebalance(
+        spec,
+        policy=trace.policy,
+        config=config,
+        scheduler=trace.scheduler,
+        seed=trace.seed,
+        faults=faults,
+    )
+    return result, dump_trace(result.trace) == dump_trace(trace)

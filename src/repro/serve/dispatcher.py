@@ -30,7 +30,8 @@ smallest index on ties, exactly like the engine's failure path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
+from typing import Mapping
 
 from ..core.dispatch import ImmediateDispatchScheduler
 from ..core.schedule import Schedule
@@ -221,6 +222,113 @@ class Dispatcher:
         if self.metrics is not None:
             self.metrics.on_park(len(self.parked))
         return decision
+
+    # -- rebalance surface ---------------------------------------------------
+    def withdraw(self, tid: int, now: float) -> Task | None:
+        """Remove a committed-but-unstarted request from the books so it
+        can be re-placed (the migration half of a rebalance).
+
+        Only requests whose analytic ``start`` is strictly after ``now``
+        can be withdrawn — a request already running stays where its
+        data is.  Returns the task, or ``None`` if it is unknown or
+        already started.
+
+        Completion unwinding is deliberately conservative: if the
+        withdrawn request was the machine's committed tail
+        (``completions == start + proc``) the tail shrinks to ``start``
+        (remaining work finishes no later than that); a mid-queue
+        withdrawal leaves ``completions`` untouched, keeping a
+        deterministic idle hole rather than inventing an earlier finish
+        that later commits might overlap.
+        """
+        placed = self.placements.get(tid)
+        if placed is None:
+            return None
+        machine, start = placed
+        if start <= now:
+            return None
+        task = self._tasks.pop(tid)
+        del self.placements[tid]
+        completion = start + task.proc
+        if self.scheduler.completions[machine] == completion:
+            self.scheduler.completions[machine] = start
+        self.scheduler.task_counts[machine] -= 1
+        heap = self._inflight[machine]
+        try:
+            heap.remove(completion)
+            heapify(heap)
+        except ValueError:  # pragma: no cover - popped by a depth() probe
+            pass
+        return task
+
+    def apply_placement(
+        self,
+        old_sets: Mapping[int, frozenset[int]],
+        new_sets: Mapping[int, frozenset[int]],
+        now: float,
+        warmup: float = 0.0,
+        version: int | None = None,
+    ) -> list[DispatchDecision]:
+        """Enact a re-replication decision on the live queues.
+
+        ``old_sets``/``new_sets`` map each home machine to its replica
+        set before and after the rebalance.  Three effects, in order:
+
+        1. every machine *joining* some home's set is charged the
+           deterministic ``warmup`` penalty (data fetch before serving:
+           its committed-work horizon moves to ``max(completions, now)
+           + warmup``);
+        2. every queued-but-unstarted request whose current machine is
+           no longer in its home's new set is withdrawn and re-placed
+           with the engine's least-waiting-work rule
+           (:meth:`redispatch`, ``reason="rebalance"``), in tid order;
+        3. the rebalance counters and placement-version gauge roll into
+           the metrics registry (created lazily, so runs that never
+           rebalance snapshot without any rebalance keys).
+
+        Requests whose machine survives in the new set stay put — a
+        rebalance never perturbs work it does not have to move.
+        Returns the migration decisions.
+        """
+        added = sorted(
+            {
+                j
+                for u, new in new_sets.items()
+                for j in new - old_sets.get(u, frozenset())
+            }
+        )
+        if warmup > 0.0:
+            for j in added:
+                if 1 <= j <= self.m:
+                    base = max(self.scheduler.completions[j], now)
+                    self.scheduler.completions[j] = base + warmup
+        migrated: list[DispatchDecision] = []
+        for tid in sorted(self.placements):
+            machine, start = self.placements[tid]
+            if start <= now:
+                continue
+            task = self._tasks[tid]
+            if task.key is None or task.key not in new_sets:
+                continue
+            new_set = new_sets[task.key]
+            if machine in new_set:
+                continue
+            pulled = self.withdraw(tid, now)
+            if pulled is None:  # pragma: no cover - guarded by start > now
+                continue
+            moved = Task(
+                tid=pulled.tid,
+                release=pulled.release,
+                proc=pulled.proc,
+                machines=frozenset(new_set),
+                key=pulled.key,
+            )
+            migrated.append(self.redispatch(moved, now, reason="rebalance"))
+        if self.metrics is not None:
+            self.metrics.on_rebalance(
+                version=version, n_migrated=len(migrated), n_added=len(added)
+            )
+        return migrated
 
     # -- fault surface -------------------------------------------------------
     def kill(self, machine: int) -> None:

@@ -80,6 +80,18 @@ class ServeMetrics:
     def on_requeue(self) -> None:
         self.registry.counter("requeued_total").inc()
 
+    # Rebalance recorders are lazy for the same reason: a run that
+    # never rebalances must snapshot byte-identically to one that
+    # cannot (the no-trigger golden-identity guarantee).
+    def on_rebalance(
+        self, version: int | None, n_migrated: int, n_added: int
+    ) -> None:
+        self.registry.counter("rebalance_applied_total").inc()
+        self.registry.counter("rebalance_migrated_total").inc(n_migrated)
+        self.registry.counter("rebalance_warmup_machines_total").inc(n_added)
+        if version is not None:
+            self.registry.gauge("placement_version").set(version)
+
     def on_kill(self, machine: int, n_alive: int) -> None:
         self.registry.counter("machine_kills_total").inc()
         self.registry.gauge("alive_machines").set(n_alive)

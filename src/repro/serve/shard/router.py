@@ -218,6 +218,72 @@ class ShardRouter:
         self.decisions.append(routed)
         return routed
 
+    # -- rebalance surface ---------------------------------------------------
+    def apply_placement(
+        self,
+        old_sets: dict[int, frozenset[int]],
+        new_sets: dict[int, frozenset[int]],
+        now: float,
+        warmup: float = 0.0,
+        version: int | None = None,
+    ) -> list[RoutedDecision]:
+        """Enact a re-replication decision fleet-wide.
+
+        The sharded analogue of
+        :meth:`repro.serve.dispatcher.Dispatcher.apply_placement`:
+        machines joining a home's replica set are charged ``warmup`` on
+        their owning shard's scheduler; queued-but-unstarted requests
+        whose machine left their home's set are withdrawn from the
+        shard that booked them and re-placed through the router's
+        cross-shard failure rule (least waiting work over every alive
+        candidate, smallest index on ties), in tid order — a migration
+        may therefore *hand off* to another shard.  Counters and the
+        placement-version gauge land in the router registry (lazily, so
+        never-rebalanced fleets snapshot without rebalance keys).
+        """
+        added = sorted(
+            {
+                j
+                for u, new in new_sets.items()
+                for j in new - old_sets.get(u, frozenset())
+            }
+        )
+        if warmup > 0.0:
+            for j in added:
+                d = self.dispatchers[self.plan.shard_of(j)]
+                d.scheduler.completions[j] = max(d.scheduler.completions[j], now) + warmup
+        migrated: list[RoutedDecision] = []
+        for tid in sorted(self.placements):
+            machine, start = self.placements[tid]
+            if start <= now:
+                continue
+            task = self._tasks[tid]
+            if task.key is None or task.key not in new_sets:
+                continue
+            new_set = new_sets[task.key]
+            if machine in new_set:
+                continue
+            sid = self.plan.shard_of(machine)
+            pulled = self.dispatchers[sid].withdraw(tid, now)
+            if pulled is None:  # pragma: no cover - guarded by start > now
+                continue
+            del self.placements[tid]
+            del self._tasks[tid]
+            moved = Task(
+                tid=task.tid,
+                release=task.release,
+                proc=task.proc,
+                machines=frozenset(new_set),
+                key=task.key,
+            )
+            migrated.append(self.redispatch(moved, now, reason="rebalance"))
+        self.router_registry.counter("router_rebalance_applied_total").inc()
+        self.router_registry.counter("router_rebalance_migrated_total").inc(len(migrated))
+        self.router_registry.counter("router_rebalance_warmup_machines_total").inc(len(added))
+        if version is not None:
+            self.router_registry.gauge("router_placement_version").set(version)
+        return migrated
+
     # -- fault surface -------------------------------------------------------
     def kill(self, machine: int) -> int:
         """Mark ``machine`` dead on its owning shard; returns the shard

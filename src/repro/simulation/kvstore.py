@@ -23,6 +23,7 @@ import numpy as np
 from ..core.task import Instance, Task
 from ..psets.replication import ReplicationStrategy, get_strategy
 from .arrivals import poisson_release_times
+from .dynamics import RateProfile, arrival_times
 
 __all__ = ["KeyPlacement", "HashRingPlacement", "BlockPlacement", "KeyValueStore"]
 
@@ -158,19 +159,25 @@ class KeyValueStore:
     # -- workload -----------------------------------------------------------------
     def request_stream(
         self,
-        lam: float,
+        lam: float | RateProfile,
         n: int,
         rng: np.random.Generator | int | None = None,
         proc: float = 1.0,
     ) -> Instance:
         """Generate ``n`` requests as a scheduling instance.
 
-        Releases follow a Poisson process of rate ``lam``; each request
-        draws a key from ``key_weights``; the task's processing set is
-        the key's replica set.
+        Releases follow a Poisson process of rate ``lam`` — either a
+        constant float or a time-varying
+        :class:`~.dynamics.RateProfile` (diurnal, flash crowd), in
+        which case the stream is the non-homogeneous process of that
+        intensity.  Each request draws a key from ``key_weights``; the
+        task's processing set is the key's replica set.
         """
         gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        releases = poisson_release_times(lam, n, gen)
+        if isinstance(lam, RateProfile):
+            releases = arrival_times(lam, n, gen)
+        else:
+            releases = poisson_release_times(lam, n, gen)
         keys = gen.choice(self.n_keys, size=n, p=self.key_weights)
         tasks = tuple(
             Task(

@@ -21,6 +21,7 @@ import numpy as np
 from ..core.task import Instance, Task
 from ..psets.replication import ReplicationStrategy, get_strategy
 from .arrivals import poisson_release_times
+from .dynamics import RateProfile, arrival_times
 from .popularity import MachinePopularity, shuffled_case, uniform_case, worst_case
 
 __all__ = [
@@ -41,6 +42,12 @@ class WorkloadSpec:
     (deterministic ``proc``), ``"exp"`` (exponential with mean
     ``proc``), ``"pareto"`` (heavy tail, shape 2.1, mean ``proc``) or
     ``"uniform"`` (on ``[proc/2, 3 proc/2]``).
+
+    ``rate_profile`` optionally replaces the constant rate ``lam`` with
+    a time-varying :class:`~.dynamics.RateProfile` (diurnal swing,
+    flash crowd); arrivals then follow the non-homogeneous Poisson
+    process of that intensity.  ``lam`` is ignored when a profile is
+    set.
     """
 
     m: int
@@ -52,10 +59,20 @@ class WorkloadSpec:
     s: float = 1.0
     proc: float = 1.0
     size_dist: str = "unit"
+    rate_profile: RateProfile | None = None
 
     @property
     def average_load(self) -> float:
-        """Average cluster load :math:`\\lambda \\bar{p}/m`."""
+        """*Time-averaged* cluster load :math:`\\bar\\lambda \\bar{p}/m`.
+
+        With a constant rate this is the paper's :math:`\\lambda
+        \\bar{p}/m`.  With a ``rate_profile`` the rate is averaged over
+        the expected span of the ``n``-arrival stream,
+        :math:`\\bar\\lambda = n / \\Lambda^{-1}(n)`, which integrates
+        the profile rather than sampling it at any single instant.
+        """
+        if self.rate_profile is not None:
+            return self.rate_profile.mean_rate(self.n) * self.proc / self.m
         return self.lam * self.proc / self.m
 
 
@@ -112,7 +129,10 @@ def generate_workload(
     if pop.m != spec.m:
         raise ValueError(f"popularity has m={pop.m}, spec has m={spec.m}")
     strat: ReplicationStrategy = get_strategy(spec.strategy, spec.m, spec.k)
-    releases = poisson_release_times(spec.lam, spec.n, gen)
+    if spec.rate_profile is not None:
+        releases = arrival_times(spec.rate_profile, spec.n, gen)
+    else:
+        releases = poisson_release_times(spec.lam, spec.n, gen)
     homes = pop.sample_homes(spec.n, gen)
     sizes = sample_sizes(spec.size_dist, spec.n, spec.proc, gen)
     tasks = tuple(

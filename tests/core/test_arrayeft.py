@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import eft_schedule
 from repro.core.arrayeft import array_eft_fmax, array_eft_schedule
@@ -48,6 +49,34 @@ def test_rand_rejected():
         array_eft_schedule(inst, "rand")
     with pytest.raises(ValueError, match="min.*max"):
         array_eft_fmax(inst, "rand")
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    tiebreak=st.sampled_from(["min", "max"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_identical_on_dynamic_workloads(seed, tiebreak):
+    """Parity holds on the rebalance-era generators too: hotspot-shift
+    popularity over a flash-crowd rate, randomized by seed."""
+    from repro.simulation import (
+        DynamicWorkloadSpec,
+        FlashCrowd,
+        HotspotShift,
+        generate_dynamic_workload,
+    )
+
+    spec = DynamicWorkloadSpec(
+        m=8,
+        n=120,
+        rate=FlashCrowd(base=3.0, peak=15.0, start=5.0, duration=4.0),
+        popularity=HotspotShift(m=8, s=1.5, shifts=((10.0, 4),)),
+        k=2,
+    )
+    inst = generate_dynamic_workload(spec, rng=seed)
+    assert array_eft_schedule(inst, tiebreak).same_placements(
+        eft_schedule(inst, tiebreak=tiebreak)
+    )
 
 
 def test_workload_scale_sanity():

@@ -1,0 +1,69 @@
+"""The `repro rebalance` verb and rebalance-trace replay, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestRebalanceVerb:
+    def test_compare_wins_and_writes_events(self, capsys, tmp_path):
+        events = tmp_path / "reb.trace.jsonl"
+        code, out = _run(
+            capsys,
+            "rebalance", "--m", "12", "--n", "1500", "--policy", "compare",
+            "--events", str(events),
+        )
+        assert code == 0
+        assert "adaptive beats both static p99: yes" in out
+        assert "static-overlapping" in out and "static-disjoint" in out
+        header = json.loads(events.read_text().splitlines()[0])
+        assert header["format"] == "repro-rebalance-trace"
+        assert header["policy"] == "adaptive"
+
+    def test_single_policy(self, capsys):
+        code, out = _run(
+            capsys, "rebalance", "--m", "8", "--n", "600", "--policy", "static"
+        )
+        assert code == 0
+        assert "assignments sha256 (static):" in out
+
+    def test_deterministic(self, capsys):
+        argv = ("rebalance", "--m", "8", "--n", "600", "--policy", "adaptive", "--seed", "5")
+        _, a = _run(capsys, *argv)
+        _, b = _run(capsys, *argv)
+        assert a == b
+
+
+class TestRebalanceReplay:
+    def _record(self, capsys, tmp_path):
+        events = tmp_path / "reb.trace.jsonl"
+        _run(
+            capsys,
+            "rebalance", "--m", "12", "--n", "1500", "--policy", "adaptive",
+            "--events", str(events),
+        )
+        return events
+
+    def test_replay_is_byte_identical(self, capsys, tmp_path):
+        events = self._record(capsys, tmp_path)
+        code, out = _run(capsys, "replay", str(events))
+        assert code == 0
+        assert "byte-identical replay: yes" in out
+
+    def test_scheduler_override_rejected(self, capsys, tmp_path):
+        events = self._record(capsys, tmp_path)
+        with pytest.raises(SystemExit, match="--scheduler"):
+            main(["replay", str(events), "--scheduler", "eft-max"])
+
+    def test_schedule_traces_still_replay(self, capsys):
+        """The sniffer must not hijack classic schedule traces."""
+        code, out = _run(capsys, "replay", "--golden", "eft-min-m4")
+        assert code == 0
+        assert "placements match recorded trace: yes" in out

@@ -1,0 +1,112 @@
+"""Degenerate-popularity guards and the LRU-cached LP front-end."""
+
+import numpy as np
+import pytest
+
+from repro.maxload import (
+    DegeneratePopularityError,
+    clear_solve_cache,
+    max_load_lp,
+    max_load_lp_cached,
+    solve_cache_info,
+)
+from repro.psets.replication import get_strategy
+from repro.rebalance import IntervalPlacement
+from repro.simulation import uniform_case
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_solve_cache()
+    yield
+    clear_solve_cache()
+
+
+class TestDegenerateGuards:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [],
+            [0.0, 0.0, 0.0],
+            [0.5, -0.1, 0.6],
+            [0.5, float("nan"), 0.5],
+            [0.5, float("inf")],
+            [0.2, 0.2],  # mass 0.4, not a distribution
+            [[0.5, 0.5]],  # wrong rank
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(DegeneratePopularityError):
+            max_load_lp(bad, "overlapping", k=2)
+
+    def test_zero_mass_message(self):
+        with pytest.raises(DegeneratePopularityError, match="zero mass"):
+            max_load_lp([0.0, 0.0], "overlapping", k=1)
+
+    def test_subclasses_value_error(self):
+        """Existing `except ValueError` call sites keep working."""
+        with pytest.raises(ValueError):
+            max_load_lp([0.0, 0.0], "overlapping", k=1)
+
+    def test_guard_applies_to_cached_too(self):
+        with pytest.raises(DegeneratePopularityError):
+            max_load_lp_cached([0.3, 0.3], "overlapping", k=2)
+        assert solve_cache_info()["size"] == 0
+
+
+class TestCache:
+    def test_hit_returns_same_solution(self):
+        pop = uniform_case(6)
+        a = max_load_lp_cached(pop, "overlapping", k=2)
+        b = max_load_lp_cached(pop, "overlapping", k=2)
+        assert a is b
+        info = solve_cache_info()
+        assert info == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_cached_matches_uncached(self):
+        w = np.array([0.4, 0.3, 0.2, 0.1])
+        strat = get_strategy("overlapping", 4, 2)
+        assert max_load_lp_cached(w, strat).lam == pytest.approx(max_load_lp(w, strat).lam)
+
+    def test_distinct_popularity_misses(self):
+        strat = get_strategy("overlapping", 4, 2)
+        max_load_lp_cached(np.array([0.4, 0.3, 0.2, 0.1]), strat)
+        max_load_lp_cached(np.array([0.1, 0.2, 0.3, 0.4]), strat)
+        assert solve_cache_info()["misses"] == 2
+
+    def test_equivalent_placements_share_entries(self):
+        """A named ring and an IntervalPlacement with the same replica
+        sets hit the same cache line."""
+        strat = get_strategy("overlapping", 6, 2)
+        placement = IntervalPlacement.from_strategy(strat)
+        pop = uniform_case(6)
+        max_load_lp_cached(pop, strat)
+        max_load_lp_cached(pop, placement)
+        assert solve_cache_info() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_different_placements_do_not_collide(self):
+        pop = uniform_case(6)
+        placement = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        a = max_load_lp_cached(pop, placement)
+        b = max_load_lp_cached(pop, placement.widen(1))
+        assert solve_cache_info()["misses"] == 2
+        assert b.lam >= a.lam - 1e-9
+
+    def test_eviction_bounds_size(self):
+        from repro.maxload.lp import _CACHE_MAX
+
+        strat = get_strategy("overlapping", 4, 2)
+        rng = np.random.default_rng(0)
+        for _ in range(_CACHE_MAX + 10):
+            w = rng.dirichlet(np.ones(4))
+            max_load_lp_cached(w / w.sum(), strat)
+        assert solve_cache_info()["size"] <= _CACHE_MAX
+
+    def test_clear_resets(self):
+        max_load_lp_cached(uniform_case(4), "overlapping", k=2)
+        clear_solve_cache()
+        assert solve_cache_info() == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_name_requires_k(self):
+        with pytest.raises(ValueError, match="k required"):
+            max_load_lp_cached(uniform_case(4), "overlapping")

@@ -1,0 +1,178 @@
+"""The LP-driven rebalance control loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.maxload import max_load_lp
+from repro.psets.replication import get_strategy
+from repro.rebalance import (
+    IntervalPlacement,
+    PopularityEstimator,
+    RebalanceConfig,
+    RebalanceController,
+)
+
+
+def _controller(m=6, k=2, **cfg):
+    placement = IntervalPlacement.from_strategy(get_strategy("overlapping", m, k))
+    defaults = dict(cadence=10.0, window=20.0, headroom=0.8, warmup=1.0)
+    defaults.update(cfg)
+    return RebalanceController(placement, config=RebalanceConfig(**defaults))
+
+
+def _feed_hotspot(ctrl, until, rate=8.0, home=1):
+    """Concentrate `rate` work per unit time on one home."""
+    t, dt = 0.0, 1.0 / rate
+    while t < until:
+        ctrl.observe(t, home, 1.0)
+        t += dt
+
+
+class TestConfig:
+    def test_round_trip(self):
+        cfg = RebalanceConfig(cadence=5.0, window=9.0, headroom=0.7, warmup=2.0, max_k=4, low_water=0.2)
+        assert RebalanceConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_defaults_from_empty_dict(self):
+        assert RebalanceConfig.from_dict({}) == RebalanceConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"cadence": 0.0},
+            {"window": -1.0},
+            {"headroom": 0.0},
+            {"warmup": -0.1},
+            {"max_rounds": 0},
+            {"low_water": 0.9},  # must stay below headroom
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            RebalanceConfig(**kw)
+
+
+class TestCadence:
+    def test_due_schedule(self):
+        ctrl = _controller(cadence=10.0)
+        assert not ctrl.due(9.9)
+        assert ctrl.due(10.0)
+        assert ctrl.next_due == 10.0
+
+    def test_step_advances_past_now(self):
+        ctrl = _controller(cadence=10.0)
+        ctrl.step(35.0)  # owed checks at 10, 20, 30 collapse into one
+        assert ctrl.next_due == 40.0
+        assert len(ctrl.decisions) == 1
+
+
+class TestNoTrigger:
+    def test_idle_cluster_holds(self):
+        ctrl = _controller()
+        d = ctrl.step(10.0)
+        assert not d.triggered
+        assert d.changes == () and d.added == ()
+        assert ctrl.version == 0
+
+    def test_huge_headroom_never_triggers(self):
+        ctrl = _controller(headroom=math.inf)
+        _feed_hotspot(ctrl, 40.0, rate=12.0)
+        before = ctrl.placement
+        for t in (10.0, 20.0, 30.0, 40.0):
+            assert not ctrl.step(t).triggered
+        assert ctrl.placement is before
+        assert ctrl.version == 0
+
+    def test_load_under_headroom_holds(self):
+        ctrl = _controller(headroom=0.8)
+        # Uniform trickle far below capacity.
+        for i in range(40):
+            ctrl.observe(i * 0.5, 1 + i % 6, 0.1)
+        assert not ctrl.step(10.0).triggered
+
+
+class TestTrigger:
+    def test_hotspot_widens_the_hot_home(self):
+        ctrl = _controller()
+        _feed_hotspot(ctrl, 10.0, rate=8.0, home=1)
+        before = ctrl.placement
+        d = ctrl.step(10.0)
+        assert d.triggered
+        assert ctrl.version == 1
+        assert d.version == 1
+        assert d.lam_star_after is not None and d.lam_star_after > d.lam_star
+        # Home 1 (all the work) gained replicas; the placement stays
+        # interval-structured.
+        assert ctrl.placement.interval(1)[1] > before.interval(1)[1]
+        ctrl.placement.validate()
+        assert d.changes == tuple(before.diff(ctrl.placement))
+        assert set(d.added) == set(before.added_machines(ctrl.placement))
+
+    def test_proposal_improves_lp_capacity(self):
+        ctrl = _controller()
+        _feed_hotspot(ctrl, 10.0, rate=8.0)
+        d = ctrl.step(10.0)
+        w = ctrl.estimator.estimate(10.0)
+        assert max_load_lp(w, ctrl.placement).lam == pytest.approx(d.lam_star_after)
+
+    def test_max_k_caps_growth(self):
+        ctrl = _controller(max_k=3, max_rounds=10)
+        _feed_hotspot(ctrl, 10.0, rate=20.0)
+        ctrl.step(10.0)
+        for u in range(1, 7):
+            assert ctrl.placement.interval(u)[1] <= 3
+
+    def test_decisions_accumulate_versions(self):
+        ctrl = _controller()
+        _feed_hotspot(ctrl, 10.0, rate=8.0)
+        ctrl.step(10.0)
+        _feed_hotspot(ctrl, 20.0, rate=8.0, home=4)
+        ctrl.step(20.0)
+        versions = [d.version for d in ctrl.decisions]
+        assert versions == sorted(versions)
+        assert ctrl.version == versions[-1]
+
+
+class TestNarrow:
+    def test_low_water_narrows_cold_home(self):
+        placement = IntervalPlacement(4, {1: (1, 3), 2: (2, 1), 3: (3, 1), 4: (4, 1)})
+        ctrl = RebalanceController(
+            placement,
+            config=RebalanceConfig(cadence=10.0, window=20.0, headroom=0.8, low_water=0.2),
+        )
+        # A faint uniform trickle: far below low_water * lambda*.
+        for i in range(8):
+            ctrl.observe(i + 0.5, 1 + i % 4, 0.05)
+        d = ctrl.step(10.0)
+        if d.triggered:  # narrowing must shrink, never grow
+            sizes_before = [placement.interval(u)[1] for u in range(1, 5)]
+            sizes_after = [ctrl.placement.interval(u)[1] for u in range(1, 5)]
+            assert sum(sizes_after) < sum(sizes_before)
+
+    def test_all_singletons_cannot_narrow(self):
+        placement = IntervalPlacement.from_strategy(get_strategy("none", 4, 1))
+        ctrl = RebalanceController(
+            placement,
+            config=RebalanceConfig(cadence=10.0, window=20.0, headroom=0.8, low_water=0.2),
+        )
+        ctrl.observe(1.0, 1, 0.01)
+        assert not ctrl.step(10.0).triggered
+
+
+class TestPlumbing:
+    def test_estimator_m_must_match(self):
+        placement = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        with pytest.raises(ValueError, match="m="):
+            RebalanceController(placement, estimator=PopularityEstimator(4, 10.0))
+
+    def test_deterministic(self):
+        def run():
+            ctrl = _controller()
+            _feed_hotspot(ctrl, 30.0, rate=8.0)
+            for t in (10.0, 20.0, 30.0):
+                ctrl.step(t)
+            return [(d.version, d.triggered, d.lam_star, d.changes) for d in ctrl.decisions]
+
+        assert run() == run()

@@ -1,0 +1,96 @@
+"""Windowed popularity estimation from observed arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.rebalance import PopularityEstimator
+
+
+class TestEstimate:
+    def test_uniform_when_empty(self):
+        est = PopularityEstimator(4, window=10.0)
+        assert np.allclose(est.estimate(5.0), 0.25)
+
+    def test_work_weighted(self):
+        """A machine requested by few-but-heavy tasks is hot."""
+        est = PopularityEstimator(2, window=10.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            est.observe(t, home=1, proc=1.0)
+        est.observe(5.0, home=2, proc=12.0)
+        w = est.estimate(6.0)
+        assert w[1] == pytest.approx(12.0 / 16.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_window_slides(self):
+        est = PopularityEstimator(2, window=5.0)
+        est.observe(0.0, home=1, proc=1.0)
+        est.observe(8.0, home=2, proc=1.0)
+        # At t=9 the home-1 arrival (t=0) has left the (4, 9] window.
+        w = est.estimate(9.0)
+        assert w[0] == 0.0 and w[1] == 1.0
+
+    def test_window_is_half_open_at_old_edge(self):
+        est = PopularityEstimator(2, window=5.0)
+        est.observe(4.0, home=1, proc=1.0)
+        # (now - window, now] = (4, 9]: an observation exactly `window`
+        # old has just left (the empty window estimates uniform).
+        assert est.window_counts(9.0)[0] == 0.0
+        assert est.window_counts(8.999)[0] == 1.0
+        assert np.allclose(est.estimate(9.0), 0.5)
+        assert est.estimate(8.999)[0] == 1.0
+
+    def test_window_counts(self):
+        est = PopularityEstimator(3, window=10.0)
+        for t in (1.0, 2.0):
+            est.observe(t, home=2, proc=0.5)
+        assert np.array_equal(est.window_counts(5.0), [0.0, 2.0, 0.0])
+
+
+class TestWorkRate:
+    def test_zero_before_any_time(self):
+        est = PopularityEstimator(2, window=10.0)
+        assert est.work_rate(0.0) == 0.0
+
+    def test_clips_horizon_early(self):
+        """Before a full window exists the denominator is `now`, so the
+        rate is not diluted by unobserved time."""
+        est = PopularityEstimator(2, window=100.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            est.observe(t, home=1, proc=1.0)
+        assert est.work_rate(4.0) == pytest.approx(1.0)
+
+    def test_steady_state(self):
+        est = PopularityEstimator(2, window=10.0)
+        for i in range(200):
+            est.observe(i * 0.5, home=1 + i % 2, proc=0.5)
+        # 2 arrivals of 0.5 work per unit time.
+        assert est.work_rate(99.5) == pytest.approx(1.0, rel=0.1)
+
+
+class TestPlumbing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopularityEstimator(0, window=1.0)
+        with pytest.raises(ValueError):
+            PopularityEstimator(2, window=0.0)
+        est = PopularityEstimator(2, window=1.0)
+        with pytest.raises(ValueError, match="home 3"):
+            est.observe(0.0, home=3, proc=1.0)
+
+    def test_evidence_lands_in_registry(self):
+        registry = MetricsRegistry()
+        est = PopularityEstimator(2, window=5.0, registry=registry)
+        est.observe(1.0, home=2, proc=0.25)
+        snap = registry.snapshot()
+        assert "rebalance_arrivals[2]" in snap["series"]
+
+    def test_deterministic(self):
+        def run():
+            est = PopularityEstimator(3, window=7.0)
+            for i in range(50):
+                est.observe(i * 0.3, home=1 + (i * 7) % 3, proc=0.1 * (1 + i % 4))
+            return est.estimate(12.0), est.work_rate(12.0)
+
+        (wa, ra), (wb, rb) = run(), run()
+        assert np.array_equal(wa, wb) and ra == rb

@@ -1,0 +1,95 @@
+"""Versioned rebalance traces: serialisation contract."""
+
+import pytest
+
+from repro.rebalance import (
+    REBALANCE_TRACE_FORMAT,
+    REBALANCE_TRACE_VERSION,
+    RebalanceDecision,
+    RebalanceTrace,
+    dump_rebalance_trace,
+    dumps_rebalance_trace,
+    load_rebalance_trace,
+    loads_rebalance_trace,
+)
+
+
+def _trace():
+    decisions = (
+        RebalanceDecision(
+            version=0, time=50.0, triggered=False, work_rate=0.31,
+            lam_star=4.0, lam_star_after=None, changes=(), added=(),
+        ),
+        RebalanceDecision(
+            version=1, time=100.0, triggered=True, work_rate=3.7,
+            lam_star=4.0, lam_star_after=6.25,
+            changes=((3, (3, 2), (3, 4)), (5, (5, 2), (5, 3))),
+            added=(5, 6, 8),
+        ),
+    )
+    return RebalanceTrace(
+        m=12, policy="adaptive", scheduler="eft-min", seed=7,
+        decisions=decisions, meta={"digest": "abc123"},
+    )
+
+
+class TestRoundTrip:
+    def test_loads_inverts_dumps(self):
+        trace = _trace()
+        again = loads_rebalance_trace(dumps_rebalance_trace(trace))
+        assert again == trace
+
+    def test_byte_stable(self):
+        """Equal traces serialise to equal bytes (replay's comparator)."""
+        a = dumps_rebalance_trace(_trace())
+        b = dumps_rebalance_trace(loads_rebalance_trace(a))
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_file_round_trip(self, tmp_path):
+        path = dump_rebalance_trace(_trace(), tmp_path / "sub" / "r.trace.jsonl")
+        assert load_rebalance_trace(path) == _trace()
+
+    def test_header_fields(self):
+        import json
+
+        header = json.loads(dumps_rebalance_trace(_trace()).splitlines()[0])
+        assert header["format"] == REBALANCE_TRACE_FORMAT
+        assert header["version"] == REBALANCE_TRACE_VERSION
+        assert header["n_events"] == 2
+        assert header["meta"] == {"digest": "abc123"}
+
+
+class TestProperties:
+    def test_counters(self):
+        trace = _trace()
+        assert trace.n_events == 2
+        assert trace.n_triggered == 1
+        assert trace.final_version == 1
+
+    def test_empty_trace_version_zero(self):
+        empty = RebalanceTrace(m=4, policy="static", scheduler="eft-min", seed=0, decisions=())
+        assert empty.final_version == 0
+        assert loads_rebalance_trace(dumps_rebalance_trace(empty)) == empty
+
+
+class TestRejection:
+    def test_empty_text(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads_rebalance_trace("")
+
+    def test_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro-rebalance-trace"):
+            loads_rebalance_trace('{"format": "repro-trace", "version": 1}\n')
+
+    def test_wrong_version(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            loads_rebalance_trace(
+                '{"format": "repro-rebalance-trace", "version": 99, "m": 4}\n'
+            )
+
+    def test_event_count_mismatch(self):
+        text = dumps_rebalance_trace(_trace())
+        truncated = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(ValueError, match="n_events"):
+            loads_rebalance_trace(truncated)

@@ -1,0 +1,142 @@
+"""IntervalPlacement: the mutable-by-copy ring-interval table."""
+
+import pytest
+
+from repro.psets.replication import get_strategy
+from repro.psets.sets import is_circular_interval
+from repro.rebalance import IntervalPlacement, ring_start
+
+
+class TestRingStart:
+    def test_plain_interval(self):
+        assert ring_start({3, 4, 5}, 8) == 3
+
+    def test_wrapped_interval(self):
+        assert ring_start({7, 8, 1, 2}, 8) == 7
+
+    def test_full_ring(self):
+        assert ring_start(set(range(1, 7)), 6) == 1
+
+    def test_singleton(self):
+        assert ring_start({4}, 8) == 4
+
+    def test_non_interval_rejected(self):
+        with pytest.raises(ValueError, match="not a circular interval"):
+            ring_start({1, 3}, 8)
+
+
+class TestFromStrategy:
+    @pytest.mark.parametrize("name,k", [("overlapping", 3), ("disjoint", 2), ("none", 1)])
+    def test_preserves_replica_sets(self, name, k):
+        strat = get_strategy(name, 6, k)
+        placement = IntervalPlacement.from_strategy(strat)
+        for u in range(1, 7):
+            assert placement.replicas(u) == strat.replicas(u)
+        placement.validate()
+
+    def test_is_a_replication_strategy(self):
+        placement = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        assert placement.name == "interval"
+        assert placement.transfer_matrix().shape == (6, 6)
+        assert len(placement.all_sets()) == 6
+
+
+class TestConstruction:
+    def test_home_must_be_inside(self):
+        with pytest.raises(ValueError, match="outside its own interval"):
+            IntervalPlacement(4, {1: (2, 2), 2: (2, 1), 3: (3, 1), 4: (4, 1)})
+
+    def test_every_home_required(self):
+        with pytest.raises(ValueError, match="every home machine"):
+            IntervalPlacement(4, {1: (1, 1), 2: (2, 1), 3: (3, 1)})
+
+    def test_k_is_max_size(self):
+        p = IntervalPlacement(4, {1: (1, 3), 2: (2, 1), 3: (3, 1), 4: (4, 2)})
+        assert p.k == 3
+
+
+class TestEdits:
+    def _uniform(self, m=6, k=2):
+        return IntervalPlacement.from_strategy(get_strategy("overlapping", m, k))
+
+    def test_widen_extends_clockwise(self):
+        p = self._uniform()
+        q = p.widen(2)
+        assert q.replicas(2) == p.replicas(2) | {(max(p.replicas(2) - {2}) % 6) + 1}
+        assert q.interval(2) == (p.interval(2)[0], p.interval(2)[1] + 1)
+        # Value semantics: the original placement is untouched.
+        assert p.interval(2)[1] == 2
+
+    def test_widen_wraps_the_ring(self):
+        p = self._uniform()
+        q = p.widen(6)  # interval (6, 2) = {6, 1} -> {6, 1, 2}
+        assert q.replicas(6) == frozenset({6, 1, 2})
+
+    def test_widen_full_ring_noop(self):
+        p = IntervalPlacement(3, {1: (1, 3), 2: (1, 3), 3: (1, 3)})
+        assert p.widen(1) is p
+
+    def test_narrow_drops_clockwise_last(self):
+        p = self._uniform().widen(1)  # {1, 2, 3}
+        q = p.narrow(1)
+        assert q.replicas(1) == frozenset({1, 2})
+
+    def test_narrow_singleton_noop(self):
+        p = IntervalPlacement.from_strategy(get_strategy("none", 4, 1))
+        assert p.narrow(2) is p
+
+    def test_shift_rotates(self):
+        p = IntervalPlacement(6, {u: (u, 2) for u in range(1, 6)} | {6: (5, 2)})
+        q = p.shift(6, 1)  # {5, 6} -> {6, 1}
+        assert q.replicas(6) == frozenset({6, 1})
+
+    def test_shift_cannot_evict_home(self):
+        p = self._uniform()
+        with pytest.raises(ValueError, match="outside its own interval"):
+            p.shift(2, 2)  # {2,3} -> {4,5}: home 2 would leave
+
+    def test_edits_stay_interval_structured(self):
+        p = self._uniform()
+        for u in (1, 3, 6):
+            p = p.widen(u)
+        p.validate()
+        for u in range(1, 7):
+            assert is_circular_interval(p.replicas(u), 6)
+
+
+class TestDiffAndSerialisation:
+    def test_diff_lists_changed_homes(self):
+        p = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        q = p.widen(3).widen(3)
+        changes = p.diff(q)
+        assert changes == [(3, (3, 2), (3, 4))]
+        assert q.diff(p) == [(3, (3, 4), (3, 2))]
+        assert p.diff(p) == []
+
+    def test_diff_mismatched_m_rejected(self):
+        p = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        q = IntervalPlacement.from_strategy(get_strategy("overlapping", 4, 2))
+        with pytest.raises(ValueError, match="different m"):
+            p.diff(q)
+
+    def test_added_machines_per_home_union(self):
+        """Widening adds a machine to *a home's* set even when every
+        machine already serves some other home — warmup is owed per
+        (machine, home-data) pair, collapsed to the machine level."""
+        p = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        q = p.widen(2)  # {2,3} -> {2,3,4}
+        assert p.added_machines(q) == frozenset({4})
+        assert q.added_machines(p) == frozenset()
+
+    def test_round_trip(self):
+        p = IntervalPlacement.from_strategy(get_strategy("disjoint", 6, 3)).widen(2)
+        q = IntervalPlacement.from_dict(6, p.to_dict())
+        assert q == p
+        assert hash(q) == hash(p)
+
+    def test_equality(self):
+        a = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        b = IntervalPlacement.from_strategy(get_strategy("overlapping", 6, 2))
+        assert a == b and a is not b
+        assert a != a.widen(1)
+        assert a != "placement"
