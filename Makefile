@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke rebalance-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke rebalance-smoke vec-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -145,6 +145,18 @@ rebalance-smoke:
 		results/.rebalance-smoke/reb.trace.jsonl \
 		| grep -q "byte-identical replay: yes"
 	rm -rf results/.rebalance-smoke
+
+# Vectorized-engine smoke: every golden fixture must replay
+# byte-identically through the array backend (EFT-Rand exercises the
+# silent reference fallback), a fresh workload must match the
+# reference bit-for-bit, and a quick-scale speedup race must clear
+# the throughput floor.
+vec-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro vec-check --backend array
+	PYTHONPATH=src $(PYTHON) -m repro vec-check --backend auto
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_scheduler_throughput.py -k speedup \
+		-q --benchmark-disable
 
 # Runner-resilience: a crashing unit must yield exactly one failed
 # outcome (not a pool abort), retries must heal a flaky unit, and an

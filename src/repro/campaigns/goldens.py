@@ -102,12 +102,27 @@ def golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}.trace.jsonl"
 
 
-def generate(name: str) -> Trace:
-    """Regenerate the golden trace ``name`` from scratch."""
+def generate(name: str, backend: str = "analytic") -> Trace:
+    """Regenerate the golden trace ``name`` from scratch.
+
+    ``backend="analytic"`` (the default, and what the checked-in files
+    were recorded with) replays through the scheduler's own driver;
+    any :data:`repro.simulation.BACKENDS` name replays through
+    ``Simulator(backend=...)`` instead.  Every route must serialise
+    byte-identically — the array-engine regression oracle
+    (``tests/simulation/test_vec_backend.py``, ``repro vec-check``).
+    """
     case = GOLDEN_CASES[name]
     instance = case.make_instance()
     scheduler = case.make_scheduler()
-    schedule = scheduler.run(instance)
+    if backend == "analytic":
+        schedule = scheduler.run(instance)
+    else:
+        from ..simulation.engine import Simulator
+
+        sim = Simulator(scheduler, backend=backend)
+        sim.add_instance(instance)
+        schedule = sim.run().schedule
     return record(schedule, scheduler=scheduler.name, meta={"golden": name, "description": case.description})
 
 
@@ -116,10 +131,11 @@ def load_golden(name: str) -> Trace:
     return load(golden_path(name))
 
 
-def check_golden(name: str) -> Trace:
+def check_golden(name: str, backend: str = "analytic") -> Trace:
     """Assert the checked-in golden still reproduces byte-identically.
 
-    Regenerates the trace, compares its serialisation to the
+    Regenerates the trace (optionally through a ``Simulator`` backend
+    — see :func:`generate`), compares its serialisation to the
     checked-in file, and additionally replays the stored workload
     through a fresh scheduler, asserting identical placements.
     Returns the checked-in trace on success; raises
@@ -129,10 +145,11 @@ def check_golden(name: str) -> Trace:
     if not path.is_file():
         raise GoldenMismatch(f"golden {name!r} missing on disk: {path}")
     stored_text = path.read_text()
-    fresh_text = dumps(generate(name))
+    fresh_text = dumps(generate(name, backend=backend))
     if fresh_text != stored_text:
         raise GoldenMismatch(
-            f"golden {name!r} drifted: regenerated trace is not byte-identical to {path}"
+            f"golden {name!r} drifted: {backend} regeneration is not "
+            f"byte-identical to {path}"
         )
     stored = load(path)
     replayed = replay_into(GOLDEN_CASES[name].make_scheduler(), stored)

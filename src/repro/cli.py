@@ -194,6 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
 
     p = sub.add_parser(
+        "vec-check",
+        help="replay every golden fixture through the vectorized array backend "
+        "and assert byte-identity with the checked-in traces",
+    )
+    p.add_argument(
+        "--backend",
+        default="array",
+        choices=["array", "auto", "reference"],
+        help="Simulator backend to regenerate through (default: array)",
+    )
+    p.add_argument(
+        "--golden",
+        default=None,
+        help="check a single golden case instead of all of them",
+    )
+
+    p = sub.add_parser(
         "rebalance",
         help="dynamic hotspot-shift workload: static placements vs LP-driven adaptive re-replication",
     )
@@ -662,6 +679,60 @@ def _run_replay(args) -> str | tuple[str, int]:
     return "\n".join(lines)
 
 
+def _run_vec_check(args) -> str | tuple[str, int]:
+    """The ``vec-check`` subcommand: the array-engine byte-identity
+    gate.  Regenerates every golden fixture through
+    ``Simulator(backend=...)`` and compares the serialised trace
+    byte-for-byte against the checked-in file; any drift (including a
+    broken silent fallback for the EFT-Rand golden) exits non-zero."""
+    from .campaigns import goldens as goldens_mod
+    from .simulation import Simulator
+    from .simulation.workload import WorkloadSpec, generate_workload
+
+    names = [args.golden] if args.golden else sorted(goldens_mod.GOLDEN_CASES)
+    lines = [f"array-engine byte-identity check (backend={args.backend})"]
+    failed = 0
+    for name in names:
+        case = goldens_mod.GOLDEN_CASES[name]
+        scheduler = case.make_scheduler()
+        sim = Simulator(scheduler, backend=args.backend)
+        sim.add_instance(case.make_instance())
+        sim.run()
+        engine = sim.backend_used or "?"
+        note = f" ({sim.fallback_reason})" if sim.fallback_reason else ""
+        try:
+            goldens_mod.check_golden(name, backend=args.backend)
+        except goldens_mod.GoldenMismatch as exc:
+            failed += 1
+            lines.append(f"  {name:<22} FAIL via {engine}{note}: {exc}")
+        else:
+            lines.append(f"  {name:<22} ok   via {engine}{note}")
+    # Cross-backend parity on a fresh workload, beyond the fixtures.
+    spec = WorkloadSpec(m=10, n=600, lam=0.6 * 10, k=3, strategy="overlapping")
+    inst = generate_workload(spec, rng=42)
+    results = {}
+    for backend in ("reference", args.backend):
+        from .core import EFT
+
+        sim = Simulator(EFT(10, tiebreak="min"), backend=backend)
+        sim.add_instance(inst)
+        results[backend] = sim.run()
+    ref, alt = results["reference"], results[args.backend]
+    parity = (
+        ref.max_flow == alt.max_flow
+        and ref.mean_flow == alt.mean_flow
+        and ref.schedule.same_placements(alt.schedule, tol=0.0)
+    )
+    if not parity:
+        failed += 1
+    lines.append(
+        f"  {'fresh-workload parity':<22} {'ok' if parity else 'FAIL'}   "
+        f"(m=10, n=600, bit-exact fields)"
+    )
+    lines.append(f"{len(names) + 1 - failed}/{len(names) + 1} checks passed")
+    return ("\n".join(lines), 0 if failed == 0 else 1)
+
+
 def _run_rebalance(args) -> str:
     """The ``rebalance`` subcommand: run the hotspot-shift scenario
     under one policy or race all three arms on the same stream."""
@@ -1047,6 +1118,7 @@ _HANDLERS = {
     "campaign": _run_campaign,
     "faulted": _run_faulted,
     "replay": _run_replay,
+    "vec-check": _run_vec_check,
     "rebalance": _run_rebalance,
     "serve": _run_serve,
     "serve-sharded": _run_serve_sharded,

@@ -2,83 +2,128 @@
 
 The reference :class:`~repro.core.eft.EFT` keeps dict state and builds
 a :class:`DispatchRecord` per task; profiling the Figure 11 campaign
-shows ~70% of the time in that bookkeeping.  This module re-implements
-the *identical* decision rule (Equation (2) + Min/Max tie-break) with:
+shows ~70% of the time in that bookkeeping.  This module is the
+schedule-level front door to :mod:`repro.core.vecengine`, which
+re-implements the *identical* decision rule (Equation (2) + Min/Max
+tie-break) with:
 
-* a flat ``float64`` completion-time array instead of a dict;
-* processing sets pre-lowered to sorted index arrays once per distinct
-  set (key-value workloads have at most ``m`` distinct replica sets);
-* no per-task record objects — only machine/start arrays.
+* a flat ``float64`` completion-time vector instead of a dict;
+* processing sets pre-lowered to sorted index tuples once per distinct
+  set, in a process-wide LRU (key-value workloads have at most ``m``
+  distinct replica sets, so campaign loops re-solving the same replica
+  families never re-lower them — :func:`set_cache_info` exposes the
+  hit counters);
+* no per-task record objects — placements stay in flat arrays and the
+  :class:`~repro.core.vecengine.VecSchedule` materialises
+  :class:`Assignment` objects only on demand.
 
 Equality with the reference implementation is property-tested
 (``tests/core/test_arrayeft.py``); the speedup is tracked by
-``benchmarks/bench_scheduler_throughput.py``.  Only the deterministic
-Min/Max tie-breaks are supported — random tie-breaking is inherently
-per-task work that the reference implementation handles fine.
+``benchmarks/bench_scheduler_throughput.py`` → ``BENCH_throughput.json``.
+
+Two calling conventions:
+
+* :func:`array_eft_schedule` / :func:`array_eft_fmax` are *strict*:
+  they raise ``ValueError`` for tie-breaks the array path cannot
+  express (anything but the deterministic ``min``/``max``).  Use them
+  when silently running a different code path would invalidate an
+  ablation.
+* :func:`fast_eft_schedule` / :func:`fast_eft_fmax` are *total*: they
+  take the array path when the configuration allows and silently fall
+  back to :func:`~repro.core.eft.eft_schedule` otherwise (random
+  tie-breaks, custom policies).  Auto-selected call sites — the
+  experiment drivers, ``Simulator(backend="auto")`` — go through
+  these, so passing ``tiebreak="rand"`` through never crashes.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .eft import eft_schedule
 from .schedule import Schedule
 from .task import Instance
+from .tiebreak import MaxIndex, MinIndex, TieBreak
+from .vecengine import VecRun, VecUnsupported, clear_set_cache, set_cache_info
 
-__all__ = ["array_eft_schedule", "array_eft_fmax"]
+__all__ = [
+    "array_eft_fmax",
+    "array_eft_schedule",
+    "clear_set_cache",
+    "fast_eft_fmax",
+    "fast_eft_schedule",
+    "set_cache_info",
+]
 
 
-def _run(instance: Instance, prefer_max: bool) -> tuple[np.ndarray, np.ndarray]:
-    m = instance.m
-    n = instance.n
-    completions = np.zeros(m + 1)  # index 0 unused
-    machines_out = np.empty(n, dtype=np.int64)
-    starts_out = np.empty(n)
-    # Lower each distinct processing set to a sorted numpy index array.
-    set_cache: dict[frozenset[int] | None, np.ndarray] = {}
-    full = np.arange(1, m + 1)
-    for idx, task in enumerate(instance.tasks):
-        key = task.machines
-        eligible = set_cache.get(key)
-        if eligible is None:
-            eligible = full if key is None else np.array(sorted(key), dtype=np.int64)
-            set_cache[key] = eligible
-        comp = completions[eligible]
-        earliest = comp.min()
-        t_min = task.release if task.release > earliest else earliest
-        tied = eligible[comp <= t_min]
-        machine = int(tied[-1] if prefer_max else tied[0])
-        start = task.release if task.release > completions[machine] else completions[machine]
-        completions[machine] = start + task.proc
-        machines_out[idx] = machine
-        starts_out[idx] = start
-    return machines_out, starts_out
+def fast_tiebreak_name(tiebreak: str | TieBreak) -> str | None:
+    """``"min"``/``"max"`` when the array fast path can express the
+    tie-break, ``None`` otherwise (subclasses don't qualify — they may
+    override the choice)."""
+    if isinstance(tiebreak, str):
+        return tiebreak if tiebreak in ("min", "max") else None
+    if type(tiebreak) is MinIndex:
+        return "min"
+    if type(tiebreak) is MaxIndex:
+        return "max"
+    return None
 
 
 def array_eft_schedule(instance: Instance, tiebreak: str = "min") -> Schedule:
-    """EFT schedule via the array fast path (``min``/``max`` only).
+    """EFT schedule via the array fast path (``min``/``max`` only,
+    strict — raises ``ValueError`` otherwise).
 
     Produces placements identical to
-    ``eft_schedule(instance, tiebreak)``.
+    ``eft_schedule(instance, tiebreak)``; the returned schedule is a
+    lazy :class:`~repro.core.vecengine.VecSchedule`.
     """
     if tiebreak not in ("min", "max"):
         raise ValueError("array EFT supports only 'min' and 'max' tie-breaks")
-    machines, starts = _run(instance, prefer_max=(tiebreak == "max"))
-    placements = {
-        t.tid: (int(machines[i]), float(starts[i]))
-        for i, t in enumerate(instance.tasks)
-    }
-    return Schedule(instance, placements)
+    return VecRun.from_instance(instance, tiebreak).schedule(instance)
 
 
 def array_eft_fmax(instance: Instance, tiebreak: str = "min") -> float:
     """Just the objective — skips building the Schedule object
-    entirely (the campaign inner loop only needs Fmax)."""
+    entirely (the campaign inner loop only needs Fmax).  Strict, like
+    :func:`array_eft_schedule`."""
     if tiebreak not in ("min", "max"):
         raise ValueError("array EFT supports only 'min' and 'max' tie-breaks")
-    machines, starts = _run(instance, prefer_max=(tiebreak == "max"))
-    fmax = 0.0
-    for i, t in enumerate(instance.tasks):
-        flow = starts[i] + t.proc - t.release
-        if flow > fmax:
-            fmax = flow
-    return float(fmax)
+    return VecRun.from_instance(instance, tiebreak).fmax()
+
+
+def fast_eft_schedule(
+    instance: Instance,
+    tiebreak: str | TieBreak = "min",
+    rng: np.random.Generator | int | None = None,
+) -> Schedule:
+    """EFT schedule on the fastest applicable path.
+
+    Deterministic Min/Max tie-breaks run on the array engine;
+    everything else (``"rand"``, ``"least_loaded"``, custom policies)
+    silently falls back to the reference :func:`eft_schedule` — same
+    signature, same result contract, no crash on pass-through
+    tie-breaks.
+    """
+    name = fast_tiebreak_name(tiebreak)
+    if name is not None:
+        try:
+            return VecRun.from_instance(instance, name).schedule(instance)
+        except VecUnsupported:
+            pass
+    return eft_schedule(instance, tiebreak=tiebreak, rng=rng)
+
+
+def fast_eft_fmax(
+    instance: Instance,
+    tiebreak: str | TieBreak = "min",
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """The objective :math:`F_{max}` on the fastest applicable path
+    (silent reference fallback, like :func:`fast_eft_schedule`)."""
+    name = fast_tiebreak_name(tiebreak)
+    if name is not None:
+        try:
+            return VecRun.from_instance(instance, name).fmax()
+        except VecUnsupported:
+            pass
+    return eft_schedule(instance, tiebreak=tiebreak, rng=rng).max_flow

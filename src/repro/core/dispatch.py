@@ -60,9 +60,22 @@ class ImmediateDispatchScheduler:
         #: per-machine count of assigned tasks (used by adversaries)
         self.task_counts: dict[int, int] = {j: 0 for j in range(1, m + 1)}
         self.history: list[DispatchRecord] = []
-        self._placements: dict[int, tuple[int, float]] = {}
+        self._placements_dict: dict[int, tuple[int, float]] = {}
+        #: columnar placements (tids, machines, starts) awaiting
+        #: materialisation — set by the array backend, which syncs books
+        #: in bulk and must not pay for a dict nobody may ever read.
+        self._placements_lazy: tuple | None = None
         self._tasks: list[Task] = []
         self._last_release = 0.0
+
+    @property
+    def _placements(self) -> dict[int, tuple[int, float]]:
+        lazy = self._placements_lazy
+        if lazy is not None:
+            self._placements_lazy = None
+            tids, machines, starts = lazy
+            self._placements_dict = dict(zip(tids, zip(machines, starts)))
+        return self._placements_dict
 
     # -- to be provided by subclasses -------------------------------------
     def choose(self, task: Task) -> tuple[int, frozenset[int]]:
@@ -114,7 +127,10 @@ class ImmediateDispatchScheduler:
 
     @property
     def n_dispatched(self) -> int:
-        return len(self.history)
+        # Counted off the task list, not ``history``: the array backend
+        # syncs dispatches without materialising DispatchRecords (the
+        # per-decision objects are the cost it exists to avoid).
+        return len(self._tasks)
 
     def run(self, instance: Instance) -> Schedule:
         """Replay a full instance in release order and return the schedule."""

@@ -1,0 +1,460 @@
+"""Vectorized batched simulation core — the engine behind
+``Simulator(backend="array")`` and the ``fast_eft_*`` entry points.
+
+The reference :class:`~repro.simulation.engine.Simulator` is an
+object-per-event loop: three heap events per task, a ``DispatchRecord``
+per decision and dict state everywhere.  Profiling the Figure 9–11
+campaigns shows the bookkeeping — not the decision rule — dominating.
+This module re-implements the *identical* EFT semantics (Equation (2)
+with the deterministic Min/Max tie-breaks) on flat ``float64`` arrays:
+
+* the workload is lowered once into a structured array
+  (:data:`TASK_DTYPE`) plus per-distinct-processing-set eligibility
+  tuples, cached process-wide in an LRU
+  (:func:`lower_processing_set`) so campaign loops re-solving the same
+  replica sets never re-lower them;
+* the inherently sequential decision recurrence runs as one tight pass
+  over pre-lowered scalars (no per-task numpy dispatch, no record
+  objects), bit-identical to the reference arithmetic — including the
+  ``max()`` argument-order conventions, so even signed zeros match;
+* everything *around* the recurrence — flows, completion masks at a
+  cutoff, per-machine busy time, queue depths and waiting-work
+  profiles at observation instants — is derived in batched numpy
+  passes (:class:`VecRun`);
+* schedules materialise lazily: :class:`VecSchedule` is a
+  :class:`~repro.core.schedule.Schedule` backed by the flat arrays
+  that only builds per-task :class:`Assignment` objects when a caller
+  actually asks for them.
+
+Batched observation semantics follow the engine's pinned same-instant
+event order (COMPLETE < RELEASE < OBSERVE): a query at time ``t`` sees
+completions at exactly ``t`` applied, releases at exactly ``t``
+dispatched and same-instant starts begun — the settled state of the
+instant, exactly what a ``sim.at(t, ...)`` callback observes.
+
+Byte-identity with the reference engine is the regression oracle
+(``tests/simulation/test_vec_backend.py`` replays every golden fixture
+through the array backend); the speedup is tracked by
+``benchmarks/bench_scheduler_throughput.py`` → ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property, lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from .schedule import Assignment, Schedule
+from .task import Instance, Task
+
+__all__ = [
+    "TASK_DTYPE",
+    "VecUnsupported",
+    "VecRun",
+    "VecSchedule",
+    "clear_set_cache",
+    "eft_decide",
+    "lower_eligibility",
+    "lower_processing_set",
+    "set_cache_info",
+]
+
+#: Structured per-task layout of a lowered workload: release and
+#: processing times as flat ``float64`` columns plus the id of the
+#: task's distinct processing set (index into the lowered-set table).
+TASK_DTYPE = np.dtype([("release", "f8"), ("proc", "f8"), ("set", "i8")])
+
+
+class VecUnsupported(Exception):
+    """The configuration cannot be expressed on the array fast path
+    (the caller must fall back to the reference implementation)."""
+
+
+@lru_cache(maxsize=65536)
+def lower_processing_set(m: int, key: frozenset[int] | None) -> tuple[int, ...]:
+    """Lower one processing set to a sorted tuple of machine indices.
+
+    Cached process-wide per distinct ``(m, set)`` pair — key-value
+    workloads have at most ``m`` distinct replica sets, so campaign
+    loops that re-solve the same replica families hit the cache on
+    every call after the first.  Raises :class:`VecUnsupported` for
+    sets referencing machines beyond ``m`` (the reference path owns
+    the error behaviour for those).
+    """
+    if key is None:
+        return tuple(range(1, m + 1))
+    if max(key) > m:
+        raise VecUnsupported(f"processing set {sorted(key)} exceeds m={m}")
+    return tuple(sorted(key))
+
+
+def set_cache_info():
+    """``functools.lru_cache`` statistics of the set-lowering cache."""
+    return lower_processing_set.cache_info()
+
+
+def clear_set_cache() -> None:
+    """Drop every lowered processing set (mainly for tests)."""
+    lower_processing_set.cache_clear()
+
+
+def lower_eligibility(m: int, tasks: Sequence[Task]) -> list[tuple[int, ...]]:
+    """Pre-lowered sorted eligibility tuple per task (cache-shared)."""
+    lower = lower_processing_set
+    return [lower(m, t.machines) for t in tasks]
+
+
+def lower_tasks(m: int, tasks: Sequence[Task]) -> np.ndarray:
+    """Lower ``tasks`` into one :data:`TASK_DTYPE` structured array.
+
+    The ``set`` column indexes the distinct lowered sets in first-seen
+    order; use :func:`lower_eligibility` when per-task tuples are all
+    that is needed.
+    """
+    out = np.empty(len(tasks), dtype=TASK_DTYPE)
+    ids: dict[frozenset[int] | None, int] = {}
+    for i, t in enumerate(tasks):
+        sid = ids.get(t.machines)
+        if sid is None:
+            lower_processing_set(m, t.machines)  # validates + warms cache
+            sid = ids.setdefault(t.machines, len(ids))
+        out[i] = (t.release, t.proc, sid)
+    return out
+
+
+def eft_decide(
+    m: int,
+    releases: Sequence[float],
+    procs: Sequence[float],
+    eligibles: Sequence[tuple[int, ...]],
+    prefer_max: bool = False,
+) -> tuple[list[int], list[float], list[float]]:
+    """Run the EFT recurrence (Equation (2), Min/Max tie-break) over a
+    release-ordered workload.
+
+    Returns ``(machines, starts, completions_after)`` where the last
+    item is the per-machine completion-time vector *after* every
+    dispatch (index 0 unused) — the scheduler state a resumed run
+    continues from.  The arithmetic replicates the reference driver
+    operation-for-operation (``max(a, b)`` returns its first argument
+    on ties, so signed zeros round-trip identically).
+    """
+    comp = [0.0] * (m + 1)
+    machines: list[int] = [0] * len(releases)
+    starts: list[float] = [0.0] * len(releases)
+    inf = float("inf")
+    # One fused scan per decision.  The two-phase reading of Equation
+    # (2) — find ``earliest``, then the first/last index at or below
+    # ``t_min = max(r, earliest)`` — collapses because the scan can
+    # stop at the first machine already free at ``r`` (if one exists,
+    # ``t_min = r`` and scan order makes it the answer), and otherwise
+    # the answer is the scan-order argmin (``t_min = earliest`` selects
+    # exactly the machines attaining the minimum).  Pure comparisons,
+    # so the picked index and start are bit-identical to the reference.
+    if prefer_max:
+        for i, elig in enumerate(eligibles):
+            r = releases[i]
+            best = inf
+            for j in reversed(elig):
+                c = comp[j]
+                if c <= r:
+                    machines[i] = j
+                    starts[i] = r
+                    comp[j] = r + procs[i]
+                    break
+                if c < best:
+                    best = c
+                    bj = j
+            else:
+                machines[i] = bj
+                starts[i] = best
+                comp[bj] = best + procs[i]
+    else:
+        for i, elig in enumerate(eligibles):
+            r = releases[i]
+            best = inf
+            for j in elig:
+                c = comp[j]
+                if c <= r:
+                    machines[i] = j
+                    starts[i] = r
+                    comp[j] = r + procs[i]
+                    break
+                if c < best:
+                    best = c
+                    bj = j
+            else:
+                machines[i] = bj
+                starts[i] = best
+                comp[bj] = best + procs[i]
+    return machines, starts, comp
+
+
+class VecSchedule(Schedule):
+    """A :class:`Schedule` backed by flat placement arrays.
+
+    Behaves exactly like the dict-based schedule — validation,
+    placement comparison and per-task lookups all work — but the
+    per-task :class:`Assignment` objects only exist once something
+    asks for them; the objective and the bulk accessors come straight
+    off the arrays.  ``machines``/``starts`` are in *decision order*
+    with ``tids`` carrying the task ids of each row; rows coincide
+    with instance order whenever the workload was fed release-sorted
+    (the common case), and the lazy tid mapping covers the rest.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        machines: np.ndarray,
+        starts: np.ndarray,
+        tids: np.ndarray,
+    ) -> None:
+        self.instance = instance
+        if not (len(machines) == len(starts) == len(tids) == len(instance.tasks)):
+            raise ValueError("placement arrays must cover the instance exactly")
+        self._mach = np.asarray(machines, dtype=np.int64)
+        self._start = np.asarray(starts, dtype=np.float64)
+        self._tids = np.asarray(tids, dtype=np.int64)
+
+    # -- lazy materialisation ---------------------------------------------
+    @cached_property
+    def _rows(self) -> np.ndarray:
+        """Row index of each instance task (instance order)."""
+        inst_tids = np.fromiter(
+            (t.tid for t in self.instance.tasks), dtype=np.int64, count=len(self._tids)
+        )
+        if np.array_equal(inst_tids, self._tids):
+            return np.arange(len(self._tids))
+        row_of = {int(tid): i for i, tid in enumerate(self._tids)}
+        return np.fromiter(
+            (row_of[int(tid)] for tid in inst_tids), dtype=np.int64, count=len(inst_tids)
+        )
+
+    @cached_property
+    def _assignments(self) -> dict[int, Assignment]:
+        rows = self._rows
+        mach = self._mach
+        start = self._start
+        return {
+            t.tid: Assignment(task=t, machine=int(mach[rows[i]]), start=float(start[rows[i]]))
+            for i, t in enumerate(self.instance.tasks)
+        }
+
+    # -- array accessors ----------------------------------------------------
+    def machines_array(self) -> np.ndarray:
+        """Machine of every task, in instance order."""
+        return self._mach[self._rows]
+
+    def starts_array(self) -> np.ndarray:
+        """Start time of every task, in instance order."""
+        return self._start[self._rows]
+
+    def _flow_array(self) -> np.ndarray:
+        # ((start + proc) - release) elementwise: the exact association
+        # of Assignment.flow, so the bits match the dict-based path.
+        rel = np.fromiter(
+            (t.release for t in self.instance.tasks), dtype=np.float64, count=len(self._mach)
+        )
+        proc = np.fromiter(
+            (t.proc for t in self.instance.tasks), dtype=np.float64, count=len(self._mach)
+        )
+        starts = self.starts_array()
+        return (starts + proc) - rel
+
+    # -- vectorized overrides ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._mach)
+
+    @property
+    def max_flow(self) -> float:
+        if not len(self._mach):
+            return 0.0
+        return float(self._flow_array().max())
+
+    @property
+    def mean_flow(self) -> float:
+        if not len(self._mach):
+            return 0.0
+        return float(np.mean(self._flow_array()))
+
+    @property
+    def makespan(self) -> float:
+        if not len(self._mach):
+            return 0.0
+        proc = np.fromiter(
+            (t.proc for t in self.instance.tasks), dtype=np.float64, count=len(self._mach)
+        )
+        return float((self.starts_array() + proc).max())
+
+    def flows(self) -> np.ndarray:
+        return self._flow_array()
+
+    def machine_loads(self) -> np.ndarray:
+        loads = np.bincount(
+            self.machines_array() - 1,
+            weights=np.fromiter(
+                (t.proc for t in self.instance.tasks), dtype=np.float64, count=len(self._mach)
+            ),
+            minlength=self.m,
+        )
+        return loads[: self.m]
+
+
+@dataclass(frozen=True)
+class VecRun:
+    """A completed vectorized run: placements plus batched queries.
+
+    All arrays are in decision (release) order.  The observation
+    queries implement the engine's pinned same-instant semantics: at
+    time ``t``, completions at exactly ``t`` have freed their
+    machines, releases at exactly ``t`` have been dispatched and
+    same-instant starts have begun — what an OBSERVE callback sees.
+    """
+
+    m: int
+    tasks: tuple[Task, ...]
+    releases: np.ndarray
+    procs: np.ndarray
+    machines: np.ndarray
+    starts: np.ndarray
+    #: per-machine completion-time vector after the last dispatch
+    #: (index 0 unused) — the analytic scheduler state.
+    final_completions: np.ndarray
+
+    @classmethod
+    def from_instance(
+        cls, instance: Instance, tiebreak: str = "min"
+    ) -> "VecRun":
+        """Decide the whole instance on the fast path.
+
+        Raises :class:`VecUnsupported` for tie-breaks other than the
+        deterministic ``min``/``max`` pair.
+        """
+        if tiebreak not in ("min", "max"):
+            raise VecUnsupported(
+                f"array engine supports 'min'/'max' tie-breaks, not {tiebreak!r}"
+            )
+        tasks = instance.tasks
+        elig = lower_eligibility(instance.m, tasks)
+        rel = [t.release for t in tasks]
+        proc = [t.proc for t in tasks]
+        mach, starts, comp = eft_decide(
+            instance.m, rel, proc, elig, prefer_max=(tiebreak == "max")
+        )
+        return cls(
+            m=instance.m,
+            tasks=tasks,
+            releases=np.asarray(rel, dtype=np.float64),
+            procs=np.asarray(proc, dtype=np.float64),
+            machines=np.asarray(mach, dtype=np.int64),
+            starts=np.asarray(starts, dtype=np.float64),
+            final_completions=np.asarray(comp, dtype=np.float64),
+        )
+
+    # -- derived arrays -----------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.machines)
+
+    @cached_property
+    def completions(self) -> np.ndarray:
+        """Per-task completion times (``start + proc`` elementwise)."""
+        return self.starts + self.procs
+
+    @cached_property
+    def flow_times(self) -> np.ndarray:
+        """Per-task flow times, reference association ``(C_i) - r_i``."""
+        return self.completions - self.releases
+
+    def fmax(self) -> float:
+        """The objective :math:`F_{max}`."""
+        return float(self.flow_times.max()) if self.n else 0.0
+
+    def schedule(self, instance: Instance) -> VecSchedule:
+        """The run as a lazily materialising :class:`VecSchedule`."""
+        tids = np.fromiter((t.tid for t in self.tasks), dtype=np.int64, count=self.n)
+        return VecSchedule(instance, self.machines, self.starts, tids)
+
+    # -- batched truncation masks ------------------------------------------
+    def released_by(self, t: float) -> np.ndarray:
+        """Mask of tasks released at or before ``t``."""
+        return self.releases <= t
+
+    def started_by(self, t: float) -> np.ndarray:
+        """Mask of tasks started at or before ``t`` (pinned order: a
+        start at exactly ``t`` has happened)."""
+        return self.starts <= t
+
+    def completed_by(self, t: float) -> np.ndarray:
+        """Mask of tasks completed at or before ``t``."""
+        return self.completions <= t
+
+    def busy_time_by_machine(self, t: float) -> np.ndarray:
+        """Work *performed* by ``t`` per machine (index 0 unused):
+        completed tasks in full, the in-flight task pro-rated from its
+        start — the engine's truncation-honest busy accounting."""
+        done = self.completed_by(t)
+        busy = np.bincount(
+            self.machines, weights=np.where(done, self.procs, 0.0), minlength=self.m + 1
+        )
+        running = self.started_by(t) & ~done
+        if running.any():
+            busy += np.bincount(
+                self.machines[running],
+                weights=t - self.starts[running],
+                minlength=self.m + 1,
+            )
+        return busy[: self.m + 1]
+
+    # -- batched observation ------------------------------------------------
+    @cached_property
+    def _by_machine(self) -> dict[int, np.ndarray]:
+        """Row indices per machine, in dispatch order."""
+        order = np.argsort(self.machines, kind="stable")
+        groups: dict[int, np.ndarray] = {}
+        if not self.n:
+            return {j: np.empty(0, dtype=np.int64) for j in range(1, self.m + 1)}
+        bounds = np.searchsorted(self.machines[order], np.arange(1, self.m + 2))
+        for j in range(1, self.m + 1):
+            groups[j] = order[bounds[j - 1] : bounds[j]]
+        return groups
+
+    def waiting_profile_at(self, times: Sequence[float]) -> np.ndarray:
+        """Waiting work :math:`w_t(j)` for every machine at each
+        observation instant — shape ``(len(times), m)``, machine
+        :math:`M_j` in column ``j - 1``.
+
+        One batched pass per machine: releases and post-dispatch
+        completion times are nondecreasing along a machine's dispatch
+        order, so a ``searchsorted`` finds the last task dispatched by
+        each instant and the profile is ``max(0, C_j(t) - t)``.
+        """
+        ts = np.asarray(times, dtype=np.float64)
+        out = np.zeros((len(ts), self.m))
+        for j, rows in self._by_machine.items():
+            if not len(rows):
+                continue
+            rel_j = self.releases[rows]
+            comp_j = self.completions[rows]
+            idx = np.searchsorted(rel_j, ts, side="right")
+            have = idx > 0
+            c_at = np.where(have, comp_j[np.maximum(idx - 1, 0)], 0.0)
+            out[:, j - 1] = np.maximum(0.0, c_at - ts)
+        return out
+
+    def queue_depths_at(self, times: Sequence[float]) -> np.ndarray:
+        """Released-but-unstarted tasks per machine at each instant —
+        shape ``(len(times), m)`` (the engine's run-queue length; the
+        in-service task is not queued)."""
+        ts = np.asarray(times, dtype=np.float64)
+        out = np.zeros((len(ts), self.m), dtype=np.int64)
+        for j, rows in self._by_machine.items():
+            if not len(rows):
+                continue
+            released = np.searchsorted(self.releases[rows], ts, side="right")
+            started = np.searchsorted(self.starts[rows], ts, side="right")
+            out[:, j - 1] = released - started
+        return out

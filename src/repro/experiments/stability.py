@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.eft import eft_schedule
+from ..core.arrayeft import fast_eft_fmax
 from ..maxload.lp import max_load_lp
 from ..simulation.popularity import MachinePopularity, worst_case
 from ..simulation.workload import WorkloadSpec, generate_workload
@@ -67,7 +67,7 @@ def run(
                 inst = generate_workload(
                     spec, rng=np.random.default_rng(rng_seed + rep), popularity=pop
                 )
-                vals.append(eft_schedule(inst, tiebreak="min").max_flow)
+                vals.append(fast_eft_fmax(inst, tiebreak="min"))
             medians.append(float(np.median(vals)))
         table.add_row(
             label,

@@ -51,9 +51,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+import numpy as np
+
 from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.eft import EFT
 from ..core.schedule import Schedule
 from ..core.task import Instance, Task
+from ..core.tiebreak import MaxIndex, MinIndex
+from ..core.vecengine import VecSchedule, VecUnsupported, eft_decide, lower_eligibility
 from ..faults.policies import RESTART, RESUME, validate_policy
 from .events import EventKind, EventQueue
 
@@ -61,7 +66,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
     from ..obs.sim import SimObserver
 
-__all__ = ["MachineState", "SimulationResult", "Simulator"]
+__all__ = [
+    "BACKENDS",
+    "MachineState",
+    "SimulationResult",
+    "Simulator",
+    "UnknownBackendError",
+]
+
+#: Valid ``Simulator(backend=...)`` names.
+BACKENDS = ("auto", "array", "reference")
+
+
+class UnknownBackendError(ValueError):
+    """Raised for a ``backend=`` name outside :data:`BACKENDS`."""
 
 
 @dataclass(slots=True)
@@ -157,6 +175,20 @@ class Simulator:
         What happens to the in-flight task of a failing machine:
         ``"restart"`` (re-dispatch from scratch, default) or
         ``"resume"`` (continue with the residual at recovery).
+    backend:
+        Execution engine: ``"reference"`` always runs the event loop;
+        ``"array"`` and ``"auto"`` (the default — existing call sites
+        pick up the fast path with no changes) fast-forward eligible
+        runs through :mod:`repro.core.vecengine` and *silently* fall
+        back to the reference loop otherwise, recording why in
+        :attr:`fallback_reason`.  A run is eligible when it is fresh
+        (nothing dispatched yet), the scheduler is plain :class:`EFT`
+        with a deterministic Min/Max tie-break, no observer is
+        attached, the fault schedule is absent or empty, and only
+        RELEASE events are pending.  Results are bit-identical either
+        way — byte-identity over the golden fixtures is enforced by
+        ``tests/simulation/test_vec_backend.py`` and ``make vec-smoke``.
+        :attr:`backend_used` reports what the last :meth:`run` did.
     """
 
     def __init__(
@@ -165,21 +197,42 @@ class Simulator:
         obs: "SimObserver | None" = None,
         faults: "FaultSchedule | None" = None,
         fault_policy: str = RESTART,
+        backend: str = "auto",
     ) -> None:
+        if backend not in BACKENDS:
+            raise UnknownBackendError(
+                f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+            )
+        self.backend = backend
+        #: what the most recent :meth:`run` executed on ("array" or
+        #: "reference"); ``None`` before the first run.
+        self.backend_used: str | None = None
+        #: why the most recent array-eligible :meth:`run` fell back to
+        #: the reference loop (``None`` when the array path ran or the
+        #: backend is "reference").
+        self.fallback_reason: str | None = None
         self.scheduler = scheduler
         self.obs = obs
         self.m = scheduler.m
         self.machines = {j: MachineState(index=j) for j in range(1, self.m + 1)}
         self.events = EventQueue()
         self.now = 0.0
-        self.completions: dict[int, float] = {}
-        self.starts: dict[int, float] = {}
-        self.assigned_machine: dict[int, int] = {}
+        self._completions: dict[int, float] = {}
+        self._starts: dict[int, float] = {}
+        self._assigned_machine: dict[int, int] = {}
+        #: columnar dispatch books awaiting materialisation — set by the
+        #: array fast-forward, which keeps everything as flat arrays and
+        #: only builds the per-task dicts if something reads them.
+        self._lazy_books: tuple | None = None
         self._tasks: list[Task] = []
         self._observers: list[Callable[["Simulator"], None]] = []
         self.fault_policy = validate_policy(fault_policy)
         self.faults = faults
         self._alive: set[int] = set(range(1, self.m + 1))
+        #: the one Instance fed to a virgin simulator, if that is the
+        #: whole workload — lets the array backend reuse it for the
+        #: result schedule instead of re-sorting a rebuilt copy.
+        self._fed_instance: Instance | None = None
         #: parked tasks in park order (released or requeued while their
         #: whole processing set was down).
         self.parked: list[Task] = []
@@ -202,10 +255,52 @@ class Simulator:
                     machine,
                 )
 
+    # -- dispatch books -----------------------------------------------------
+    # The reference loop fills these dicts task by task; the array
+    # fast-forward computes the same contents as flat arrays and defers
+    # the (surprisingly expensive) dict builds until first read.
+
+    def _materialize_books(self) -> None:
+        tids, mach_l, start_l, comp_a, started_idx, completed_idx = self._lazy_books
+        self._lazy_books = None
+        if started_idx is None:  # full drain: everyone started and completed
+            self._starts = dict(zip(tids, start_l))
+            self._completions = dict(zip(tids, comp_a.tolist()))
+        else:
+            st = started_idx.tolist()
+            self._starts = dict(zip([tids[i] for i in st], [start_l[i] for i in st]))
+            ct = completed_idx.tolist()
+            self._completions = dict(
+                zip([tids[i] for i in ct], comp_a[completed_idx].tolist())
+            )
+        self._assigned_machine = dict(zip(tids, mach_l))
+
+    @property
+    def starts(self) -> dict[int, float]:
+        """Start time of every started task (tid -> sigma)."""
+        if self._lazy_books is not None:
+            self._materialize_books()
+        return self._starts
+
+    @property
+    def completions(self) -> dict[int, float]:
+        """Completion time of every completed task (tid -> C)."""
+        if self._lazy_books is not None:
+            self._materialize_books()
+        return self._completions
+
+    @property
+    def assigned_machine(self) -> dict[int, int]:
+        """Dispatch decision of every released task (tid -> machine)."""
+        if self._lazy_books is not None:
+            self._materialize_books()
+        return self._assigned_machine
+
     # -- workload feeding ---------------------------------------------------
     def add_tasks(self, tasks: Iterable[Task]) -> None:
         """Schedule RELEASE events for ``tasks`` (any order; the queue
         sorts by time)."""
+        self._fed_instance = None
         for t in tasks:
             self.events.push(t.release, EventKind.RELEASE, t)
 
@@ -213,7 +308,10 @@ class Simulator:
         """Feed a whole instance."""
         if instance.m != self.m:
             raise ValueError(f"instance has m={instance.m}, simulator has m={self.m}")
+        virgin = not self._tasks and not self.events
         self.add_tasks(instance.tasks)
+        if virgin:
+            self._fed_instance = instance
 
     def at(self, time: float, callback: Callable[["Simulator"], None]) -> None:
         """Run ``callback(sim)`` when the clock reaches ``time``.
@@ -408,7 +506,25 @@ class Simulator:
         fired earlier, so :meth:`waiting_profile`, :meth:`uncompleted_on`
         and :meth:`result` reflect the state *at the cutoff*, not at
         the last event.  Calling :meth:`run` again resumes seamlessly.
+
+        Under ``backend="auto"``/``"array"`` an eligible run is
+        fast-forwarded through the vectorized engine (bit-identical
+        result, full state sync — resuming, inspection and observers
+        added later all keep working); everything else takes the
+        reference event loop, with :attr:`fallback_reason` recording
+        why.
         """
+        if self.backend != "reference":
+            self.fallback_reason = None
+            result = self._try_run_array(until)
+            if result is not None:
+                self.backend_used = "array"
+                return result
+        self.backend_used = "reference"
+        return self._run_reference(until)
+
+    def _run_reference(self, until: float | None) -> SimulationResult:
+        """The event loop (see :meth:`run` for semantics)."""
         while self.events:
             nxt = self.events.peek_time()
             if until is not None and nxt is not None and nxt > until:
@@ -430,6 +546,200 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         return self.result()
+
+    # -- array fast path ------------------------------------------------------
+    def _array_fallback_reason(self, until: float | None) -> str | None:
+        """Why this run can't take the array fast path (``None`` = it can)."""
+        s = self.scheduler
+        if type(s) is not EFT:
+            return f"scheduler {type(s).__name__} is not plain EFT"
+        if type(s.tiebreak) not in (MinIndex, MaxIndex):
+            name = getattr(s.tiebreak, "name", "custom")
+            return f"tie-break {name!r} needs per-decision work"
+        if self.obs is not None:
+            return "observer hooks need per-event work"
+        if self.faults is not None and bool(self.faults):
+            return "fault schedule needs per-event work"
+        if self.now != 0.0 or self._tasks or self.starts or self.parked:
+            return "simulation already started"
+        if s._tasks or s._placements or any(v != 0.0 for v in s.completions.values()):
+            return "scheduler already has dispatches"
+        if not self.events:
+            return "no pending work"
+        kinds = self.events.pending_kinds()
+        if kinds != {EventKind.RELEASE}:
+            extra = sorted(k.name for k in kinds - {EventKind.RELEASE})
+            return f"non-release events pending ({', '.join(extra)})"
+        return None
+
+    def _try_run_array(self, until: float | None) -> SimulationResult | None:
+        """Fast-forward an eligible run on the vectorized engine.
+
+        Computes every dispatch decision for the releases due by
+        ``until`` in one :func:`repro.core.vecengine.eft_decide` pass
+        (identical arithmetic to the reference loop), then syncs the
+        complete simulator and scheduler state — machine states, run
+        queues, event queue (future releases and in-flight COMPLETEs
+        re-pushed), dispatch books — so a later :meth:`run`,
+        :meth:`result`, :meth:`waiting_profile` or adversary pick up
+        exactly where the reference loop would have been.  Returns
+        ``None`` (and records :attr:`fallback_reason`) when the run is
+        not expressible; nothing is mutated in that case.
+
+        The one sync divergence: ``scheduler.history`` stays empty —
+        per-decision DispatchRecords are the object cost this path
+        exists to avoid (``n_dispatched`` and the placement books stay
+        exact).
+        """
+        reason = self._array_fallback_reason(until)
+        if reason is None and until is not None and self.events.peek_time() > until:
+            reason = "no releases before the cutoff"
+        if reason is not None:
+            self.fallback_reason = reason
+            return None
+        # Pending RELEASEs in firing order: (time, seq) — the exact
+        # order the reference loop submits them.  This is also how
+        # out-of-release-order add_tasks feeds are handled identically
+        # to the reference engine (the queue sorts, the decisions see
+        # a release-ordered stream).
+        events = self.events.pending()
+        if until is None:
+            prefix = events
+        else:
+            prefix = [ev for ev in events if ev.time <= until]
+        released = [ev.payload for ev in prefix]
+        try:
+            elig = lower_eligibility(self.m, released)
+        except VecUnsupported as exc:
+            self.fallback_reason = str(exc)
+            return None
+        n = len(released)
+        m = self.m
+        rel = [t.release for t in released]
+        proc = [t.proc for t in released]
+        prefer_max = type(self.scheduler.tiebreak) is MaxIndex
+        mach_l, start_l, comp_after = eft_decide(m, rel, proc, elig, prefer_max)
+        rel_a = np.asarray(rel)
+        proc_a = np.asarray(proc)
+        mach_a = np.asarray(mach_l, dtype=np.int64)
+        start_a = np.asarray(start_l)
+        comp_a = start_a + proc_a
+        tids = [t.tid for t in released]
+
+        # Clock: full drain ends at the last COMPLETE; a truncated run
+        # advances to the cutoff (prefix non-empty => until >= 0).
+        if until is None:
+            now = float(comp_a.max())
+            started = completed = np.ones(n, dtype=bool)
+        else:
+            now = float(until)
+            started = start_a <= now
+            completed = comp_a <= now
+        self.now = now
+
+        # -- dispatch books (simulator + scheduler) -----------------------
+        # Columnar sync: the dict views are deferred (see
+        # :meth:`_materialize_books`) — a result-only run never builds
+        # them, which is most of the per-task Python cost at scale.
+        started_idx = np.nonzero(started)[0]
+        completed_idx = np.nonzero(completed)[0]
+        n_started = n if until is None else len(started_idx)
+        n_completed = n if until is None else len(completed_idx)
+        self._lazy_books = (
+            tids,
+            mach_l,
+            start_l,
+            comp_a,
+            None if until is None else started_idx,
+            None if until is None else completed_idx,
+        )
+        self._tasks = list(released)
+        s = self.scheduler
+        s.completions = {j: comp_after[j] for j in range(1, m + 1)}
+        counts = np.bincount(mach_a, minlength=m + 1)
+        s.task_counts = {j: int(counts[j]) for j in range(1, m + 1)}
+        s._placements_dict = {}
+        s._placements_lazy = (tids, mach_l, start_l)
+        s._tasks = list(released)
+        s._last_release = rel[-1] if n else 0.0
+
+        # -- machine states ------------------------------------------------
+        busy_until = np.zeros(m + 1)
+        stint = np.zeros(m + 1)
+        np.maximum.at(busy_until, mach_a[started_idx], comp_a[started_idx])
+        np.maximum.at(stint, mach_a[started_idx], start_a[started_idx])
+        busy = np.bincount(
+            mach_a[completed_idx], weights=proc_a[completed_idx], minlength=m + 1
+        )
+        done_counts = np.bincount(mach_a[completed_idx], minlength=m + 1)
+        for j in range(1, m + 1):
+            ms = self.machines[j]
+            ms.busy_until = float(busy_until[j])
+            ms.stint_start = float(stint[j])
+            ms.busy_time = float(busy[j])
+            ms.tasks_done = int(done_counts[j])
+
+        # -- event queue: future releases (FIFO preserved), in-flight
+        # completions, and the run queues of busy machines ----------------
+        self.events.clear()
+        for ev in events[len(prefix):]:
+            self.events.push(ev.time, EventKind.RELEASE, ev.payload)
+        if until is not None:
+            for i in np.nonzero(started & ~completed)[0].tolist():
+                j = mach_l[i]
+                ms = self.machines[j]
+                ms.current = released[i]
+                self.events.push(
+                    float(comp_a[i]), EventKind.COMPLETE, (j, released[i], ms.epoch)
+                )
+            for i in np.nonzero(~started)[0].tolist():
+                self.machines[mach_l[i]].queue.append(released[i])
+
+        # -- result, derived in batch (reference summation order) ---------
+        if until is None:
+            flows = (comp_a - rel_a).tolist()
+            pending_ages: list[float] = []
+            sched_mach, sched_start = mach_a, start_a
+            sched_tids = np.asarray(tids, dtype=np.int64)
+            started_tasks = released
+            makespan = float(comp_a.max()) if n else 0.0
+        else:
+            flows = (comp_a[started_idx] - rel_a[started_idx]).tolist()
+            pending_ages = (now - rel_a[~started]).tolist()
+            sched_mach = mach_a[started_idx]
+            sched_start = start_a[started_idx]
+            sched_tids = np.asarray(tids, dtype=np.int64)[started_idx]
+            started_tasks = [released[i] for i in started_idx.tolist()]
+            makespan = float(comp_a[completed_idx].max()) if n_completed else 0.0
+        if (
+            self._fed_instance is not None
+            and len(started_tasks) == self._fed_instance.n
+        ):
+            inst = self._fed_instance
+        else:
+            inst = Instance(m=m, tasks=tuple(started_tasks))
+        sched = VecSchedule(inst, sched_mach, sched_start, sched_tids)
+        all_flows = flows + pending_ages
+        completed_busy = sum(ms.busy_time for ms in self.machines.values())
+        in_flight_busy = sum(
+            self.now - ms.stint_start
+            for ms in self.machines.values()
+            if ms.current is not None
+        )
+        total_busy = completed_busy + in_flight_busy
+        all_done = n_completed == n and not self.events.has_work()
+        horizon = makespan if all_done else max(self.now, makespan)
+        capacity = m * horizon
+        util = total_busy / capacity if capacity > 0 else 0.0
+        return SimulationResult(
+            schedule=sched,
+            max_flow=max(all_flows, default=0.0),
+            mean_flow=(sum(all_flows) / len(all_flows)) if all_flows else 0.0,
+            makespan=makespan,
+            n_completed=n_completed,
+            utilization=util,
+            n_pending=n - n_started,
+        )
 
     def result(self) -> SimulationResult:
         """Summarise the run so far (exact on a drained queue, honest

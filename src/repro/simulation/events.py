@@ -32,6 +32,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum, auto
+from operator import attrgetter
 from typing import Any
 
 __all__ = ["EventKind", "Event", "EventQueue"]
@@ -82,26 +83,77 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._kind_counts: dict[EventKind, int] = {}
+        #: True while the heap list is known to *be* the firing order:
+        #: every push so far arrived in non-decreasing (time, priority)
+        #: and nothing was popped.  Sorted pushes never sift, so the
+        #: heap list stays in insertion order and :meth:`pending` can
+        #: skip its O(n log n) sort — the common case for an instance
+        #: fed release-sorted to a fresh simulator.
+        self._monotone = True
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event; returns the event object."""
+        priority = _KIND_PRIORITY[kind]
+        if self._monotone and self._heap:
+            last = self._heap[-1]
+            if (time, priority) < (last.time, last.priority):
+                self._monotone = False
         ev = Event(
             time=time,
-            priority=_KIND_PRIORITY[kind],
+            priority=priority,
             seq=next(self._counter),
             kind=kind,
             payload=payload,
         )
         heapq.heappush(self._heap, ev)
+        counts = self._kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
         return ev
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)
+        counts = self._kind_counts
+        left = counts[ev.kind] - 1
+        if left:
+            counts[ev.kind] = left
+        else:
+            del counts[ev.kind]
+        if self._heap:
+            # popping reorders the heap list (the tail element moves to
+            # the root), so insertion order is no longer the list order
+            self._monotone = False
+        else:
+            self._monotone = True
+        return ev
 
     def peek_time(self) -> float | None:
         """Time of the earliest pending event, or ``None`` if empty."""
         return self._heap[0].time if self._heap else None
+
+    def pending(self) -> list[Event]:
+        """Every pending event in firing order (non-destructive).
+
+        Used by the array backend to fast-forward: the sorted view is
+        exactly the order the reference loop would pop, including the
+        pinned same-instant priorities and the FIFO seq tie-break.
+        """
+        if self._monotone:
+            return list(self._heap)
+        return sorted(self._heap, key=attrgetter("time", "priority", "seq"))
+
+    def pending_kinds(self) -> set[EventKind]:
+        """The distinct kinds currently queued (O(1) eligibility probe
+        for the array backend — tracked incrementally, no scan)."""
+        return set(self._kind_counts)
+
+    def clear(self) -> None:
+        """Drop every pending event (the seq counter keeps running, so
+        later pushes still order after everything ever scheduled)."""
+        self._heap.clear()
+        self._kind_counts.clear()
+        self._monotone = True
 
     _NON_WORK = frozenset({EventKind.OBSERVE, EventKind.MACHINE_DOWN, EventKind.MACHINE_UP})
 

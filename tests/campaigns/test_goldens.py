@@ -19,6 +19,16 @@ class TestGoldens:
         assert trace.n > 0
 
     @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+    @pytest.mark.parametrize("backend", ["reference", "array", "auto"])
+    def test_byte_identical_through_simulator_backends(self, name, backend):
+        """Replaying a golden through the event engine — on either
+        backend — must serialise to exactly the checked-in bytes (the
+        tentpole regression oracle; the EFT-Rand case exercises the
+        silent reference fallback of the array path)."""
+        trace = check_golden(name, backend=backend)
+        assert trace.n > 0
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
     def test_replay_reproduces_placements(self, name):
         trace = goldens.load_golden(name)
         replayed = replay_into(GOLDEN_CASES[name].make_scheduler(), trace)

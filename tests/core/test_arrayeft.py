@@ -5,7 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import eft_schedule
-from repro.core.arrayeft import array_eft_fmax, array_eft_schedule
+from repro.core.arrayeft import (
+    array_eft_fmax,
+    array_eft_schedule,
+    clear_set_cache,
+    fast_eft_fmax,
+    fast_eft_schedule,
+    set_cache_info,
+)
 from tests.conftest import restricted_unit_instances, unrestricted_instances
 
 
@@ -49,6 +56,50 @@ def test_rand_rejected():
         array_eft_schedule(inst, "rand")
     with pytest.raises(ValueError, match="min.*max"):
         array_eft_fmax(inst, "rand")
+
+
+def test_fast_entry_points_fall_back_for_rand():
+    """The auto-selected entry points must not crash on pass-through
+    tie-breaks: ``rand`` silently takes the reference path, and with a
+    pinned seed it reproduces the reference decisions exactly."""
+    from repro.simulation import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(m=6, n=120, lam=0.6 * 6, k=2, strategy="overlapping")
+    inst = generate_workload(spec, rng=9)
+    fast = fast_eft_schedule(inst, tiebreak="rand", rng=77)
+    ref = eft_schedule(inst, tiebreak="rand", rng=77)
+    assert fast.same_placements(ref, tol=0.0)
+    assert fast_eft_fmax(inst, tiebreak="rand", rng=77) == ref.max_flow
+
+
+def test_fast_entry_points_use_array_path_for_min_max():
+    from repro.core.vecengine import VecSchedule
+    from repro.simulation import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(m=6, n=80, lam=0.5 * 6, k=2, strategy="disjoint")
+    inst = generate_workload(spec, rng=2)
+    for tb in ("min", "max"):
+        sched = fast_eft_schedule(inst, tiebreak=tb)
+        assert isinstance(sched, VecSchedule)
+        assert sched.same_placements(eft_schedule(inst, tiebreak=tb), tol=0.0)
+        assert fast_eft_fmax(inst, tiebreak=tb) == eft_schedule(inst, tiebreak=tb).max_flow
+
+
+def test_processing_set_cache_is_reused_across_calls():
+    """Satellite regression: set lowering must hit the process-wide LRU
+    on repeat solves instead of rebuilding per call."""
+    from repro.simulation import WorkloadSpec, generate_workload
+
+    spec = WorkloadSpec(m=8, n=100, lam=0.5 * 8, k=2, strategy="overlapping")
+    inst = generate_workload(spec, rng=4)
+    clear_set_cache()
+    array_eft_schedule(inst, "min")
+    first = set_cache_info()
+    assert first.misses > 0  # the distinct sets were lowered once...
+    array_eft_schedule(inst, "min")
+    second = set_cache_info()
+    assert second.misses == first.misses  # ...and never again
+    assert second.hits > first.hits
 
 
 @given(

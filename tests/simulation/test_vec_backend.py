@@ -1,0 +1,289 @@
+"""The array backend must be bit-identical to the reference engine.
+
+The vectorized fast path (``Simulator(backend="array"|"auto")``) is
+only allowed to exist because nothing can tell it ran: every golden
+fixture replays byte-identically, every SimulationResult field matches
+the reference loop exactly (``==``, not approx), and ineligible
+configurations — random tie-breaks, fault schedules, observer hooks —
+fall back silently with the reason recorded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EFT, Instance, Task
+from repro.simulation import (
+    Simulator,
+    UnknownBackendError,
+    WorkloadSpec,
+    generate_workload,
+)
+
+RESULT_FIELDS = (
+    "max_flow",
+    "mean_flow",
+    "makespan",
+    "n_completed",
+    "utilization",
+    "n_pending",
+    "n_requeued",
+    "n_parked",
+    "n_resumed",
+    "total_downtime",
+    "wasted_work",
+)
+
+
+def _workload(m=8, n=300, k=3, strategy="overlapping", rng=5, load=0.7):
+    spec = WorkloadSpec(m=m, n=n, lam=load * m, k=k, strategy=strategy)
+    return generate_workload(spec, rng=rng)
+
+
+def _pair(inst, tiebreak="min", until=None, feed="instance"):
+    """Run the same workload on both backends; return (array, reference)
+    (simulator, result) pairs."""
+    out = []
+    for backend in ("array", "reference"):
+        sim = Simulator(EFT(inst.m, tiebreak=tiebreak), backend=backend)
+        if feed == "instance":
+            sim.add_instance(inst)
+        else:
+            sim.add_tasks(feed)
+        out.append((sim, sim.run(until=until)))
+    return out
+
+
+def _assert_identical(ra, rr):
+    """Field-exact SimulationResult equality (bit-level, tol=0)."""
+    for f in RESULT_FIELDS:
+        assert getattr(ra, f) == getattr(rr, f), f
+    assert ra.schedule.same_placements(rr.schedule, tol=0.0)
+    assert np.array_equal(ra.schedule.flows(), rr.schedule.flows())
+    assert np.array_equal(ra.schedule.machine_loads(), rr.schedule.machine_loads())
+
+
+class TestFullDrainParity:
+    @pytest.mark.parametrize("tiebreak", ["min", "max"])
+    @pytest.mark.parametrize("strategy", ["overlapping", "disjoint"])
+    def test_bit_identical_results(self, tiebreak, strategy):
+        inst = _workload(strategy=strategy)
+        (sa, ra), (sr, rr) = _pair(inst, tiebreak=tiebreak)
+        assert sa.backend_used == "array", sa.fallback_reason
+        assert sr.backend_used == "reference"
+        _assert_identical(ra, rr)
+        # engine state is synced, not just the result
+        assert sa.now == sr.now
+        assert sa.starts == sr.starts
+        assert sa.completions == sr.completions
+        assert sa.assigned_machine == sr.assigned_machine
+        assert sa.waiting_profile() == sr.waiting_profile()
+        assert sa.scheduler.completions == sr.scheduler.completions
+        assert sa.scheduler.task_counts == sr.scheduler.task_counts
+        assert sa.scheduler.n_dispatched == sr.scheduler.n_dispatched
+
+    def test_explicit_array_backend_equals_auto(self):
+        inst = _workload(rng=11)
+        for backend in ("array", "auto"):
+            sim = Simulator(EFT(inst.m, tiebreak="min"), backend=backend)
+            sim.add_instance(inst)
+            sim.run()
+            assert sim.backend_used == "array"
+            assert sim.fallback_reason is None
+
+    def test_result_recomputed_after_sync_matches(self):
+        """result() re-derived from synced state (reference code path)
+        must agree with the array-built result."""
+        inst = _workload(rng=3)
+        sim = Simulator(EFT(inst.m, tiebreak="min"), backend="array")
+        sim.add_instance(inst)
+        first = sim.run()
+        assert sim.backend_used == "array"
+        again = sim.result()
+        for f in RESULT_FIELDS:
+            assert getattr(first, f) == getattr(again, f), f
+        assert first.schedule.same_placements(again.schedule, tol=0.0)
+
+
+class TestTruncationParity:
+    @pytest.mark.parametrize("until_frac", [0.0, 0.2, 0.5, 0.9, 1.5])
+    def test_truncated_and_resumed_runs(self, until_frac):
+        inst = _workload(rng=7)
+        horizon = max(t.release for t in inst) + sum(t.proc for t in inst) / inst.m
+        until = until_frac * horizon
+        (sa, ra), (sr, rr) = _pair(inst, until=until)
+        _assert_identical(ra, rr)
+        assert sa.now == sr.now
+        assert sa.waiting_profile() == sr.waiting_profile()
+        assert sa.uncompleted_on([1, 2, 3]) == sr.uncompleted_on([1, 2, 3])
+        # resuming after the cutoff continues seamlessly on both
+        fa, fr = sa.run(), sr.run()
+        _assert_identical(fa, fr)
+
+    def test_cutoff_exactly_on_event_times(self):
+        # unit tasks at integer times on one machine: the cutoff falls
+        # exactly on release/complete instants (pinned-order boundary)
+        tasks = [Task(tid=t, release=float(t // 2), proc=1.0) for t in range(8)]
+        inst = Instance(m=2, tasks=tuple(tasks))
+        for until in (0.0, 1.0, 2.0, 3.0):
+            (sa, ra), (sr, rr) = _pair(inst, until=until)
+            _assert_identical(ra, rr)
+            assert sa.backend_used == "array", sa.fallback_reason
+
+    def test_negative_and_pre_release_cutoffs_fall_back(self):
+        inst = _workload(rng=13)
+        sim = Simulator(EFT(inst.m), backend="array")
+        sim.add_instance(inst)
+        r = sim.run(until=-1.0)
+        assert sim.backend_used == "reference"
+        assert "cutoff" in sim.fallback_reason
+        assert r.n_completed == 0
+
+
+class TestShuffledReleases:
+    """Satellite: out-of-release-order feeds must be handled exactly as
+    the reference engine handles them (the event queue re-sorts)."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(1, 40),
+        m=st.integers(1, 5),
+        tiebreak=st.sampled_from(["min", "max"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shuffled_feed_parity(self, seed, n, m, tiebreak):
+        rng = np.random.default_rng(seed)
+        tasks = [
+            Task(
+                tid=i,
+                release=float(rng.integers(0, 10)),
+                proc=float(rng.uniform(0.2, 3.0)),
+                machines=frozenset(
+                    int(j) for j in rng.choice(m, size=rng.integers(1, m + 1), replace=False) + 1
+                ),
+            )
+            for i in range(n)
+        ]
+        order = list(range(n))
+        rng.shuffle(order)
+        shuffled = [tasks[i] for i in order]
+        (sa, ra), (sr, rr) = _pair(
+            Instance(m=m, tasks=tuple(tasks)), tiebreak=tiebreak, feed=shuffled
+        )
+        assert sa.backend_used == "array", sa.fallback_reason
+        _assert_identical(ra, rr)
+        # Feed order only matters through equal-time event ties (the
+        # queue is FIFO at an instant, on both backends); with distinct
+        # releases the shuffled feed must agree with the sorted feed.
+        if len({t.release for t in tasks}) == n:
+            sim = Simulator(EFT(m, tiebreak=tiebreak), backend="reference")
+            sim.add_instance(Instance(m=m, tasks=tuple(tasks)))
+            _assert_identical(ra, sim.run())
+
+
+class TestFallbacks:
+    def test_unknown_backend_is_typed_error(self):
+        with pytest.raises(UnknownBackendError, match="unknown backend"):
+            Simulator(EFT(2), backend="simd")
+        assert issubclass(UnknownBackendError, ValueError)
+
+    def test_rand_tiebreak_falls_back_silently(self):
+        inst = _workload(rng=17)
+        sim = Simulator(EFT(inst.m, tiebreak="rand", rng=1), backend="array")
+        sim.add_instance(inst)
+        ra = sim.run()
+        assert sim.backend_used == "reference"
+        assert "tie-break" in sim.fallback_reason
+        ref = Simulator(EFT(inst.m, tiebreak="rand", rng=1), backend="reference")
+        ref.add_instance(inst)
+        _assert_identical(ra, ref.run())
+
+    def test_observer_falls_back_and_snapshots_stay_byte_identical(self):
+        from repro.obs import SimRecorder
+        from repro.obs.snapshot import metrics_snapshot, metrics_to_json
+
+        inst = _workload(rng=19, n=150)
+        texts = {}
+        for backend in ("auto", "reference"):
+            obs = SimRecorder()
+            sim = Simulator(EFT(inst.m, tiebreak="min"), obs=obs, backend=backend)
+            sim.add_instance(inst)
+            sim.run()
+            assert sim.backend_used == "reference"
+            texts[backend] = metrics_to_json(metrics_snapshot(obs.registry))
+        assert "observer" in Simulator(
+            EFT(inst.m), obs=SimRecorder(), backend="auto"
+        )._array_fallback_reason(None)
+        assert texts["auto"] == texts["reference"]
+
+    def test_fault_schedule_falls_back_but_empty_one_does_not(self):
+        from repro.faults import FaultSchedule
+
+        inst = _workload(rng=23, n=150)
+        faulted = Simulator(
+            EFT(inst.m), faults=FaultSchedule.build([(1, 5.0, 10.0)]), backend="array"
+        )
+        faulted.add_instance(inst)
+        ra = faulted.run()
+        assert faulted.backend_used == "reference"
+        assert "fault" in faulted.fallback_reason
+        ref = Simulator(
+            EFT(inst.m), faults=FaultSchedule.build([(1, 5.0, 10.0)]), backend="reference"
+        )
+        ref.add_instance(inst)
+        rr = ref.run()
+        for f in RESULT_FIELDS:
+            assert getattr(ra, f) == getattr(rr, f), f
+        # the zero-fault identity: an *empty* schedule is expressible
+        empty = Simulator(EFT(inst.m), faults=FaultSchedule.build([]), backend="array")
+        empty.add_instance(inst)
+        re_ = empty.run()
+        assert empty.backend_used == "array", empty.fallback_reason
+        plain = Simulator(EFT(inst.m), backend="reference")
+        plain.add_instance(inst)
+        _assert_identical(re_, plain.run())
+
+    def test_started_simulator_falls_back(self):
+        inst = _workload(rng=29, n=100)
+        sim = Simulator(EFT(inst.m), backend="array")
+        sim.add_instance(inst)
+        sim.run(until=5.0)
+        assert sim.backend_used == "array"
+        sim.add_tasks([Task(tid=10_000, release=50.0, proc=1.0)])
+        sim.run()
+        assert sim.backend_used == "reference"
+        assert "already started" in sim.fallback_reason
+
+    def test_adversary_callback_falls_back(self):
+        inst = _workload(rng=31, n=60)
+        sim = Simulator(EFT(inst.m), backend="array")
+        sim.add_instance(inst)
+        sim.at(1.0, lambda s: None)
+        sim.run()
+        assert sim.backend_used == "reference"
+        assert "OBSERVE" in sim.fallback_reason
+
+
+class TestDynamicWorkloads:
+    @given(seed=st.integers(0, 2**31 - 1), tiebreak=st.sampled_from(["min", "max"]))
+    @settings(max_examples=15, deadline=None)
+    def test_parity_on_rebalance_era_generators(self, seed, tiebreak):
+        from repro.simulation import (
+            DynamicWorkloadSpec,
+            FlashCrowd,
+            HotspotShift,
+            generate_dynamic_workload,
+        )
+
+        spec = DynamicWorkloadSpec(
+            m=6,
+            n=80,
+            rate=FlashCrowd(base=3.0, peak=12.0, start=4.0, duration=3.0),
+            popularity=HotspotShift(m=6, s=1.5, shifts=((8.0, 3),)),
+            k=2,
+        )
+        inst = generate_dynamic_workload(spec, rng=seed)
+        (sa, ra), (sr, rr) = _pair(inst, tiebreak=tiebreak)
+        assert sa.backend_used == "array", sa.fallback_reason
+        _assert_identical(ra, rr)
