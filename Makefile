@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke rebalance-smoke vec-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke chaos-smoke rebalance-smoke vec-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -122,6 +122,33 @@ shard-smoke:
 	cmp results/.shard-smoke/a.sha results/.shard-smoke/b.sha
 	cmp results/.shard-smoke/a.sha results/.shard-smoke/single.sha
 	rm -rf results/.shard-smoke
+
+# Chaos smoke: a seeded chaos drive (drops, truncation, corruption,
+# duplicate delivery) with shard 0 SIGKILLed mid-run must lose nothing,
+# double-dispatch nothing, and — after journal replay — byte-match the
+# clean run's assignment digest.  Recovery stats land in
+# BENCH_recovery.json.
+chaos-smoke:
+	rm -rf results/.chaos-smoke
+	mkdir -p results/.chaos-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 6 --k 2 \
+		--strategy disjoint --shards 3 --rate 400 --n 120 \
+		--proc 0.005 --seed 42 \
+		| tee results/.chaos-smoke/clean.txt
+	PYTHONPATH=src $(PYTHON) -m repro bench-serve --m 6 --k 2 \
+		--strategy disjoint --shards 3 --rate 400 --n 120 \
+		--proc 0.005 --seed 42 \
+		--chaos --chaos-seed 7 --kill-shard 0 --kill-after 0.4 \
+		--recovery-out results/.chaos-smoke/BENCH_recovery.json \
+		| tee results/.chaos-smoke/chaos.txt
+	grep -q "errors: 0" results/.chaos-smoke/chaos.txt
+	grep -q "lost: 0" results/.chaos-smoke/chaos.txt
+	grep -q "double-dispatched: 0" results/.chaos-smoke/chaos.txt
+	grep "assignments sha256" results/.chaos-smoke/clean.txt > results/.chaos-smoke/clean.sha
+	grep "assignments sha256" results/.chaos-smoke/chaos.txt > results/.chaos-smoke/chaos.sha
+	cmp results/.chaos-smoke/clean.sha results/.chaos-smoke/chaos.sha
+	cp results/.chaos-smoke/BENCH_recovery.json BENCH_recovery.json
+	rm -rf results/.chaos-smoke
 
 # Rebalance smoke: on a hotspot-shift workload the adaptive policy
 # must beat both static placements on p99 flow, the recorded trace

@@ -1,0 +1,86 @@
+"""The fault mix of a chaos run.
+
+A :class:`ChaosConfig` is pure data — probabilities, a latency bound
+and a seed — so a chaos experiment is named by its config exactly like
+a campaign is named by its spec: serialise it next to the results and
+the run is reproducible bit-for-bit.
+
+Faults are mutually exclusive *per frame*: for each forwarded frame
+the proxy draws once and picks at most one of drop / truncate /
+corrupt / duplicate, so the probabilities must sum to at most 1 and
+each is an exact per-frame rate.  Latency is orthogonal — every frame
+is delayed by a uniform draw from ``[0, latency]`` seconds before the
+fault draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["ChaosConfig"]
+
+_PROB_FIELDS = ("p_drop", "p_truncate", "p_corrupt", "p_duplicate")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault mix for a :class:`~repro.chaos.proxy.ChaosProxy`.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; per-connection, per-direction streams are derived
+        from it (``stable_seed(seed, conn_id, direction)``), so frame
+        faults do not depend on scheduling order across connections.
+    p_drop:
+        Per-frame probability of dropping the whole connection
+        mid-stream (the frame is not forwarded).
+    p_truncate:
+        Per-frame probability of a partial write: a strict prefix of
+        the frame is forwarded, then the connection closes — the peer
+        sees a mid-header or mid-frame EOF.
+    p_corrupt:
+        Per-frame probability of flipping one body byte — the peer
+        sees undecodable JSON (or a bad length when the flip lands in
+        a small frame's header-adjacent bytes) and must reject it.
+    p_duplicate:
+        Per-frame probability of forwarding the frame twice — the
+        at-least-once delivery failure idempotent submits exist for.
+    latency:
+        Upper bound (seconds) of a uniform per-frame delay; 0 disables.
+    """
+
+    seed: int = 0
+    p_drop: float = 0.0
+    p_truncate: float = 0.0
+    p_corrupt: float = 0.0
+    p_duplicate: float = 0.0
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        total = sum(getattr(self, name) for name in _PROB_FIELDS)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault probabilities sum to {total}, must be <= 1")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault (or delay) can ever fire."""
+        return self.latency > 0 or any(getattr(self, name) > 0 for name in _PROB_FIELDS)
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ChaosConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ChaosConfig fields: {sorted(unknown)}")
+        return cls(**payload)

@@ -1,0 +1,253 @@
+"""A frame-aware chaos proxy for the length-prefixed JSON protocol.
+
+:class:`ChaosProxy` accepts protocol connections on its own endpoint
+and forwards them to an upstream dispatch service, re-framing the
+byte stream so faults land on *frame* boundaries — the failure modes
+a protocol peer actually observes:
+
+* **drop** — the connection dies mid-stream; the frame is lost and
+  both sides see a reset, so an un-acked submit may or may not have
+  reached the server (the ambiguity dedupe keys resolve);
+* **truncate** — a partial write: a strict prefix of the frame goes
+  out, then the connection closes (mid-header or mid-frame EOF);
+* **corrupt** — one body byte is flipped, so the peer reads a
+  well-framed but undecodable message and must reject it cleanly;
+* **duplicate** — the frame is forwarded twice (at-least-once
+  delivery); for a submit this is exactly the double-dispatch hazard
+  idempotent submits must absorb;
+* **latency** — a uniform per-frame delay, the knob that makes ack
+  timeouts and retry backoff observable.
+
+Faults draw from a per-connection, *per-direction*
+:class:`random.Random` seeded ``stable_seed(seed, conn_id,
+direction)``, so a chaos run is a pure function of the config seed and
+the order connections are accepted — one resilient driver reconnecting
+serially sees an exactly reproducible fault sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+from pathlib import Path
+from typing import Any
+
+from ..campaigns.spec import stable_seed
+from ..obs.recorders import MetricsRegistry
+from .config import ChaosConfig
+
+__all__ = ["ChaosProxy"]
+
+_HEADER = struct.Struct(">I")
+
+#: refuse to buffer frames beyond this many bytes (a corrupt upstream
+#: length must not make the *proxy* allocate unboundedly either).
+_MAX_RELAY_FRAME = 1 << 24
+
+
+class _InjectedDrop(Exception):
+    """Internal signal: the fault draw killed this connection."""
+
+
+class ChaosProxy:
+    """Seeded fault injection between a protocol client and service.
+
+    Exactly one upstream endpoint (``upstream_socket`` or
+    ``upstream_host``/``upstream_port``) and one listen endpoint
+    (``listen_socket`` or ``listen_host``/``listen_port``) must be
+    given.  :meth:`start` binds the listener; clients then connect to
+    the proxy exactly as they would to the service.
+    """
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        upstream_socket: str | Path | None = None,
+        upstream_host: str | None = None,
+        upstream_port: int | None = None,
+        listen_socket: str | Path | None = None,
+        listen_host: str | None = None,
+        listen_port: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if (upstream_socket is None) == (upstream_host is None or upstream_port is None):
+            raise ValueError("need exactly one of upstream_socket or upstream_host+port")
+        if (listen_socket is None) == (listen_host is None or listen_port is None):
+            raise ValueError("need exactly one of listen_socket or listen_host+port")
+        self.config = config
+        self.upstream_socket = None if upstream_socket is None else str(upstream_socket)
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.listen_socket = None if listen_socket is None else str(listen_socket)
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self._conns = self.registry.counter("chaos_connections_total")
+        self._frames = self.registry.counter("chaos_frames_total")
+        self._dropped = self.registry.counter("chaos_dropped_total")
+        self._truncated = self.registry.counter("chaos_truncated_total")
+        self._corrupted = self.registry.counter("chaos_corrupted_total")
+        self._duplicated = self.registry.counter("chaos_duplicated_total")
+        self._delayed = self.registry.counter("chaos_delayed_total")
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._next_conn = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("proxy already started")
+        if self.listen_socket is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.listen_socket
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.listen_host, port=self.listen_port
+            )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    # -- the data path -------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn_id = self._next_conn
+        self._next_conn += 1
+        self._conns.inc()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            if self.upstream_socket is not None:
+                up_reader, up_writer = await asyncio.open_unix_connection(self.upstream_socket)
+            else:
+                up_reader, up_writer = await asyncio.open_connection(
+                    self.upstream_host, self.upstream_port
+                )
+        except OSError:
+            writer.close()
+            return
+        c2s = asyncio.ensure_future(self._pump(reader, up_writer, conn_id, "c2s"))
+        s2c = asyncio.ensure_future(self._pump(up_reader, writer, conn_id, "s2c"))
+        try:
+            done, pending = await asyncio.wait(
+                {c2s, s2c}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for p in pending:
+                p.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        except asyncio.CancelledError:
+            # stop() cancelling this handler: absorb it so the streams
+            # machinery doesn't log a cancelled connection task.
+            c2s.cancel()
+            s2c.cancel()
+            await asyncio.gather(c2s, s2c, return_exceptions=True)
+        finally:
+            for w in (writer, up_writer):
+                w.close()
+            for w in (writer, up_writer):
+                try:
+                    await w.wait_closed()
+                except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                    pass
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        conn_id: int,
+        direction: str,
+    ) -> None:
+        """Relay frames one way, applying at most one fault per frame."""
+        rng = random.Random(stable_seed(self.config.seed, conn_id, direction))
+        cfg = self.config
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_HEADER.size)
+                except asyncio.IncompleteReadError:
+                    return  # EOF (clean or mid-header) — just stop relaying
+                (length,) = _HEADER.unpack(header)
+                if length > _MAX_RELAY_FRAME:
+                    # Pass the poisonous header through and let the peer
+                    # reject it; there is no body to relay.
+                    writer.write(header)
+                    await writer.drain()
+                    return
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    return
+                frame = header + body
+                self._frames.inc()
+                if cfg.latency > 0:
+                    self._delayed.inc()
+                    await asyncio.sleep(rng.uniform(0.0, cfg.latency))
+                draw = rng.random()
+                if draw < cfg.p_drop:
+                    self._dropped.inc()
+                    raise _InjectedDrop
+                draw -= cfg.p_drop
+                if draw < cfg.p_truncate:
+                    self._truncated.inc()
+                    cut = rng.randrange(1, len(frame))
+                    writer.write(frame[:cut])
+                    await writer.drain()
+                    raise _InjectedDrop
+                draw -= cfg.p_truncate
+                if draw < cfg.p_corrupt:
+                    self._corrupted.inc()
+                    frame = self._flip_byte(frame, rng)
+                    writer.write(frame)
+                    await writer.drain()
+                    continue
+                draw -= cfg.p_corrupt
+                if draw < cfg.p_duplicate:
+                    self._duplicated.inc()
+                    writer.write(frame + frame)
+                    await writer.drain()
+                    continue
+                writer.write(frame)
+                await writer.drain()
+        except (_InjectedDrop, ConnectionError, BrokenPipeError):
+            return
+
+    @staticmethod
+    def _flip_byte(frame: bytes, rng: random.Random) -> bytes:
+        """Flip one *body* byte (the length prefix stays honest, so the
+        peer reads exactly the frame and fails to decode it)."""
+        if len(frame) <= _HEADER.size:  # pragma: no cover - headers imply a body here
+            return frame
+        i = rng.randrange(_HEADER.size, len(frame))
+        return frame[:i] + bytes([frame[i] ^ 0xFF]) + frame[i + 1 :]
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "connections": self._conns.value,
+            "frames": self._frames.value,
+            "dropped": self._dropped.value,
+            "truncated": self._truncated.value,
+            "corrupted": self._corrupted.value,
+            "duplicated": self._duplicated.value,
+            "delayed": self._delayed.value,
+        }

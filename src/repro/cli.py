@@ -291,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between snapshots (with --snapshot)")
     p.add_argument("--faults", default=None, metavar="PATH",
                    help="repro-faults JSON schedule to kill/revive workers at runtime")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="write-ahead journal directory: every state transition is logged "
+                   "before acking, and a restart with the same --journal recovers the "
+                   "dispatcher exactly (crash-safe serve)")
+    p.add_argument("--journal-fsync", default="commit", choices=["commit", "batch", "never"],
+                   help="journal durability: fsync per committed op, per batch, or never")
+    p.add_argument("--journal-snapshot-every", type=int, default=0, metavar="N",
+                   help="compact the journal with a snapshot every N records (0: never)")
 
     p = sub.add_parser(
         "serve-sharded",
@@ -363,6 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run N real server processes with client-side shard routing "
                    "(N=1 is the fair single-server baseline; disjoint plans keep the "
                    "digest identical to an unsharded run)")
+    p.add_argument("--chaos", action="store_true",
+                   help="with --shards: journalled servers under a supervisor, driven "
+                   "through a seeded chaos proxy by the resilient client")
+    p.add_argument("--chaos-seed", type=int, default=0, help="chaos fault-stream seed")
+    p.add_argument("--chaos-drop", type=float, default=0.02,
+                   help="per-frame probability of dropping the connection")
+    p.add_argument("--chaos-truncate", type=float, default=0.01,
+                   help="per-frame probability of a partial write then close")
+    p.add_argument("--chaos-corrupt", type=float, default=0.02,
+                   help="per-frame probability of flipping one body byte")
+    p.add_argument("--chaos-duplicate", type=float, default=0.05,
+                   help="per-frame probability of delivering the frame twice")
+    p.add_argument("--chaos-latency", type=float, default=0.0,
+                   help="upper bound (s) of a uniform per-frame delay")
+    p.add_argument("--kill-shard", type=int, default=None, metavar="SID",
+                   help="with --chaos: SIGKILL this shard's server mid-drive and let "
+                   "the supervisor recover it from its journal")
+    p.add_argument("--kill-after", type=float, default=0.5, metavar="FRAC",
+                   help="when to kill, as a fraction of the workload's release span")
+    p.add_argument("--recovery-out", default=None, metavar="PATH",
+                   help="with --chaos: write recovery-time + fault stats JSON here")
 
     p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
     p.add_argument("--m", type=int, default=8)
@@ -835,11 +864,17 @@ def _load_faults(path: str | None):
     return FaultSchedule.from_json(Path(path).read_text())
 
 
-def _run_serve(args) -> str:
+#: exit code of ``serve``/``serve-sharded`` on an already-bound
+#: endpoint — distinct from generic failure so wrappers can tell
+#: "pick another socket" from "the service crashed".
+EXIT_ADDRESS_IN_USE = 4
+
+
+def _run_serve(args):
     import asyncio
     import json
 
-    from .serve import ServeConfig, serve
+    from .serve import AddressInUseError, ServeConfig, serve
 
     _check_endpoint("serve", args)
     config = ServeConfig(
@@ -852,24 +887,30 @@ def _run_serve(args) -> str:
         on_unavailable=args.on_unavailable,
         snapshot_path=args.snapshot,
         snapshot_every=args.snapshot_every,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        journal_snapshot_every=args.journal_snapshot_every,
     )
-    stats = asyncio.run(
-        serve(
-            config,
-            socket_path=args.socket,
-            host=args.host if args.socket is None else None,
-            port=args.port,
-            faults=_load_faults(args.faults),
+    try:
+        stats = asyncio.run(
+            serve(
+                config,
+                socket_path=args.socket,
+                host=args.host if args.socket is None else None,
+                port=args.port,
+                faults=_load_faults(args.faults),
+            )
         )
-    )
+    except AddressInUseError as exc:
+        return f"serve: {exc}", EXIT_ADDRESS_IN_USE
     return "final stats:\n" + json.dumps(stats, indent=2, sort_keys=True)
 
 
-def _run_serve_sharded(args) -> str:
+def _run_serve_sharded(args):
     import asyncio
     import json
 
-    from .serve import ShardServeConfig, serve_sharded
+    from .serve import AddressInUseError, ShardServeConfig, serve_sharded
 
     _check_endpoint("serve-sharded", args)
     config = ShardServeConfig(
@@ -885,15 +926,18 @@ def _run_serve_sharded(args) -> str:
         snapshot_path=args.snapshot,
         snapshot_every=args.snapshot_every,
     )
-    stats = asyncio.run(
-        serve_sharded(
-            config,
-            socket_path=args.socket,
-            host=args.host if args.socket is None else None,
-            port=args.port,
-            faults=_load_faults(args.faults),
+    try:
+        stats = asyncio.run(
+            serve_sharded(
+                config,
+                socket_path=args.socket,
+                host=args.host if args.socket is None else None,
+                port=args.port,
+                faults=_load_faults(args.faults),
+            )
         )
-    )
+    except AddressInUseError as exc:
+        return f"serve-sharded: {exc}", EXIT_ADDRESS_IN_USE
     return "final stats:\n" + json.dumps(stats, indent=2, sort_keys=True)
 
 
@@ -979,6 +1023,8 @@ def _run_bench_serve(args) -> str:
         proc=args.proc,
         seed=args.seed,
     )
+    if args.chaos and args.shards is None:
+        raise SystemExit("bench-serve --chaos requires --shards")
     if args.shards is not None:
         if args.slo is not None or args.max_queue is not None or args.faults or args.metrics:
             raise SystemExit(
@@ -987,6 +1033,38 @@ def _run_bench_serve(args) -> str:
         from .serve import plan_for_instance, run_sharded_loopback_sync
 
         plan = plan_for_instance(instance, args.shards)
+        if args.chaos:
+            import json
+
+            from .chaos import ChaosConfig
+            from .serve import run_chaos_loopback_sync
+
+            result = run_chaos_loopback_sync(
+                instance,
+                args.shards,
+                scheduler=args.scheduler,
+                seed=args.seed,
+                time_scale=args.time_scale,
+                target_rate=args.rate,
+                plan=plan,
+                chaos=ChaosConfig(
+                    seed=args.chaos_seed,
+                    p_drop=args.chaos_drop,
+                    p_truncate=args.chaos_truncate,
+                    p_corrupt=args.chaos_corrupt,
+                    p_duplicate=args.chaos_duplicate,
+                    latency=args.chaos_latency,
+                ),
+                kill_shard=args.kill_shard,
+                kill_after=args.kill_after,
+            )
+            lines = [plan.describe(), result.to_text()]
+            if args.recovery_out:
+                with open(args.recovery_out, "w", encoding="utf-8") as fh:
+                    json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                lines.append(f"recovery stats: {args.recovery_out}")
+            return "\n".join(lines)
         report = run_sharded_loopback_sync(
             instance,
             args.shards,

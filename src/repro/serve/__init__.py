@@ -23,7 +23,16 @@ live asyncio service rather than inside the discrete-event simulator:
 * :mod:`~repro.serve.shard` — the sharded tier: :class:`ShardPlan`
   partitioning, the interval-aware :class:`ShardRouter` with
   cross-shard failure handoff, the ``serve-sharded`` frontend and the
-  multi-process ``bench-serve --shards N`` driver.
+  multi-process ``bench-serve --shards N`` driver;
+* :mod:`~repro.serve.journal` — the write-ahead operation log that
+  makes a dispatcher crash-recoverable (``Dispatcher.recover``);
+* :mod:`~repro.serve.supervisor` — shard-process supervision: death
+  detection, restart, journal replay, fleet rejoin;
+* :mod:`~repro.serve.resilient` — the chaos-tolerant client driver:
+  retry with backoff, dedupe-keyed idempotent submits, circuit
+  breaker;
+* :mod:`~repro.serve.chaosbench` — the end-to-end chaos benchmark
+  (``repro bench-serve --chaos``).
 """
 
 from .admission import SHED_QUEUE_FULL, SHED_SLO, AdmissionController, estimated_flow
@@ -35,13 +44,22 @@ from .dispatcher import (
     DispatchDecision,
     Dispatcher,
 )
+from .chaosbench import ChaosBenchResult, run_chaos_loopback, run_chaos_loopback_sync
 from .driver import DriveReport, build_drive_instance, drive, percentile
-from .frontend import ServeConfig, ServeService, build_service, serve
+from .frontend import AddressInUseError, ServeConfig, ServeService, build_service, serve
+from .journal import (
+    Journal,
+    JournalCorruptError,
+    JournalError,
+    JournalRecord,
+    Recovery,
+)
 from .loopback import run_loopback, run_loopback_sync
 from .metrics import ServeMetrics
 from .protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
+    FrameTooLargeError,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -53,6 +71,8 @@ from .protocol import (
     versioned,
     write_frame,
 )
+from .resilient import CircuitBreaker, ClientResilience, ResilienceExhausted, drive_resilient
+from .supervisor import ShardSupervisor
 from .shadow import check_shadow_golden, shadow_golden_trace, shadow_replay, shadow_trace
 from .shard import (
     Route,
@@ -73,16 +93,27 @@ from .shard import (
 )
 
 __all__ = [
+    "AddressInUseError",
     "AdmissionController",
+    "ChaosBenchResult",
+    "CircuitBreaker",
+    "ClientResilience",
     "DISPATCHED",
     "DispatchDecision",
     "Dispatcher",
     "DriveReport",
+    "FrameTooLargeError",
+    "Journal",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalRecord",
     "MAX_FRAME",
     "PARKED",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "REQUEUED",
+    "Recovery",
+    "ResilienceExhausted",
     "Route",
     "RoutedDecision",
     "SHED",
@@ -95,6 +126,7 @@ __all__ = [
     "ShardRouter",
     "ShardServeConfig",
     "ShardServeService",
+    "ShardSupervisor",
     "build_drive_instance",
     "build_service",
     "build_sharded_service",
@@ -103,12 +135,15 @@ __all__ = [
     "check_version",
     "decode_frame",
     "drive",
+    "drive_resilient",
     "encode_frame",
     "estimated_flow",
     "partition_instance",
     "percentile",
     "plan_for_instance",
     "read_frame",
+    "run_chaos_loopback",
+    "run_chaos_loopback_sync",
     "run_loopback",
     "run_loopback_sync",
     "run_sharded_loopback",

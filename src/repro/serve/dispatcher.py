@@ -31,13 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
-from typing import Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.dispatch import ImmediateDispatchScheduler
 from ..core.schedule import Schedule
 from ..core.task import Instance, Task
 from .admission import AdmissionController
 from .metrics import ServeMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .journal import Journal, Recovery
 
 __all__ = [
     "DISPATCHED",
@@ -375,3 +378,107 @@ class Dispatcher:
         still-parked requests excluded)."""
         inst = Instance(m=self.m, tasks=tuple(self._tasks.values()))
         return Schedule(inst, dict(self.placements))
+
+    # -- crash recovery ------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Everything a journal snapshot needs to rebuild this
+        dispatcher mid-stream: the books, the alive set, the parking
+        lot, and the scheduler's decision-relevant state (completion
+        horizons, task counts, release watermark, and — for randomised
+        tie-breaks — the RNG state, so post-restore draws continue the
+        crashed process's sequence exactly)."""
+        from .protocol import task_to_wire
+
+        scheduler_state: dict[str, Any] = {
+            "completions": {str(j): c for j, c in self.scheduler.completions.items()},
+            "task_counts": {str(j): c for j, c in self.scheduler.task_counts.items()},
+            "last_release": self.scheduler._last_release,
+        }
+        cursor = getattr(self.scheduler, "_cursor", None)
+        if cursor is not None:
+            scheduler_state["cursor"] = cursor
+        rng = getattr(self.scheduler, "rng", None)
+        if rng is None:
+            rng = getattr(getattr(self.scheduler, "tiebreak", None), "rng", None)
+        if rng is not None:
+            scheduler_state["rng_state"] = rng.bit_generator.state
+        return {
+            "m": self.m,
+            "on_unavailable": self.on_unavailable,
+            "alive": sorted(self.alive),
+            "parked": [task_to_wire(t) for t in self.parked],
+            "tasks": [task_to_wire(t) for t in self._tasks.values()],
+            "placements": {
+                str(tid): [machine, start] for tid, (machine, start) in self.placements.items()
+            },
+            "inflight": {str(j): sorted(h) for j, h in self._inflight.items()},
+            "counters": {
+                "n_dispatched": self.n_dispatched,
+                "n_shed": self.n_shed,
+                "n_requeued": self.n_requeued,
+            },
+            "scheduler": scheduler_state,
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`state_dict` output onto this (freshly built)
+        dispatcher.  The scheduler must be wired the same way as the
+        one that produced the snapshot."""
+        from .protocol import task_from_wire
+
+        if int(state["m"]) != self.m:
+            raise ValueError(f"snapshot has m={state['m']}, dispatcher has m={self.m}")
+        self.alive = set(int(j) for j in state["alive"])
+        self.parked = [task_from_wire(w) for w in state["parked"]]
+        self._tasks = {t.tid: t for t in (task_from_wire(w) for w in state["tasks"])}
+        self.placements = {
+            int(tid): (int(machine), float(start))
+            for tid, (machine, start) in state["placements"].items()
+        }
+        self._inflight = {int(j): list(h) for j, h in state["inflight"].items()}
+        for heap in self._inflight.values():
+            heapify(heap)
+        counters = state["counters"]
+        self.n_dispatched = int(counters["n_dispatched"])
+        self.n_shed = int(counters["n_shed"])
+        self.n_requeued = int(counters["n_requeued"])
+        sched = state["scheduler"]
+        self.scheduler.completions = {int(j): float(c) for j, c in sched["completions"].items()}
+        self.scheduler.task_counts = {int(j): int(c) for j, c in sched["task_counts"].items()}
+        self.scheduler._last_release = float(sched["last_release"])
+        if "cursor" in sched and hasattr(self.scheduler, "_cursor"):
+            self.scheduler._cursor = int(sched["cursor"])
+        if "rng_state" in sched:
+            rng = getattr(self.scheduler, "rng", None)
+            if rng is None:
+                rng = getattr(getattr(self.scheduler, "tiebreak", None), "rng", None)
+            if rng is None:
+                raise ValueError(
+                    "snapshot carries RNG state but the scheduler has no rng — "
+                    "recovery must be wired with the same scheduler kind"
+                )
+            rng.bit_generator.state = sched["rng_state"]
+
+    @classmethod
+    def recover(
+        cls,
+        journal: "Journal",
+        scheduler: ImmediateDispatchScheduler,
+        admission: AdmissionController | None = None,
+        metrics: ServeMetrics | None = None,
+        on_unavailable: str = "park",
+    ) -> "Recovery":
+        """Rebuild a dispatcher from a write-ahead ``journal``: restore
+        the latest snapshot (if any), then replay the WAL suffix.  The
+        scheduler/admission wiring must match the crashed process's —
+        replay re-derives every decision, byte-for-byte.  Returns the
+        full :class:`~repro.serve.journal.Recovery` (the dispatcher is
+        ``recovery.dispatcher``)."""
+        from .journal import recover as _recover
+
+        return _recover(
+            journal,
+            lambda: cls(
+                scheduler, admission=admission, metrics=metrics, on_unavailable=on_unavailable
+            ),
+        )

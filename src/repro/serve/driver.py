@@ -64,6 +64,9 @@ class DriveReport:
     n_shed: int = 0
     n_parked: int = 0
     n_errors: int = 0
+    n_retries: int = 0
+    n_reconnects: int = 0
+    n_dup_acks: int = 0
     shed_by_reason: dict[str, int] = field(default_factory=dict)
     est_flows: list[float] = field(default_factory=list)
     assignments: list[tuple[int, int]] = field(default_factory=list)
@@ -99,6 +102,11 @@ class DriveReport:
             )
             + f"  parked: {self.n_parked}",
         ]
+        if self.n_retries or self.n_reconnects or self.n_dup_acks:
+            lines.append(
+                f"resilience: retries {self.n_retries}  reconnects {self.n_reconnects}  "
+                f"duplicate acks {self.n_dup_acks}"
+            )
         if self.est_flows:
             lines.append(
                 "est flow (virtual units): "
@@ -147,6 +155,9 @@ class DriveReport:
             merged.n_shed += r.n_shed
             merged.n_parked += r.n_parked
             merged.n_errors += r.n_errors
+            merged.n_retries += r.n_retries
+            merged.n_reconnects += r.n_reconnects
+            merged.n_dup_acks += r.n_dup_acks
             for reason, count in r.shed_by_reason.items():
                 merged.shed_by_reason[reason] = merged.shed_by_reason.get(reason, 0) + count
             placed.extend(

@@ -29,6 +29,10 @@ service.
 from __future__ import annotations
 
 import asyncio
+import errno
+import socket as socket_module
+import stat as stat_module
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -38,17 +42,90 @@ from ..faults.schedule import FaultSchedule
 from ..obs.snapshot import write_metrics
 from .admission import AdmissionController
 from .dispatcher import DISPATCHED, REQUEUED, DispatchDecision, Dispatcher
+from .journal import Journal, Recovery
 from .metrics import ServeMetrics
 from .protocol import (
     ProtocolError,
     check_version,
     read_frame,
     task_from_wire,
+    task_to_wire,
     version_error,
     write_frame,
 )
 
-__all__ = ["ServeConfig", "ServeService", "build_service", "serve"]
+__all__ = [
+    "AddressInUseError",
+    "ServeConfig",
+    "ServeService",
+    "build_service",
+    "serve",
+    "start_endpoint",
+]
+
+
+class AddressInUseError(OSError):
+    """The requested socket path / TCP port is already bound.
+
+    Raised instead of letting the raw :class:`OSError` escape as an
+    asyncio traceback, so callers (and the CLI, which maps this to its
+    own exit code) can tell "the operator pointed two services at one
+    endpoint" apart from every other failure.
+    """
+
+    def __init__(self, endpoint: str, cause: OSError) -> None:
+        super().__init__(cause.errno, f"address already in use: {endpoint}")
+        self.endpoint = endpoint
+
+
+async def start_endpoint(
+    on_connection: Any,
+    socket_path: str | Path | None = None,
+    host: str | None = None,
+    port: int | None = None,
+) -> asyncio.AbstractServer:
+    """Bind the server endpoint, translating EADDRINUSE into the typed
+    :class:`AddressInUseError` (shared by ``serve`` and
+    ``serve_sharded``).
+
+    TCP binds surface EADDRINUSE on their own.  Unix sockets need a
+    probe: asyncio *unlinks* an existing socket path before binding —
+    it would silently steal the endpoint from a live service — so an
+    existing path that still accepts connections is refused here, and
+    only a stale one (dead server, connection refused) is rebound.
+    """
+    try:
+        if socket_path is not None:
+            path = str(socket_path)
+            if _unix_socket_active(path):
+                raise AddressInUseError(path, OSError(errno.EADDRINUSE, "address in use"))
+            return await asyncio.start_unix_server(on_connection, path=path)
+        return await asyncio.start_server(on_connection, host=host, port=port)
+    except AddressInUseError:
+        raise
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            endpoint = str(socket_path) if socket_path is not None else f"{host}:{port}"
+            raise AddressInUseError(endpoint, exc) from exc
+        raise
+
+
+def _unix_socket_active(path: str) -> bool:
+    """Whether ``path`` is a unix socket with a live listener behind it."""
+    try:
+        if not stat_module.S_ISSOCK(Path(path).stat().st_mode):
+            return False
+    except OSError:
+        return False
+    probe = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(path)
+    except OSError:
+        return False  # stale socket file: safe to rebind
+    finally:
+        probe.close()
+    return True
 
 
 @dataclass(frozen=True)
@@ -60,6 +137,14 @@ class ServeConfig:
     wall seconds.  ``slo`` / ``max_queue_depth`` configure admission
     (``None`` disables each); ``snapshot_path`` + ``snapshot_every``
     enable the periodic canonical metrics dump.
+
+    ``journal_dir`` enables the write-ahead journal
+    (:mod:`repro.serve.journal`): every state transition is logged
+    before it is acknowledged, and a service built over a directory
+    that already holds a journal *recovers* — snapshot restore plus WAL
+    replay — before accepting traffic.  ``journal_fsync`` picks the
+    durability policy; ``journal_snapshot_every`` triggers a state
+    snapshot + log compaction every N journal records (0 = never).
     """
 
     m: int = 4
@@ -71,6 +156,9 @@ class ServeConfig:
     on_unavailable: str = "park"
     snapshot_path: str | None = None
     snapshot_every: float = 1.0
+    journal_dir: str | None = None
+    journal_fsync: str = "commit"
+    journal_snapshot_every: int = 0
 
     def __post_init__(self) -> None:
         if self.m < 1:
@@ -79,20 +167,57 @@ class ServeConfig:
             raise ValueError("time_scale must be > 0")
         if self.snapshot_every <= 0:
             raise ValueError("snapshot_every must be > 0")
+        if self.journal_snapshot_every < 0:
+            raise ValueError("journal_snapshot_every must be >= 0")
 
 
 def build_service(config: ServeConfig) -> "ServeService":
-    """Wire a :class:`ServeService` from a :class:`ServeConfig`."""
+    """Wire a :class:`ServeService` from a :class:`ServeConfig`.
+
+    With ``journal_dir`` set, an existing journal there is recovered:
+    the dispatcher is rebuilt decision-for-decision (the replay also
+    re-drives the metrics recorders), recovery counters land in the
+    registry, and the service resumes the unfinished work on start.
+    """
     scheduler = make_scheduler(config.scheduler, config.m, seed=config.seed)
     metrics = ServeMetrics()
     admission = AdmissionController(slo=config.slo, max_queue_depth=config.max_queue_depth)
-    dispatcher = Dispatcher(
-        scheduler,
-        admission=admission if admission.enabled else None,
-        metrics=metrics,
-        on_unavailable=config.on_unavailable,
+    admission = admission if admission.enabled else None
+    journal: Journal | None = None
+    recovery: Recovery | None = None
+    if config.journal_dir is not None:
+        journal = Journal(config.journal_dir, fsync=config.journal_fsync)
+        if journal.has_state:
+            t0 = time.perf_counter()
+            recovery = Dispatcher.recover(
+                journal,
+                scheduler,
+                admission=admission,
+                metrics=metrics,
+                on_unavailable=config.on_unavailable,
+            )
+            registry = metrics.registry
+            registry.counter("recovery_runs_total").inc()
+            registry.counter("recovery_replayed_total").inc(recovery.n_replayed)
+            registry.counter("recovery_dropped_tail_total").inc(recovery.n_dropped_tail)
+            registry.gauge("recovery_seconds").set(time.perf_counter() - t0)
+    if recovery is not None:
+        dispatcher = recovery.dispatcher
+    else:
+        dispatcher = Dispatcher(
+            scheduler,
+            admission=admission,
+            metrics=metrics,
+            on_unavailable=config.on_unavailable,
+        )
+    return ServeService(
+        dispatcher,
+        metrics,
+        time_scale=config.time_scale,
+        journal=journal,
+        recovery=recovery,
+        journal_snapshot_every=config.journal_snapshot_every,
     )
-    return ServeService(dispatcher, metrics, time_scale=config.time_scale)
 
 
 class ServeService:
@@ -104,7 +229,13 @@ class ServeService:
     """
 
     def __init__(
-        self, dispatcher: Dispatcher, metrics: ServeMetrics, time_scale: float = 1.0
+        self,
+        dispatcher: Dispatcher,
+        metrics: ServeMetrics,
+        time_scale: float = 1.0,
+        journal: Journal | None = None,
+        recovery: Recovery | None = None,
+        journal_snapshot_every: int = 0,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be > 0")
@@ -112,6 +243,9 @@ class ServeService:
         self.metrics = metrics
         self.time_scale = time_scale
         self.m = dispatcher.m
+        self.journal = journal
+        self.recovery = recovery
+        self.journal_snapshot_every = journal_snapshot_every
         self._queues: dict[int, asyncio.Queue] = {}
         self._workers: list[asyncio.Task] = []
         self._t0: float | None = None
@@ -119,6 +253,51 @@ class ServeService:
         self._idle = asyncio.Event()
         self._idle.set()
         self.n_completed = 0
+        self._completed_tids: set[int] = set()
+        #: dedupe key -> original decision (idempotent retries are
+        #: answered from here without touching the dispatcher).
+        self._dedupe: dict[str, DispatchDecision] = {}
+        if recovery is not None:
+            self.n_completed = recovery.n_completed
+            self._completed_tids = set(recovery.completed)
+            self._dedupe = dict(recovery.dedupe)
+
+    # -- journal plumbing ----------------------------------------------------
+    def _journal_append(self, kind: str, data: dict[str, Any], commit: bool = False) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, data, commit=commit)
+
+    def _maybe_snapshot(self) -> None:
+        journal = self.journal
+        if (
+            journal is None
+            or self.journal_snapshot_every <= 0
+            or journal.seq - journal.snapshot_seq < self.journal_snapshot_every
+        ):
+            return
+        journal.write_snapshot(self._snapshot_state())
+        self.metrics.registry.counter("journal_snapshots_total").inc()
+
+    def _snapshot_state(self) -> dict[str, Any]:
+        dedupe_wire = {
+            key: {
+                "task": task_to_wire(d.task),
+                "status": d.status,
+                "machine": d.machine,
+                "start": d.start,
+                "est_flow": d.est_flow,
+                "reason": d.reason,
+            }
+            for key, d in self._dedupe.items()
+        }
+        return {
+            "dispatcher": self.dispatcher.state_dict(),
+            "service": {
+                "completed": sorted(self._completed_tids),
+                "n_completed": self.n_completed,
+                "dedupe": dedupe_wire,
+            },
+        }
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
@@ -131,12 +310,24 @@ class ServeService:
             loop.create_task(self._worker(j), name=f"serve-worker-{j}")
             for j in range(1, self.m + 1)
         ]
+        if self.recovery is not None:
+            # Re-enqueue the work the crashed process had placed but
+            # not finished (at-least-once service; dispatch stays
+            # exactly-once through the journal + dedupe cache).
+            arrival = loop.time()
+            for tid, machine in self.recovery.pending():
+                task = self.dispatcher._tasks[tid]
+                self._outstanding += 1
+                self._idle.clear()
+                self._queues[machine].put_nowait((task, arrival))
 
     async def stop(self) -> None:
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        if self.journal is not None:
+            self.journal.close()
 
     def now(self) -> float:
         """Wall time since :meth:`start`, in virtual units."""
@@ -173,6 +364,10 @@ class ServeService:
             loop_now = asyncio.get_running_loop().time()
             self.metrics.on_complete((loop_now - arrival) / self.time_scale)
             self.n_completed += 1
+            self._completed_tids.add(task.tid)
+            # Completion durability rides the batch: a torn tail
+            # ``complete`` only re-serves idempotent simulated work.
+            self._journal_append("complete", {"tid": task.tid})
             self._outstanding -= 1
             self._settle()
 
@@ -181,7 +376,9 @@ class ServeService:
             self._idle.set()
 
     def _route_displaced(self, task, arrival: float) -> None:
-        decision = self.dispatcher.redispatch(task, self.now())
+        now = self.now()
+        self._journal_append("redispatch", {"tid": task.tid, "now": now}, commit=True)
+        decision = self.dispatcher.redispatch(task, now)
         if decision.status == REQUEUED:
             self._outstanding += 1
             self._idle.clear()
@@ -200,6 +397,7 @@ class ServeService:
         """Stop ``machine``: no further dispatches, queued requests are
         re-dispatched over the alive machines (the in-flight request
         finishes — drain-on-failure).  Returns how many were displaced."""
+        self._journal_append("kill", {"machine": machine, "now": self.now()}, commit=True)
         self.dispatcher.kill(machine)
         displaced = []
         queue = self._queues.get(machine)
@@ -216,7 +414,9 @@ class ServeService:
         """Revive ``machine`` and enqueue any unparked requests;
         returns how many left the parking lot."""
         arrival = asyncio.get_running_loop().time()
-        unparked = self.dispatcher.revive(machine, self.now())
+        now = self.now()
+        self._journal_append("revive", {"machine": machine, "now": now}, commit=True)
+        unparked = self.dispatcher.revive(machine, now)
         for decision in unparked:
             self._outstanding += 1
             self._idle.clear()
@@ -247,7 +447,7 @@ class ServeService:
         """Service counters plus the live metrics snapshot (the
         ``stats`` op payload)."""
         d = self.dispatcher
-        return {
+        stats: dict[str, Any] = {
             "now": self.now(),
             "m": self.m,
             "alive": sorted(d.alive),
@@ -260,6 +460,19 @@ class ServeService:
             "outstanding": self._outstanding,
             "metrics": self.metrics.registry.snapshot(),
         }
+        if self.journal is not None:
+            stats["journal"] = {
+                "seq": self.journal.seq,
+                "snapshot_seq": self.journal.snapshot_seq,
+                "dedupe_keys": len(self._dedupe),
+            }
+        if self.recovery is not None:
+            stats["recovered"] = {
+                "replayed": self.recovery.n_replayed,
+                "dropped_tail": self.recovery.n_dropped_tail,
+                "completed_precrash": self.recovery.n_completed,
+            }
+        return stats
 
     async def snapshot_loop(self, path: str | Path, every: float) -> None:
         """Periodically dump the canonical metrics snapshot to ``path``
@@ -277,7 +490,11 @@ class ServeService:
         stop_event: asyncio.Event | None = None,
     ) -> None:
         """Serve one protocol connection until EOF (or ``shutdown``,
-        which also sets ``stop_event`` for the server loop)."""
+        which also sets ``stop_event`` for the server loop).  A peer
+        that vanishes mid-response (reset, broken pipe — routine under
+        chaos) just ends the connection; state already committed for
+        the request stays committed, and the client's retry will be
+        answered from the dedupe cache."""
         try:
             while True:
                 try:
@@ -294,12 +511,27 @@ class ServeService:
                     if stop_event is not None:
                         stop_event.set()
                     break
+        except (ConnectionError, BrokenPipeError):
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    @staticmethod
+    def _submit_response(decision: DispatchDecision) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "submit",
+            "tid": decision.task.tid,
+            "status": decision.status,
+            "machine": decision.machine,
+            "start": decision.start,
+            "est_flow": decision.est_flow,
+            "reason": decision.reason,
+        }
 
     async def _handle_op(self, message: dict[str, Any]) -> dict[str, Any]:
         complaint = check_version(message)
@@ -310,21 +542,39 @@ class ServeService:
         if op == "ping":
             return {"ok": True, "op": "pong", "now": self.now()}
         if op == "submit":
+            key = message.get("dedupe")
+            if key is not None and not isinstance(key, str):
+                self.metrics.on_error()
+                return {
+                    "ok": False,
+                    "op": "submit",
+                    "tid": message.get("tid"),
+                    "error": f"dedupe key must be a string, got {type(key).__name__}",
+                }
+            if key is not None and key in self._dedupe:
+                self.metrics.registry.counter("dedupe_hits_total").inc()
+                return self._submit_response(self._dedupe[key])
             try:
-                decision = self.submit(task_from_wire(message))
-            except (ProtocolError, ValueError) as exc:
+                task = task_from_wire(message)
+            except ProtocolError as exc:
                 self.metrics.on_error()
                 return {"ok": False, "op": "submit", "tid": message.get("tid"), "error": str(exc)}
-            return {
-                "ok": True,
-                "op": "submit",
-                "tid": decision.task.tid,
-                "status": decision.status,
-                "machine": decision.machine,
-                "start": decision.start,
-                "est_flow": decision.est_flow,
-                "reason": decision.reason,
-            }
+            # Write-ahead: the journal record lands (and syncs) before
+            # the decision is taken or acknowledged, so a crash after
+            # this line replays the submit and a retried duplicate hits
+            # the rebuilt dedupe cache instead of re-dispatching.
+            self._journal_append(
+                "submit", {"task": task_to_wire(task), "dedupe": key}, commit=True
+            )
+            try:
+                decision = self.submit(task)
+            except ValueError as exc:
+                self.metrics.on_error()
+                return {"ok": False, "op": "submit", "tid": message.get("tid"), "error": str(exc)}
+            if key is not None:
+                self._dedupe[key] = decision
+            self._maybe_snapshot()
+            return self._submit_response(decision)
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.stats()}
         if op == "drain":
@@ -358,10 +608,13 @@ async def serve(
     async def on_connection(reader, writer):
         await service.handle_connection(reader, writer, stop_event)
 
-    if socket_path is not None:
-        server = await asyncio.start_unix_server(on_connection, path=str(socket_path))
-    else:
-        server = await asyncio.start_server(on_connection, host=host, port=port)
+    try:
+        server = await start_endpoint(
+            on_connection, socket_path=socket_path, host=host, port=port
+        )
+    except OSError:
+        await service.stop()
+        raise
     background: list[asyncio.Task] = []
     loop = asyncio.get_running_loop()
     if faults is not None and faults:

@@ -12,11 +12,14 @@ Requests are objects with an ``op`` field:
     liveness probe; answered with ``{"ok": true, "op": "pong", "now": t}``
     where ``t`` is the service's current *virtual* time.
 ``{"op": "submit", "tid": i, "release": r, "proc": p,
-  "machine_set": [..] | null, "key": k | null}``
+  "machine_set": [..] | null, "key": k | null, "dedupe": d | null}``
     one request of the online stream (the wire form of
     :class:`repro.core.task.Task`); answered immediately with the
     dispatch decision — the service never blocks a submit on service
-    completion.
+    completion.  ``dedupe`` (optional) is an idempotency key: a repeat
+    submit carrying a key the service has already decided is answered
+    with the *original* decision and dispatches nothing, so a client
+    retrying over a lossy link can never double-dispatch.
 ``{"op": "stats"}``
     answered with the live metrics snapshot and service counters.
 ``{"op": "drain"}``
@@ -49,13 +52,16 @@ from typing import Any
 from ..core.task import Task
 
 __all__ = [
+    "FrameTooLargeError",
     "MAX_FRAME",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "check_version",
     "decode_frame",
     "encode_frame",
+    "parse_length",
     "read_frame",
+    "validate_length",
     "task_from_wire",
     "task_to_wire",
     "version_error",
@@ -76,11 +82,47 @@ class ProtocolError(ValueError):
     """Raised on malformed frames or messages."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A declared (or encoded) frame length exceeds :data:`MAX_FRAME`.
+
+    Typed separately from the generic :class:`ProtocolError` so callers
+    can distinguish an adversarial/corrupt length prefix — which must
+    never turn into an unbounded read — from ordinary framing damage."""
+
+
+def parse_length(header: bytes) -> int:
+    """Validate a length prefix and return the frame body length.
+
+    The wire prefix is a 4-byte big-endian unsigned int, but this
+    accepts any ``bytes`` of the right size and enforces the full
+    contract: a short/long header, a non-integer or negative length
+    (possible if a future transport hands lengths around out-of-band)
+    is a :class:`ProtocolError`; a length beyond :data:`MAX_FRAME` is a
+    :class:`FrameTooLargeError` — the reader must refuse to allocate,
+    not attempt the read.
+    """
+    if len(header) != _HEADER.size:
+        raise ProtocolError(f"frame header must be {_HEADER.size} bytes, got {len(header)}")
+    (length,) = _HEADER.unpack(header)
+    return validate_length(length)
+
+
+def validate_length(length: object) -> int:
+    """The length-prefix contract on an already-decoded value."""
+    if isinstance(length, bool) or not isinstance(length, int):
+        raise ProtocolError(f"frame length must be an int, got {type(length).__name__}")
+    if length < 0:
+        raise ProtocolError(f"frame length must be >= 0, got {length}")
+    if length > MAX_FRAME:
+        raise FrameTooLargeError(f"declared frame length {length} exceeds MAX_FRAME={MAX_FRAME}")
+    return length
+
+
 def encode_frame(message: dict[str, Any]) -> bytes:
     """Serialise ``message`` to one wire frame (header + JSON body)."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
-        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+        raise FrameTooLargeError(f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
     return _HEADER.pack(len(body)) + body
 
 
@@ -103,9 +145,7 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
         if not exc.partial:
             return None  # clean EOF between frames
         raise ProtocolError("connection closed mid-header") from exc
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME:
-        raise ProtocolError(f"declared frame length {length} exceeds MAX_FRAME={MAX_FRAME}")
+    length = parse_length(header)
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:

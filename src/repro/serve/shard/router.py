@@ -124,6 +124,7 @@ class ShardRouter:
         self.router_registry = MetricsRegistry()
         self._routed = self.router_registry.counter("router_routed_total")
         self._handoffs = self.router_registry.counter("router_handoffs_total")
+        self.down_shards: set[int] = set()
         self.parked: list[Task] = []
         self.decisions: list[RoutedDecision] = []
         self._tasks: dict[int, Task] = {}
@@ -137,7 +138,11 @@ class ShardRouter:
         return self.plan.n_shards
 
     def shard_alive(self, sid: int) -> frozenset[int]:
-        """Alive machines of shard ``sid`` (its own interval only)."""
+        """Alive machines of shard ``sid`` (its own interval only).
+        A detached shard counts as fully dead regardless of its
+        dispatcher's books — its process is gone."""
+        if sid in self.down_shards:
+            return frozenset()
         return frozenset(self.plan.machines(sid) & self.dispatchers[sid].alive)
 
     def alive(self) -> frozenset[int]:
@@ -157,7 +162,7 @@ class ShardRouter:
         self.router_registry.counter(f"router_routed_shard[{route.owner}]_total").inc()
         owner = route.owner
         owner_frag = route.owner_fragment
-        if owner_frag & self.dispatchers[owner].alive:
+        if owner not in self.down_shards and owner_frag & self.dispatchers[owner].alive:
             if route.is_local:
                 decision = self.dispatchers[owner].submit(task)
             else:
@@ -172,6 +177,7 @@ class ShardRouter:
         candidates = [
             (sid, j)
             for sid, frag in route.fragments
+            if sid not in self.down_shards
             for j in sorted(frag & self.dispatchers[sid].alive)
         ]
         if not candidates:
@@ -308,6 +314,12 @@ class ShardRouter:
         # before a doomed submit reaches a shard), so its revive only
         # flips the alive bit and records the metric.
         self.dispatchers[sid].revive(machine, now)
+        return self._unpark(now)
+
+    def _unpark(self, now: float) -> list[RoutedDecision]:
+        """Re-place every router-parked task whose set now intersects
+        the fleet's alive machines, in park order (the engine's
+        recovery rule)."""
         alive = self.alive()
         pending, self.parked = self.parked, []
         replaced: list[RoutedDecision] = []
@@ -321,6 +333,50 @@ class ShardRouter:
         self.parked = still_parked + self.parked
         self.router_registry.gauge("router_parked_now").set(len(self.parked))
         return replaced
+
+    # -- supervision surface -------------------------------------------------
+    def detach_shard(self, sid: int) -> None:
+        """Mark shard ``sid`` down — its *process* died, so the router
+        must stop routing to it regardless of the (stale) alive bits in
+        its dispatcher's books.  Submits owned by a detached shard take
+        the cross-shard failure path (least waiting work over every
+        alive candidate elsewhere) or park when no shard can serve
+        them.  Idempotent."""
+        if not 0 <= sid < self.n_shards:
+            raise ValueError(f"shard {sid} out of range [0, {self.n_shards})")
+        if sid in self.down_shards:
+            return
+        self.down_shards.add(sid)
+        self.router_registry.counter("router_detached_total").inc()
+        self.router_registry.gauge("router_shards_down").set(len(self.down_shards))
+
+    def reattach_shard(
+        self, sid: int, dispatcher: Dispatcher | None = None, now: float = 0.0
+    ) -> list[RoutedDecision]:
+        """Rejoin shard ``sid`` after a restart.
+
+        ``dispatcher`` (when given) replaces the shard's dispatcher
+        with the journal-recovered instance — its books, scheduler
+        state and metrics registry carry over from before the crash.
+        Router-parked tasks whose sets the rejoined shard can now
+        serve are re-placed in park order, exactly like a machine
+        revival.  Returns those re-placements."""
+        if not 0 <= sid < self.n_shards:
+            raise ValueError(f"shard {sid} out of range [0, {self.n_shards})")
+        if sid not in self.down_shards:
+            return []
+        if dispatcher is not None:
+            if dispatcher.m != self.m:
+                raise ValueError(
+                    f"recovered dispatcher has m={dispatcher.m}, router has m={self.m}"
+                )
+            self.dispatchers[sid] = dispatcher
+            if dispatcher.metrics is not None:
+                self.shard_metrics[sid] = dispatcher.metrics
+        self.down_shards.discard(sid)
+        self.router_registry.counter("router_reattached_total").inc()
+        self.router_registry.gauge("router_shards_down").set(len(self.down_shards))
+        return self._unpark(now)
 
     # -- results -------------------------------------------------------------
     def schedule(self) -> Schedule:
@@ -360,6 +416,7 @@ class ShardRouter:
         return {
             "m": self.m,
             "shards": per_shard,
+            "down_shards": sorted(self.down_shards),
             "routed": self._routed.value,
             "handoffs": self.n_handoffs,
             "parked": len(self.parked),

@@ -18,6 +18,11 @@ router-only ops:
     machine's queue and re-places the displaced work fleet-wide with
     the cross-shard handoff rule; the revive re-places router-parked
     requests.
+``{"op": "detach-shard", "shard": s}`` / ``{"op": "reattach-shard", "shard": s}``
+    the supervision surface (:mod:`repro.serve.supervisor`): detach
+    marks a whole shard's process dead — routing degrades to the
+    cross-shard failure rule or parks — and reattach rejoins it after
+    recovery, re-placing anything parked in the interim.
 
 The division of labour matches the single-dispatcher tier: *which
 shard and machine* a request lands on is the router's virtual-clocked
@@ -35,6 +40,7 @@ from typing import Any
 from ...faults.schedule import FaultSchedule
 from ...obs.snapshot import write_metrics
 from ..dispatcher import DISPATCHED, REQUEUED
+from ..frontend import start_endpoint
 from ..protocol import (
     ProtocolError,
     check_version,
@@ -239,6 +245,25 @@ class ShardServeService:
                 self._queues[routed.machine].put_nowait((routed.decision.task, arrival))
         return len(replaced)
 
+    # -- supervision surface -------------------------------------------------
+    def detach_shard(self, sid: int) -> None:
+        """Mark shard ``sid`` down at the router (its process died);
+        idempotent — see :meth:`ShardRouter.detach_shard`."""
+        self.router.detach_shard(sid)
+
+    def reattach_shard(self, sid: int) -> int:
+        """Rejoin shard ``sid`` at the router and enqueue any re-placed
+        router-parked requests; returns how many left the parking
+        lot."""
+        arrival = asyncio.get_running_loop().time()
+        replaced = self.router.reattach_shard(sid, now=self.now())
+        for routed in replaced:
+            if routed.status == REQUEUED:
+                self._outstanding += 1
+                self._idle.clear()
+                self._queues[routed.machine].put_nowait((routed.decision.task, arrival))
+        return len(replaced)
+
     async def apply_faults(self, faults: FaultSchedule) -> None:
         """Replay ``faults`` in scaled wall time through the router
         (run as a background task alongside the frontend)."""
@@ -309,6 +334,8 @@ class ShardServeService:
                     if stop_event is not None:
                         stop_event.set()
                     break
+        except (ConnectionError, BrokenPipeError):
+            pass  # peer vanished mid-response; committed state stands
         finally:
             writer.close()
             try:
@@ -359,6 +386,20 @@ class ShardServeService:
                 self.n_errors += 1
                 return {"ok": False, "op": "revive", "error": str(exc)}
             return {"ok": True, "op": "revive", "unparked": unparked}
+        if op == "detach-shard":
+            try:
+                self.detach_shard(int(message["shard"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                self.n_errors += 1
+                return {"ok": False, "op": "detach-shard", "error": str(exc)}
+            return {"ok": True, "op": "detach-shard", "down": sorted(self.router.down_shards)}
+        if op == "reattach-shard":
+            try:
+                unparked = self.reattach_shard(int(message["shard"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                self.n_errors += 1
+                return {"ok": False, "op": "reattach-shard", "error": str(exc)}
+            return {"ok": True, "op": "reattach-shard", "unparked": unparked}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.stats()}
         if op == "drain":
@@ -392,10 +433,13 @@ async def serve_sharded(
     async def on_connection(reader, writer):
         await service.handle_connection(reader, writer, stop_event)
 
-    if socket_path is not None:
-        server = await asyncio.start_unix_server(on_connection, path=str(socket_path))
-    else:
-        server = await asyncio.start_server(on_connection, host=host, port=port)
+    try:
+        server = await start_endpoint(
+            on_connection, socket_path=socket_path, host=host, port=port
+        )
+    except OSError:
+        await service.stop()
+        raise
     background: list[asyncio.Task] = []
     loop = asyncio.get_running_loop()
     if faults is not None and faults:

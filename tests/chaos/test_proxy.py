@@ -1,0 +1,141 @@
+"""Unit tests for the seeded protocol chaos proxy.
+
+The proxy's contract: faults land on frame boundaries, every fault is
+drawn from a stream seeded by ``(config.seed, conn_id, direction)`` —
+so a run is exactly reproducible — and a zero-probability config is a
+transparent relay.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosProxy
+from repro.serve.protocol import ProtocolError, read_frame, write_frame
+
+
+class TestChaosConfig:
+    def test_defaults_inactive(self):
+        config = ChaosConfig()
+        assert not config.active
+
+    def test_any_fault_is_active(self):
+        assert ChaosConfig(p_drop=0.1).active
+        assert ChaosConfig(latency=0.5).active
+
+    @pytest.mark.parametrize("field", ["p_drop", "p_truncate", "p_corrupt", "p_duplicate"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_probability_bounds(self, field, value):
+        with pytest.raises(ValueError):
+            ChaosConfig(**{field: value})
+
+    def test_probabilities_must_not_exceed_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            ChaosConfig(p_drop=0.5, p_truncate=0.3, p_corrupt=0.3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(latency=-1.0)
+
+    def test_json_roundtrip(self):
+        config = ChaosConfig(seed=9, p_drop=0.1, p_corrupt=0.05, latency=0.01)
+        assert ChaosConfig.from_json(config.to_json()) == config
+
+    def test_unknown_json_field_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig.from_json({"seed": 0, "p_teleport": 0.5})
+
+
+async def _echo_upstream(tmp):
+    """An upstream that echoes every frame back with an ``echo`` mark."""
+    upstream_sock = str(tmp / "upstream.sock")
+
+    async def on_connection(reader, writer):
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError:
+                    break
+                if message is None:
+                    break
+                await write_frame(writer, {**message, "echo": True})
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_unix_server(on_connection, path=upstream_sock)
+    return server, upstream_sock
+
+
+async def _drive_once(tmp, config, n_frames=40):
+    """Pump ``n_frames`` through the proxy; return (acks, proxy stats)."""
+    server, upstream_sock = await _echo_upstream(tmp)
+    listen_sock = str(tmp / "proxy.sock")
+    acks = []
+    async with server, ChaosProxy(
+        config, upstream_socket=upstream_sock, listen_socket=listen_sock
+    ) as proxy:
+        i = 0
+        while i < n_frames:
+            try:
+                reader, writer = await asyncio.open_unix_connection(listen_sock)
+                while i < n_frames:
+                    await write_frame(writer, {"tid": i})
+                    response = await asyncio.wait_for(read_frame(reader), 5.0)
+                    if response is None:
+                        raise ConnectionResetError
+                    acks.append((response["tid"], bool(response.get("echo"))))
+                    i += 1
+                writer.close()
+            except (ProtocolError, OSError, asyncio.TimeoutError):
+                continue  # reconnect and resend frame i
+        stats = proxy.stats()
+    return acks, stats
+
+
+class TestChaosProxy:
+    def test_zero_config_is_transparent(self, tmp_path):
+        acks, stats = asyncio.run(_drive_once(tmp_path, ChaosConfig(), n_frames=25))
+        assert [tid for tid, _ in acks] == list(range(25))
+        assert all(echo for _, echo in acks)
+        assert stats["connections"] == 1
+        assert stats["frames"] == 50  # 25 each way
+        for fault in ("dropped", "truncated", "corrupted", "duplicated", "delayed"):
+            assert stats[fault] == 0
+
+    def test_same_seed_same_fault_sequence(self, tmp_path):
+        config = ChaosConfig(seed=11, p_drop=0.05, p_truncate=0.05, p_corrupt=0.05, p_duplicate=0.1)
+        a_dir = tmp_path / "a"
+        b_dir = tmp_path / "b"
+        a_dir.mkdir()
+        b_dir.mkdir()
+        acks_a, stats_a = asyncio.run(_drive_once(a_dir, config))
+        acks_b, stats_b = asyncio.run(_drive_once(b_dir, config))
+        assert stats_a == stats_b
+        assert acks_a == acks_b
+
+    def test_different_seed_different_faults(self, tmp_path):
+        base = dict(p_drop=0.05, p_truncate=0.05, p_corrupt=0.05, p_duplicate=0.1)
+        a_dir = tmp_path / "a"
+        b_dir = tmp_path / "b"
+        a_dir.mkdir()
+        b_dir.mkdir()
+        _, stats_a = asyncio.run(_drive_once(a_dir, ChaosConfig(seed=1, **base)))
+        _, stats_b = asyncio.run(_drive_once(b_dir, ChaosConfig(seed=2, **base)))
+        assert stats_a != stats_b
+
+    def test_faults_do_not_lose_or_reorder_resent_frames(self, tmp_path):
+        """Clients that resend after a fault still see every tid once,
+        in order — the transport-level half of the no-loss story."""
+        config = ChaosConfig(seed=3, p_drop=0.08, p_truncate=0.04, p_corrupt=0.08)
+        acks, stats = asyncio.run(_drive_once(tmp_path, config, n_frames=60))
+        assert [tid for tid, _ in acks] == list(range(60))
+        assert stats["dropped"] + stats["truncated"] + stats["corrupted"] > 0
+
+    def test_endpoint_arguments_validated(self):
+        with pytest.raises(ValueError, match="upstream"):
+            ChaosProxy(ChaosConfig())
+        with pytest.raises(ValueError, match="listen"):
+            ChaosProxy(ChaosConfig(), upstream_socket="/tmp/x.sock")

@@ -1,0 +1,242 @@
+"""Unit tests for the write-ahead journal and crash recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EFT
+from repro.serve import Dispatcher, Journal, JournalCorruptError, JournalError
+from repro.serve.journal import JournalRecord, decode_record, encode_record, recover
+from repro.serve.protocol import task_to_wire
+from repro.simulation.workload import WorkloadSpec, generate_workload
+
+
+def _instance(seed: int = 0, m: int = 4, n: int = 30):
+    spec = WorkloadSpec(m=m, n=n, lam=3.0, k=2, strategy="overlapping", case="uniform")
+    return generate_workload(spec, rng=np.random.default_rng(seed))
+
+
+def _journal_a_drive(root, inst, kill_at=None, fsync="never"):
+    """Drive a dispatcher while journaling every transition; return it."""
+    dispatcher = Dispatcher(EFT(inst.m, tiebreak="min"))
+    journal = Journal(root, fsync=fsync)
+    tasks = list(inst)
+    for i, task in enumerate(tasks):
+        if kill_at is not None and i == kill_at:
+            journal.append("kill", {"machine": 1}, commit=True)
+            dispatcher.kill(1)
+        journal.append(
+            "submit",
+            {"task": task_to_wire(task), "dedupe": f"t:{task.tid}"},
+            commit=True,
+        )
+        dispatcher.submit(task)
+    return dispatcher, journal
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        line = encode_record(3, "submit", {"task": {"tid": 1}, "dedupe": "x:1"})
+        record = decode_record(line)
+        assert record == JournalRecord(seq=3, kind="submit", data={"task": {"tid": 1}, "dedupe": "x:1"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(JournalCorruptError, match="undecodable"):
+            decode_record("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(JournalCorruptError, match="object"):
+            decode_record("[1, 2]")
+
+    def test_missing_field_rejected(self):
+        line = encode_record(1, "kill", {"machine": 2})
+        envelope = json.loads(line)
+        del envelope["crc"]
+        with pytest.raises(JournalCorruptError, match="missing"):
+            decode_record(json.dumps(envelope))
+
+    def test_crc_mismatch_rejected(self):
+        line = encode_record(1, "kill", {"machine": 2})
+        tampered = line.replace('"machine":2', '"machine":3')
+        with pytest.raises(JournalCorruptError, match="CRC"):
+            decode_record(tampered)
+
+    def test_wrong_version_rejected(self):
+        line = encode_record(1, "kill", {"machine": 2})
+        envelope = json.loads(line)
+        envelope["v"] = 99
+        with pytest.raises(JournalCorruptError, match="version"):
+            decode_record(json.dumps(envelope))
+
+    @pytest.mark.parametrize("seq", [0, -1, 1.5, "3", True])
+    def test_bad_seq_rejected(self, seq):
+        line = encode_record(1, "kill", {"machine": 2})
+        envelope = json.loads(line)
+        envelope["seq"] = seq
+        with pytest.raises(JournalCorruptError):
+            decode_record(json.dumps(envelope))
+
+
+class TestJournalFile:
+    def test_append_reopen_roundtrip(self, tmp_path):
+        with Journal(tmp_path, fsync="never") as journal:
+            journal.append("kill", {"machine": 1})
+            journal.append("revive", {"machine": 1, "now": 2.5}, commit=True)
+            assert journal.seq == 2
+        reopened = Journal(tmp_path, fsync="never")
+        records = list(reopened.records())
+        assert [(r.seq, r.kind) for r in records] == [(1, "kill"), (2, "revive")]
+        assert reopened.seq == 2
+        assert reopened.n_dropped_tail == 0
+        reopened.close()
+
+    def test_invalid_fsync_policy(self, tmp_path):
+        with pytest.raises(JournalError, match="fsync"):
+            Journal(tmp_path, fsync="sometimes")
+
+    def test_invalid_batch_size(self, tmp_path):
+        with pytest.raises(JournalError, match="batch_records"):
+            Journal(tmp_path, batch_records=0)
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = Journal(tmp_path, fsync="never")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("kill", {"machine": 1})
+
+    def test_torn_tail_dropped_and_counted(self, tmp_path):
+        with Journal(tmp_path, fsync="never") as journal:
+            journal.append("kill", {"machine": 1}, commit=True)
+            journal.append("revive", {"machine": 1, "now": 1.0}, commit=True)
+        wal = tmp_path / "wal.jsonl"
+        intact = wal.read_text("utf-8")
+        # Crash mid-append: half a record, no trailing newline.
+        wal.write_text(intact + encode_record(3, "kill", {"machine": 2})[:13], "utf-8")
+        reopened = Journal(tmp_path, fsync="never")
+        assert reopened.n_dropped_tail == 1
+        assert [r.seq for r in reopened.records()] == [1, 2]
+        assert reopened.seq == 2
+        reopened.close()
+        # The torn tail was compacted away: a second reopen is clean.
+        again = Journal(tmp_path, fsync="never")
+        assert again.n_dropped_tail == 0
+        assert [r.seq for r in again.records()] == [1, 2]
+        again.close()
+
+    def test_corrupt_last_line_dropped_even_with_newline(self, tmp_path):
+        with Journal(tmp_path, fsync="never") as journal:
+            journal.append("kill", {"machine": 1}, commit=True)
+        wal = tmp_path / "wal.jsonl"
+        line = encode_record(2, "kill", {"machine": 2})
+        wal.write_text(wal.read_text("utf-8") + line.replace('"machine":2', '"machine":3') + "\n")
+        reopened = Journal(tmp_path, fsync="never")
+        assert reopened.n_dropped_tail == 1
+        assert [r.seq for r in reopened.records()] == [1]
+        reopened.close()
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        with Journal(tmp_path, fsync="never") as journal:
+            for machine in (1, 2, 3):
+                journal.append("kill", {"machine": machine}, commit=True)
+        wal = tmp_path / "wal.jsonl"
+        lines = wal.read_text("utf-8").splitlines()
+        lines[0] = lines[0].replace('"machine":1', '"machine":9')
+        wal.write_text("\n".join(lines) + "\n", "utf-8")
+        with pytest.raises(JournalCorruptError, match="CRC"):
+            Journal(tmp_path, fsync="never")
+
+    def test_sequence_gap_raises(self, tmp_path):
+        # The gap must sit *before* an intact record — a gap at the very
+        # tail is indistinguishable from a torn append and is dropped.
+        wal = tmp_path / "wal.jsonl"
+        wal.write_text(
+            encode_record(1, "kill", {"machine": 1})
+            + "\n"
+            + encode_record(3, "kill", {"machine": 2})
+            + "\n"
+            + encode_record(4, "kill", {"machine": 3})
+            + "\n",
+            "utf-8",
+        )
+        with pytest.raises(JournalCorruptError, match="gap"):
+            Journal(tmp_path, fsync="never")
+
+
+class TestRecovery:
+    def test_recovered_dispatcher_matches_live(self, tmp_path):
+        inst = _instance(seed=1)
+        live, journal = _journal_a_drive(tmp_path, inst, kill_at=10)
+        journal.close()
+        recovery = Dispatcher.recover(Journal(tmp_path, fsync="never"), EFT(inst.m, tiebreak="min"))
+        assert recovery.dispatcher.placements == live.placements
+        assert recovery.dispatcher.alive == live.alive
+        assert recovery.n_replayed == len(inst) + 1  # submits + the kill
+        assert recovery.n_dropped_tail == 0
+
+    def test_dedupe_cache_rebuilt(self, tmp_path):
+        inst = _instance(seed=2, n=12)
+        live, journal = _journal_a_drive(tmp_path, inst)
+        journal.close()
+        recovery = Dispatcher.recover(Journal(tmp_path, fsync="never"), EFT(inst.m, tiebreak="min"))
+        assert set(recovery.dedupe) == {f"t:{task.tid}" for task in inst}
+        for task in inst:
+            decision = recovery.dedupe[f"t:{task.tid}"]
+            assert decision.task == task
+            assert decision.machine == live.placements[task.tid][0]
+
+    def test_pending_excludes_completed(self, tmp_path):
+        inst = _instance(seed=3, n=10)
+        _, journal = _journal_a_drive(tmp_path, inst)
+        done = [task.tid for task in list(inst)[:4]]
+        for tid in done:
+            journal.append("complete", {"tid": tid})
+        journal.close()
+        recovery = Dispatcher.recover(Journal(tmp_path, fsync="never"), EFT(inst.m, tiebreak="min"))
+        assert recovery.completed == set(done)
+        pending = recovery.pending()
+        assert [tid for tid, _ in pending] == sorted(
+            task.tid for task in inst if task.tid not in set(done)
+        )
+        for tid, machine in pending:
+            assert machine == recovery.dispatcher.placements[tid][0]
+
+    def test_snapshot_compacts_and_recovers(self, tmp_path):
+        inst = _instance(seed=4, n=20)
+        tasks = list(inst)
+        live = Dispatcher(EFT(inst.m, tiebreak="min"))
+        journal = Journal(tmp_path, fsync="never")
+        for task in tasks[:12]:
+            journal.append("submit", {"task": task_to_wire(task)}, commit=True)
+            live.submit(task)
+        journal.write_snapshot({"dispatcher": live.state_dict(), "service": {}})
+        assert not list(journal.records())  # WAL compacted to empty suffix
+        for task in tasks[12:]:
+            journal.append("submit", {"task": task_to_wire(task)}, commit=True)
+            live.submit(task)
+        journal.close()
+        reopened = Journal(tmp_path, fsync="never")
+        assert reopened.snapshot_seq == 12
+        assert len(list(reopened.records())) == len(tasks) - 12
+        recovery = Dispatcher.recover(reopened, EFT(inst.m, tiebreak="min"))
+        assert recovery.dispatcher.placements == live.placements
+        assert recovery.n_replayed == len(tasks) - 12
+
+    def test_replay_rejects_unknown_kind(self, tmp_path):
+        journal = Journal(tmp_path, fsync="never")
+        journal.append("launch-missiles", {}, commit=True)
+        journal.close()
+        with pytest.raises(JournalCorruptError, match="unknown"):
+            recover(Journal(tmp_path, fsync="never"), lambda: Dispatcher(EFT(2, tiebreak="min")))
+
+    def test_replay_counts_rejected_operations(self, tmp_path):
+        inst = _instance(seed=5, n=6)
+        _, journal = _journal_a_drive(tmp_path, inst)
+        # The live path journaled the op, then the scheduler rejected it
+        # (out-of-order release); replay must absorb the same rejection.
+        stale = list(inst)[0]
+        journal.append("submit", {"task": task_to_wire(stale)}, commit=True)
+        journal.close()
+        recovery = Dispatcher.recover(Journal(tmp_path, fsync="never"), EFT(inst.m, tiebreak="min"))
+        assert recovery.n_replay_errors == 1
+        assert len(recovery.dispatcher.placements) == len(inst)

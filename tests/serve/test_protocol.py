@@ -8,6 +8,7 @@ import pytest
 from repro.core.task import Task
 from repro.serve import (
     MAX_FRAME,
+    FrameTooLargeError,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -15,6 +16,7 @@ from repro.serve import (
     task_from_wire,
     task_to_wire,
 )
+from repro.serve.protocol import parse_length, validate_length
 
 
 def _reader_with(data: bytes) -> asyncio.StreamReader:
@@ -64,9 +66,45 @@ class TestFraming:
         with pytest.raises(ProtocolError, match="MAX_FRAME"):
             _read_all(header + b"x")
 
+    def test_oversized_declared_length_is_typed(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(FrameTooLargeError):
+            _read_all(header + b"x")
+
     def test_oversized_encode_rejected(self):
-        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+        with pytest.raises(FrameTooLargeError, match="MAX_FRAME"):
             encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+
+class TestLengthContract:
+    def test_parse_length_roundtrip(self):
+        assert parse_length(struct.pack(">I", 1234)) == 1234
+        assert parse_length(struct.pack(">I", 0)) == 0
+        assert parse_length(struct.pack(">I", MAX_FRAME)) == MAX_FRAME
+
+    @pytest.mark.parametrize("header", [b"", b"\x00", b"\x00\x00\x00", b"\x00" * 5])
+    def test_parse_length_wrong_header_size(self, header):
+        with pytest.raises(ProtocolError, match="header"):
+            parse_length(header)
+
+    def test_parse_length_too_large_is_typed(self):
+        with pytest.raises(FrameTooLargeError, match="MAX_FRAME"):
+            parse_length(struct.pack(">I", MAX_FRAME + 1))
+
+    def test_validate_length_negative(self):
+        with pytest.raises(ProtocolError, match=">= 0"):
+            validate_length(-1)
+
+    @pytest.mark.parametrize("length", [1.5, "12", None, True, False])
+    def test_validate_length_non_integer(self, length):
+        with pytest.raises(ProtocolError, match="int"):
+            validate_length(length)
+
+    def test_frame_too_large_is_protocol_error(self):
+        # Callers catching the generic error still see oversize frames.
+        assert issubclass(FrameTooLargeError, ProtocolError)
+        with pytest.raises(FrameTooLargeError):
+            validate_length(MAX_FRAME + 1)
 
     def test_non_object_body_rejected(self):
         with pytest.raises(ProtocolError, match="JSON object"):

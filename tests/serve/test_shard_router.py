@@ -129,3 +129,59 @@ class TestValidation:
         assert router.submit(_task(1, 0.0, {1}, proc=5.0)).status == SHED
         # The other shard's ceiling is untouched.
         assert router.submit(_task(2, 0.0, {4}, proc=5.0)).status == DISPATCHED
+
+
+class TestSupervision:
+    def test_detached_owner_hands_off(self, plan):
+        router = ShardRouter(plan)
+        router.detach_shard(0)
+        routed = router.submit(_task(0, 0.0, {1, 2, 4}))
+        # The owner's process is down: even though its alive-bits say
+        # otherwise, the submit must land on the surviving shard.
+        assert routed.handoff
+        assert routed.shard == 1 and routed.machine == 4
+
+    def test_detached_only_set_parks_then_unparks_on_reattach(self, plan):
+        router = ShardRouter(plan)
+        router.detach_shard(0)
+        routed = router.submit(_task(0, 0.0, {1, 2}))
+        assert routed.status == PARKED
+        replaced = router.reattach_shard(0, now=1.0)
+        assert [r.decision.task.tid for r in replaced] == [0]
+        assert replaced[0].status == REQUEUED
+        assert replaced[0].machine in {1, 2}
+
+    def test_detach_is_idempotent_and_counted(self, plan):
+        router = ShardRouter(plan)
+        router.detach_shard(1)
+        router.detach_shard(1)
+        assert router.stats()["down_shards"] == [1]
+        snap = router.router_registry.snapshot()
+        assert snap["counters"]["router_detached_total"] == 1
+        assert snap["gauges"]["router_shards_down"] == 1
+
+    def test_reattach_with_recovered_dispatcher_replaces_books(self, plan):
+        router = ShardRouter(plan)
+        router.submit(_task(0, 0.0, {1, 2}))
+        router.detach_shard(0)
+        recovered = Dispatcher(make_scheduler(router.scheduler_name, 6))
+        recovered.submit(_task(0, 0.0, frozenset({1, 2})))
+        router.reattach_shard(0, dispatcher=recovered)
+        assert router.dispatchers[0] is recovered
+        assert router.stats()["down_shards"] == []
+        # Routing to the rejoined shard works again.
+        routed = router.submit(_task(1, 0.5, {1, 2}))
+        assert routed.shard == 0 and not routed.handoff
+
+    def test_reattach_rejects_mismatched_dispatcher(self, plan):
+        router = ShardRouter(plan)
+        router.detach_shard(0)
+        with pytest.raises(ValueError, match="m="):
+            router.reattach_shard(0, dispatcher=Dispatcher(make_scheduler("eft-min", 4)))
+
+    def test_out_of_range_shard_rejected(self, plan):
+        router = ShardRouter(plan)
+        with pytest.raises(ValueError, match="out of range"):
+            router.detach_shard(2)
+        with pytest.raises(ValueError, match="out of range"):
+            router.reattach_shard(-1)
