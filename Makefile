@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke chaos-smoke rebalance-smoke vec-smoke runner-resilience lint-clean all
+.PHONY: install test bench bench-full figures campaign-quick obs-smoke faults-smoke serve-smoke shard-smoke chaos-smoke rebalance-smoke vec-smoke zoo-smoke runner-resilience lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -184,6 +184,27 @@ vec-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_scheduler_throughput.py -k speedup \
 		-q --benchmark-disable
+
+# Zoo-smoke: the compare-schedulers grid must be byte-deterministic
+# (two identical-seed runs, identical output including traces) and the
+# provable ordering must hold — fault-free identical machines, SRPT-PS
+# mean flow <= EFT-Min mean flow.
+zoo-smoke:
+	rm -rf results/.zoo-smoke
+	mkdir -p results/.zoo-smoke/ta results/.zoo-smoke/tb
+	PYTHONPATH=src $(PYTHON) -m repro compare-schedulers \
+		--m 6 --n 200 --loads 0.7,0.9 --seed 0 \
+		--traces results/.zoo-smoke/ta \
+		| tee results/.zoo-smoke/a.txt
+	PYTHONPATH=src $(PYTHON) -m repro compare-schedulers \
+		--m 6 --n 200 --loads 0.7,0.9 --seed 0 \
+		--traces results/.zoo-smoke/tb \
+		> results/.zoo-smoke/b.txt
+	cmp results/.zoo-smoke/a.txt results/.zoo-smoke/b.txt
+	for f in results/.zoo-smoke/ta/*.jsonl; do \
+		cmp "$$f" "results/.zoo-smoke/tb/$$(basename $$f)" || exit 1; \
+	done
+	grep -q "sanity identical-machines fault-free: .*: OK" results/.zoo-smoke/a.txt
 
 # Runner-resilience: a crashing unit must yield exactly one failed
 # outcome (not a pool abort), retries must heal a flaky unit, and an

@@ -222,21 +222,15 @@ def replay_into(scheduler: ImmediateDispatchScheduler, trace: Trace) -> Schedule
 def make_scheduler(name: str, m: int, seed: int | None = 0) -> ImmediateDispatchScheduler:
     """Build a named immediate-dispatch scheduler for replay.
 
-    Names: ``eft-min``, ``eft-max``, ``eft-rand``, ``least-work``,
-    ``round-robin``, ``random`` (also accepts the recorded spellings
-    ``EFT-Min`` etc.).
+    Delegates to the :mod:`repro.schedulers` registry, so every zoo
+    policy (``eft-min``, ``eft-max``, ``eft-rand``, ``least-work``,
+    ``round-robin``, ``random``, ``lor``, ``c3``, ``srpt-ps``,
+    ``nc-setup``, ``speed-eft``, plus anything registered at runtime)
+    resolves here; the recorded display spellings (``EFT-Min`` etc.)
+    are accepted too.
     """
-    from ..core.baselines import LeastWorkAssign, RandomAssign, RoundRobinAssign
-    from ..core.eft import EFT
+    # Function-level import: campaigns is a lower layer than the zoo
+    # package, which itself builds campaign units.
+    from ..schedulers.registry import get_scheduler
 
-    canonical = name.strip().lower().replace("_", "-")
-    if canonical in ("eft-min", "eft-max", "eft-rand"):
-        tiebreak = canonical.split("-", 1)[1]
-        return EFT(m, tiebreak=tiebreak, rng=seed)
-    if canonical == "least-work":
-        return LeastWorkAssign(m)
-    if canonical == "round-robin":
-        return RoundRobinAssign(m)
-    if canonical == "random":
-        return RandomAssign(m, rng=seed)
-    raise ValueError(f"unknown scheduler {name!r}")
+    return get_scheduler(name, m, seed=seed)

@@ -189,7 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler",
         default=None,
-        help="eft-min|eft-max|eft-rand|least-work|round-robin|random (default: the recorded one)",
+        help="any registered zoo policy, e.g. eft-min|srpt-ps|nc-setup|speed-eft "
+        "(see compare-schedulers --list; default: the recorded one)",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
 
@@ -232,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler",
         default="eft-min",
-        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+        help="any registered zoo policy (see compare-schedulers --list)",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cadence", type=float, default=25.0, help="virtual time between controller checks")
@@ -274,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler",
         default="eft-min",
-        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+        help="any registered zoo policy (see compare-schedulers --list)",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for randomised schedulers")
     p.add_argument("--slo", type=float, default=None,
@@ -313,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler",
         default="eft-min",
-        help="eft-min|eft-max|eft-rand|least-work|round-robin|random (per shard)",
+        help="any registered zoo policy, per shard (see compare-schedulers --list)",
     )
     p.add_argument("--seed", type=int, default=0, help="base seed (shard s uses seed+s)")
     p.add_argument("--slo", type=float, default=None,
@@ -358,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scheduler",
         default="eft-min",
-        help="eft-min|eft-max|eft-rand|least-work|round-robin|random",
+        help="any registered zoo policy (see compare-schedulers --list)",
     )
     p.add_argument("--slo", type=float, default=None,
                    help="shed requests whose estimated flow exceeds this (virtual units)")
@@ -392,6 +393,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="when to kill, as a fraction of the workload's release span")
     p.add_argument("--recovery-out", default=None, metavar="PATH",
                    help="with --chaos: write recovery-time + fault stats JSON here")
+
+    p = sub.add_parser(
+        "compare-schedulers",
+        help="run the scheduler zoo head-to-head on a shared seeded workload grid",
+    )
+    p.add_argument("--m", type=int, default=10)
+    p.add_argument("--n", type=int, default=300, help="tasks per load point")
+    p.add_argument("--k", type=int, default=3, help="replication factor")
+    p.add_argument("--loads", default="0.7,0.9",
+                   help="comma-separated cluster load points")
+    p.add_argument("--policies", default="eft-min,srpt-ps,nc-setup,speed-eft",
+                   help="comma-separated registry names (any registered policy)")
+    p.add_argument("--strategy", default="overlapping", choices=["overlapping", "disjoint"])
+    p.add_argument("--case", default="uniform", choices=["uniform", "worst", "shuffled"])
+    p.add_argument("--size-dist", default="exp", dest="size_dist",
+                   choices=["unit", "exp", "pareto", "uniform"],
+                   help="request size distribution (non-unit keeps SRPT distinct from FIFO)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-faults", action="store_true", dest="no_faults",
+                   help="disable the seeded chaos fault injection")
+    p.add_argument("--mtbf", type=float, default=15.0, help="chaos mean time between failures")
+    p.add_argument("--mttr", type=float, default=3.0, help="chaos mean time to repair")
+    p.add_argument("--traces", default=None, metavar="DIR",
+                   help="write one versioned trace per (policy, load) cell here")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the metric rows as JSON")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered policies and exit")
 
     p = sub.add_parser("ratios", help="EFT vs exact OPT on random instances")
     p.add_argument("--m", type=int, default=8)
@@ -1186,6 +1215,54 @@ def _run_demo(args) -> str:
     return "\n".join(lines)
 
 
+def _run_compare_schedulers(args) -> str:
+    import json as _json
+    from pathlib import Path
+
+    from .schedulers import CompareConfig, list_schedulers, run_compare
+
+    if args.list:
+        lines = ["registered policies:"]
+        for info in list_schedulers():
+            flags = []
+            if info["preemptive"]:
+                flags.append("preemptive")
+            if not info["clairvoyant"]:
+                flags.append("non-clairvoyant")
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {info['name']:<12} {info['summary']}{suffix}")
+        return "\n".join(lines)
+    config = CompareConfig(
+        m=args.m,
+        n=args.n,
+        k=args.k,
+        loads=tuple(float(x) for x in args.loads.split(",") if x),
+        policies=tuple(x.strip() for x in args.policies.split(",") if x.strip()),
+        strategy=args.strategy,
+        case=args.case,
+        size_dist=args.size_dist,
+        seed=args.seed,
+        faults=not args.no_faults,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+    )
+    trace_dir = Path(args.traces) if args.traces else None
+    out = run_compare(config, trace_dir=trace_dir)
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(
+                {"config": vars(args) | {}, "rows": out["rows"], "sanity": out["sanity"]},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+            + "\n"
+        )
+    return out["text"]
+
+
 _HANDLERS = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -1203,6 +1280,7 @@ _HANDLERS = {
     "route": _run_route,
     "drive": _run_drive,
     "bench-serve": _run_bench_serve,
+    "compare-schedulers": _run_compare_schedulers,
     "ratios": _run_ratios,
     "explore": _run_explore,
     "tails": _run_tails,

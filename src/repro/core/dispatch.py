@@ -16,7 +16,7 @@ adversaries that interleave observation and submission (Theorems 3–5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from .schedule import Schedule
@@ -51,6 +51,18 @@ class ImmediateDispatchScheduler:
 
     name = "immediate-dispatch"
 
+    #: Whether the policy expects the engine to preempt running tasks.
+    #: Preemptive policies must also provide ``preempt_key(task,
+    #: remaining, now)`` — an orderable priority the engine minimises
+    #: over a machine's queued-plus-running tasks (see
+    #: :mod:`repro.schedulers.contract`).
+    preemptive = False
+    #: Whether ``choose`` may read ``task.proc``.  Non-clairvoyant
+    #: policies decide from observable state only; they may still use
+    #: the realised processing time in :meth:`exec_time` (the *system*
+    #: experiences the service time either way).
+    clairvoyant = True
+
     def __init__(self, m: int) -> None:
         if m < 1:
             raise ValueError("need at least one machine")
@@ -67,6 +79,11 @@ class ImmediateDispatchScheduler:
         self._placements_lazy: tuple | None = None
         self._tasks: list[Task] = []
         self._last_release = 0.0
+        #: realised service times that differ from ``task.proc`` —
+        #: sparse so the plain identical-machines path (EFT and the
+        #: baselines, where ``exec_time == proc``) pays nothing and
+        #: stays byte-identical to the pre-zoo books.
+        self._service: dict[int, float] = {}
 
     @property
     def _placements(self) -> dict[int, tuple[int, float]]:
@@ -81,6 +98,22 @@ class ImmediateDispatchScheduler:
     def choose(self, task: Task) -> tuple[int, frozenset[int]]:
         """Pick the machine for ``task``; return ``(machine, tie_set)``."""
         raise NotImplementedError
+
+    def exec_time(self, task: Task, machine: int) -> float:
+        """Realised service time of ``task`` on ``machine``.
+
+        Identical machines (the paper's model) return ``task.proc``.
+        Related machines divide work by the machine's speed; setup-time
+        models add a warmup penalty on cold machines.  Called exactly
+        once per dispatch, *after* :meth:`choose` — implementations may
+        update their own warm/feedback state here.
+        """
+        return task.proc
+
+    def service_of(self, tid: int, default: float) -> float:
+        """The recorded service time of a dispatched task (``default``
+        when the task ran at its nominal ``proc``)."""
+        return self._service.get(tid, default)
 
     # -- driver ------------------------------------------------------------
     def submit(self, task: Task) -> DispatchRecord:
@@ -101,7 +134,10 @@ class ImmediateDispatchScheduler:
                 f"processing set {sorted(eligible)} of task {task.tid}"
             )
         start = max(task.release, self.completions[machine])
-        self.completions[machine] = start + task.proc
+        dur = self.exec_time(task, machine)
+        if dur != task.proc:
+            self._service[task.tid] = dur
+        self.completions[machine] = start + dur
         self.task_counts[machine] += 1
         record = DispatchRecord(task=task, machine=machine, start=start, tie_set=tie_set)
         self.history.append(record)
@@ -120,9 +156,27 @@ class ImmediateDispatchScheduler:
         of Theorem 8, up to the in-service task convention)."""
         return {j: max(0.0, c - t) for j, c in self.completions.items()}
 
+    def _realised_tasks(self) -> tuple[Task, ...]:
+        """Submitted tasks with ``proc`` replaced by the realised
+        service time where the two differ (related machines, setup
+        models); the common identical-machines path returns the tasks
+        untouched."""
+        if not self._service:
+            return tuple(self._tasks)
+        svc = self._service
+        return tuple(
+            replace(t, proc=svc[t.tid]) if t.tid in svc else t for t in self._tasks
+        )
+
     def schedule(self) -> Schedule:
-        """Materialise the schedule of everything submitted so far."""
-        inst = Instance(m=self.m, tasks=tuple(self._tasks))
+        """Materialise the schedule of everything submitted so far.
+
+        Service-aware policies yield a *derived* instance whose
+        processing times are the realised execution times, so standard
+        metrics and :meth:`~repro.core.schedule.Schedule.validate`
+        apply unchanged.
+        """
+        inst = Instance(m=self.m, tasks=self._realised_tasks())
         return Schedule(inst, self._placements)
 
     @property
@@ -138,6 +192,8 @@ class ImmediateDispatchScheduler:
             raise ValueError(f"instance has m={instance.m}, scheduler has m={self.m}")
         for task in instance:
             self.submit(task)
+        if self._service:
+            return self.schedule()
         return Schedule(instance, self._placements)
 
 

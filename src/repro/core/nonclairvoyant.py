@@ -40,6 +40,8 @@ class _OutstandingTracker(ImmediateDispatchScheduler):
     dispatch history and the current time (a dispatched task is
     outstanding while ``now < its completion``)."""
 
+    clairvoyant = False
+
     def __init__(self, m: int) -> None:
         super().__init__(m)
         #: (completion_time, machine) of every dispatched task

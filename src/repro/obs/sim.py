@@ -65,6 +65,10 @@ class SimObserver(Protocol):
 
     def on_resume(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
 
+    def on_preempt(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
+
+    def on_preempt_resume(self, sim: "Simulator", task: "Task", machine: int) -> None: ...
+
 
 class SimRecorder:
     """Metrics-backed :class:`SimObserver`.
@@ -139,6 +143,15 @@ class SimRecorder:
 
     def on_resume(self, sim: "Simulator", task: "Task", machine: int) -> None:
         self.registry.counter("tasks_resumed").inc()
+
+    # -- preemption hooks ---------------------------------------------------
+    # Lazily created like the fault recorders: snapshots of runs under
+    # non-preemptive policies stay byte-identical to the pre-zoo format.
+    def on_preempt(self, sim: "Simulator", task: "Task", machine: int) -> None:
+        self.registry.counter("tasks_preempted").inc()
+
+    def on_preempt_resume(self, sim: "Simulator", task: "Task", machine: int) -> None:
+        self.registry.counter("preempt_resumes").inc()
 
     # -- sampled series -----------------------------------------------------
     def install(self, sim: "Simulator", horizon: float, period: float = 1.0) -> None:

@@ -1,11 +1,15 @@
 """Online schedulers for related machines (Table 1's ``Q`` rows).
 
-Both schedulers are immediate dispatch and clairvoyant, like EFT.  The
-``proc`` field of incoming tasks is interpreted as *work*; the
-schedulers divide by the chosen machine's speed, and the returned
-:class:`~repro.core.schedule.Schedule` is built over a derived
-instance whose processing times are the realised execution times, so
-all standard metrics and validation apply.
+Both schedulers are immediate dispatch and clairvoyant, like EFT, and
+are built *on* the core driver: they subclass
+:class:`~repro.core.dispatch.ImmediateDispatchScheduler` and express
+speed through the :meth:`~repro.core.dispatch.ImmediateDispatchScheduler.exec_time`
+hook — the ``proc`` field of incoming tasks is interpreted as *work*,
+the driver divides by the chosen machine's speed and materialises
+schedules over a derived instance whose processing times are the
+realised execution times, so all standard metrics, validation, the
+simulation engine, and the serve tier apply with no parallel type
+hierarchy.
 
 * :class:`GreedyRelated` — the natural generalisation of EFT: place
   each task on the machine finishing it earliest
@@ -28,59 +32,24 @@ in ``tests/related/test_schedulers.py``.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from ..core.schedule import Schedule
-from ..core.task import Instance, Task
+from ..core.dispatch import ImmediateDispatchScheduler
+from ..core.task import Task
 from .model import SpeedCluster
 
 __all__ = ["GreedyRelated", "SlowFitRelated"]
 
 
-class _RelatedBase:
-    """Shared driver: completion-time state and schedule building."""
+class _RelatedBase(ImmediateDispatchScheduler):
+    """Shared driver: the core immediate-dispatch loop plus a speed
+    cluster feeding :meth:`exec_time`."""
 
     def __init__(self, cluster: SpeedCluster) -> None:
+        super().__init__(cluster.m)
         self.cluster = cluster
-        self.m = cluster.m
-        self.completions: dict[int, float] = {j: 0.0 for j in range(1, self.m + 1)}
-        self._placements: dict[int, tuple[int, float]] = {}
-        self._derived_tasks: list[Task] = []
-        self._last_release = 0.0
 
-    def choose(self, task: Task) -> int:
-        raise NotImplementedError
-
-    def submit(self, task: Task) -> tuple[int, float]:
-        """Dispatch one task (``task.proc`` = work); returns
-        ``(machine, start)``."""
-        if task.release < self._last_release:
-            raise ValueError("online submission must follow release order")
-        self._last_release = task.release
-        machine = self.choose(task)
-        if task.machines is not None and machine not in task.machines:
-            raise ValueError(f"chose machine {machine} outside processing set")
-        start = max(task.release, self.completions[machine])
-        exec_time = self.cluster.exec_time(task.proc, machine)
-        self.completions[machine] = start + exec_time
-        self._placements[task.tid] = (machine, start)
-        self._derived_tasks.append(replace(task, proc=exec_time))
-        return machine, start
-
-    def run(self, instance: Instance) -> Schedule:
-        """Schedule a whole instance (``proc`` fields = work)."""
-        if instance.m != self.m:
-            raise ValueError(f"instance has m={instance.m}, cluster has m={self.m}")
-        for task in instance:
-            self.submit(task)
-        return self.schedule()
-
-    def schedule(self) -> Schedule:
-        """Materialise the realised schedule (execution times divided
-        by speeds)."""
-        derived = Instance(m=self.m, tasks=tuple(self._derived_tasks))
-        sched = Schedule(derived, self._placements)
-        return sched
+    def exec_time(self, task: Task, machine: int) -> float:
+        """Work divided by the chosen machine's speed."""
+        return self.cluster.exec_time(task.proc, machine)
 
     def _eligible(self, task: Task) -> list[int]:
         return sorted(task.eligible(self.m))
@@ -92,18 +61,28 @@ class GreedyRelated(_RelatedBase):
 
     name = "Greedy(Q)"
 
-    def choose(self, task: Task) -> int:
+    def choose(self, task: Task) -> tuple[int, frozenset[int]]:
         best = None
         best_key = None
+        best_finish = None
         for j in self._eligible(task):
             finish = max(task.release, self.completions[j]) + self.cluster.exec_time(
                 task.proc, j
             )
             key = (finish, -self.cluster.speed(j), j)
             if best_key is None or key < best_key:
-                best, best_key = j, key
+                best, best_key, best_finish = j, key, finish
         assert best is not None
-        return best
+        # The tie set is the related-machine analogue of Eq. (2)'s
+        # U'_i: every eligible machine achieving the minimal finish.
+        ties = frozenset(
+            j
+            for j in task.eligible(self.m)
+            if max(task.release, self.completions[j])
+            + self.cluster.exec_time(task.proc, j)
+            == best_finish
+        )
+        return best, ties
 
 
 class SlowFitRelated(_RelatedBase):
@@ -117,7 +96,7 @@ class SlowFitRelated(_RelatedBase):
         self._bound = initial_bound  # Lambda; lazily initialised
         self.doublings = 0
 
-    def choose(self, task: Task) -> int:
+    def choose(self, task: Task) -> tuple[int, frozenset[int]]:
         eligible = self._eligible(task)
         fastest_time = min(self.cluster.exec_time(task.proc, j) for j in eligible)
         if self._bound is None:
@@ -134,6 +113,6 @@ class SlowFitRelated(_RelatedBase):
                     candidates.append((self.cluster.speed(j), j))
             if candidates:
                 candidates.sort()  # slowest speed first, then index
-                return candidates[0][1]
+                return candidates[0][1], frozenset(j for _, j in candidates)
             self._bound *= 2
             self.doublings += 1

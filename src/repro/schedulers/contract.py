@@ -1,0 +1,113 @@
+"""The ``SchedulingPolicy`` contract — what a zoo policy must provide.
+
+Every policy in the registry is an
+:class:`~repro.core.dispatch.ImmediateDispatchScheduler`: the paper's
+Immediate Dispatch property (Section 3) is the one structural
+assumption the whole stack — simulator, serve tier, shard router,
+fault injection, campaigns — is built on.  The base class is the
+contract; this module documents the hooks and provides a structural
+checker the registry applies at registration time.
+
+Required surface (provided or overridden on the base class)
+-----------------------------------------------------------
+
+``choose(task) -> (machine, tie_set)``
+    The placement decision.  ``machine`` must be in ``task.eligible(m)``
+    (the driver enforces it); ``tie_set`` is the reported candidate set
+    (EFT's :math:`U'_i` of Equation (2); baselines report the full
+    eligible set).
+
+``exec_time(task, machine) -> float``
+    The realised service time of the task on the chosen machine.
+    Identical machines return ``task.proc``; related machines divide
+    work by speed; setup-time models add a warmup penalty on cold
+    machines.  Called exactly once per dispatch, *after* ``choose`` —
+    implementations may update warm/feedback state here.  When the
+    result differs from ``task.proc`` the driver records it in the
+    sparse ``_service`` book, and both the analytic ``schedule()`` and
+    the engine build *derived* instances over realised times.
+
+``preemptive`` (class attribute, default ``False``)
+    Whether the engine should preempt running tasks.  Preemptive
+    policies must also provide::
+
+        preempt_key(task, remaining, now) -> orderable
+
+    an orderable priority the engine *minimises* over a machine's
+    queued-plus-running tasks at every PREEMPT re-evaluation
+    (``remaining`` is the task's remaining service time).  The engine
+    preempts only on a strictly smaller key, so equal-priority tasks
+    never thrash.  Preemption is machine-local: a preempted task keeps
+    its machine assignment and its residual work cannot migrate.
+
+``clairvoyant`` (class attribute, default ``True``)
+    Whether ``choose`` reads ``task.proc``.  Non-clairvoyant policies
+    decide from observable state only; they may still use the realised
+    processing time inside ``exec_time`` (the *system* experiences the
+    service time either way).
+
+Optional surface
+----------------
+
+``on_replicas_added(machines, now)``
+    Called by :meth:`repro.serve.dispatcher.Dispatcher.apply_placement`
+    when a rebalance widens replica sets onto ``machines``.  Setup-time
+    policies invalidate their warm state here so newly-widened replicas
+    pay the warmup penalty again.
+
+``name`` (instance or class attribute)
+    Human-readable policy name, recorded in trace headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dispatch import ImmediateDispatchScheduler
+
+__all__ = ["PolicyInfo", "check_policy", "policy_info"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyInfo:
+    """Static description of a registered policy (for ``list`` output
+    and the comparison table header)."""
+
+    key: str
+    #: display name of a freshly built instance (``scheduler.name``)
+    display: str
+    preemptive: bool
+    clairvoyant: bool
+    summary: str
+
+
+def check_policy(cls: type) -> None:
+    """Structural contract check applied at registration time.
+
+    Raises :class:`TypeError` on violations — a policy that is not an
+    ``ImmediateDispatchScheduler``, or a preemptive policy without a
+    callable ``preempt_key``.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, ImmediateDispatchScheduler)):
+        raise TypeError(
+            f"{cls!r} is not an ImmediateDispatchScheduler subclass; "
+            "the zoo contract requires the immediate-dispatch driver"
+        )
+    if getattr(cls, "preemptive", False) and not callable(
+        getattr(cls, "preempt_key", None)
+    ):
+        raise TypeError(
+            f"{cls.__name__} declares preemptive=True but has no callable "
+            "preempt_key(task, remaining, now)"
+        )
+
+
+def policy_info(key: str, scheduler: ImmediateDispatchScheduler, summary: str = "") -> PolicyInfo:
+    """Describe a built scheduler instance."""
+    return PolicyInfo(
+        key=key,
+        display=getattr(scheduler, "name", type(scheduler).__name__),
+        preemptive=bool(getattr(scheduler, "preemptive", False)),
+        clairvoyant=bool(getattr(scheduler, "clairvoyant", True)),
+        summary=summary,
+    )

@@ -1,0 +1,94 @@
+"""NC-Setup — non-clairvoyant scheduling with per-machine setup times.
+
+Mäcker et al. (PAPERS.md) study online machine minimisation and
+max-flow with *setup times*: a machine must pay a fixed setup
+:math:`s` before serving work it is not configured for.  In the serve
+tier this models **replica cache warmup** — a replica newly added to a
+key's processing set serves its first request from cold storage.
+
+The policy is non-clairvoyant (``clairvoyant = False``): it never
+reads ``task.proc`` to decide.  It ranks eligible machines by the
+observable pair *(outstanding requests, cold penalty)*:
+
+.. math::
+
+    \\text{score}(j) = q_j + [j \\text{ cold for } T_i] \\cdot s
+
+with ties broken by index — a least-outstanding-requests rule that
+charges cold machines ``s`` phantom requests' worth of reluctance.
+The *system* model: the first task of each key group on a machine pays
+``setup`` extra service time (the warmup), recorded through the
+``exec_time`` hook so the analytic books, the engine, and the serve
+tier all see the realised times.
+
+Warm state is keyed ``(machine, task.key)``; unkeyed tasks share one
+pseudo-key (the machine warms once).  A rebalance that widens replica
+sets invalidates the warm state of the added machines via
+:meth:`NCSetup.on_replicas_added` — the
+:meth:`repro.serve.dispatcher.Dispatcher.apply_placement` integration —
+so migration is not free.
+"""
+
+from __future__ import annotations
+
+from ..core.nonclairvoyant import _OutstandingTracker
+from ..core.task import Task
+
+__all__ = ["NCSetup"]
+
+
+class NCSetup(_OutstandingTracker):
+    """Non-clairvoyant least-outstanding dispatch with setup times."""
+
+    clairvoyant = False
+
+    def __init__(self, m: int, setup: float = 1.0) -> None:
+        super().__init__(m)
+        if setup < 0:
+            raise ValueError("setup must be non-negative")
+        self.setup = float(setup)
+        #: keys each machine is warm for (has served at least once)
+        self.warm: dict[int, set] = {j: set() for j in range(1, m + 1)}
+        #: total setup time paid so far (observability)
+        self.setup_paid = 0.0
+        self.name = f"NC-Setup(s={self.setup:g})"
+
+    @staticmethod
+    def _key_of(task: Task):
+        # Unkeyed tasks share one pseudo-key: the machine warms once.
+        return task.key if task.key is not None else ()
+
+    def is_warm(self, machine: int, task: Task) -> bool:
+        """Whether ``machine`` is configured (cache-warm) for ``task``."""
+        return self._key_of(task) in self.warm[machine]
+
+    def choose(self, task: Task) -> tuple[int, frozenset[int]]:
+        eligible = sorted(task.eligible(self.m))
+        counts = self.outstanding(task.release)
+        machine = min(
+            eligible,
+            key=lambda j: (counts[j] + (0.0 if self.is_warm(j, task) else self.setup), j),
+        )
+        return machine, frozenset(eligible)
+
+    def exec_time(self, task: Task, machine: int) -> float:
+        """Realised service: ``proc`` plus the warmup on a cold
+        machine; marks the machine warm and records the in-flight
+        completion for the outstanding counts."""
+        dur = task.proc
+        if not self.is_warm(machine, task):
+            dur += self.setup
+            self.setup_paid += self.setup
+            self.warm[machine].add(self._key_of(task))
+        start = max(task.release, self.completions[machine])
+        self._record_dispatch(machine, start + dur)
+        return dur
+
+    # -- rebalance integration --------------------------------------------
+    def on_replicas_added(self, machines, now: float) -> None:
+        """A rebalance widened replica sets onto ``machines``: their
+        caches are cold again, so the next task of every key pays the
+        warmup on them."""
+        for j in machines:
+            if j in self.warm:
+                self.warm[j].clear()

@@ -1,0 +1,48 @@
+"""SRPT-PS — preemptive shortest remaining processing time with
+processing-set restrictions.
+
+Fox & Moseley analyse SRPT on identical machines (PAPERS.md): it is
+scalable for total flow time, and on a single machine preemptive SRPT
+is *optimal* for :math:`\\sum C_j` (hence for mean flow).  This policy
+extends it to the paper's structured processing sets:
+
+* **Dispatch** is EFT-Min (Equation (2), lowest-index tie-break): with
+  immediate dispatch a task must be bound to a machine at release, and
+  the earliest-finishing eligible machine is the natural SRPT-spirited
+  binding — the per-machine task *sets* coincide exactly with EFT-Min's.
+* **Sequencing** on each machine is preemptive SRPT: whenever new work
+  lands on a busy machine, the engine re-evaluates (one PREEMPT event
+  per machine per instant, after the whole same-instant release batch)
+  and runs the task with the smallest remaining service time; strict
+  inequality is required to preempt, so equal remainders never thrash.
+
+Because dispatch matches EFT-Min, the analytic books
+(:attr:`completions`, :meth:`schedule`) stay exact — per-machine busy
+periods are invariant under work-conserving re-sequencing — and
+SRPT-PS's simulated mean flow is deterministically ≤ EFT-Min's on any
+fault-free instance (single-machine SRPT optimality applied per
+machine).  That ordering is the ``zoo-smoke`` sanity gate.
+"""
+
+from __future__ import annotations
+
+from ..core.eft import EFT
+from ..core.task import Task
+
+__all__ = ["SRPTPS"]
+
+
+class SRPTPS(EFT):
+    """Preemptive SRPT over EFT-Min dispatch (processing-set aware)."""
+
+    preemptive = True
+
+    def __init__(self, m: int) -> None:
+        super().__init__(m, tiebreak="min")
+        self.name = "SRPT-PS"
+
+    @staticmethod
+    def preempt_key(task: Task, remaining: float, now: float):
+        """Smallest remaining work first; release then tid break ties
+        deterministically (older task wins, matching FIFO intuition)."""
+        return (remaining, task.release, task.tid)

@@ -305,6 +305,13 @@ class Dispatcher:
                 if 1 <= j <= self.m:
                     base = max(self.scheduler.completions[j], now)
                     self.scheduler.completions[j] = base + warmup
+        if added:
+            # Setup-time policies (NC-Setup) invalidate their warm
+            # state so widened replicas pay the cache-warmup penalty
+            # again; probed, so every other policy is unaffected.
+            hook = getattr(self.scheduler, "on_replicas_added", None)
+            if hook is not None:
+                hook([j for j in added if 1 <= j <= self.m], now)
         migrated: list[DispatchDecision] = []
         for tid in sorted(self.placements):
             machine, start = self.placements[tid]

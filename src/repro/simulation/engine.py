@@ -48,7 +48,7 @@ identity guarded by ``tests/faults``).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
@@ -109,6 +109,10 @@ class MachineState:
     #: its remaining processing time.
     paused: Task | None = None
     paused_residual: float = 0.0
+    #: a PREEMPT re-evaluation is already queued for this instant —
+    #: several same-instant releases coalesce to one deterministic
+    #: check after the whole batch dispatched.
+    preempt_pending: bool = False
 
     def waiting_work(self, now: float) -> float:
         """Remaining work at ``now``: residual of the running task plus
@@ -148,6 +152,12 @@ class SimulationResult:
     n_resumed: int = 0
     total_downtime: float = 0.0
     wasted_work: float = 0.0
+    #: preemptions performed (always zero for non-preemptive policies —
+    #: a zoo-wide invariant guarded by ``tests/schedulers``).  On a
+    #: preemptive run ``schedule`` records first starts; flows come
+    #: from the engine's actual completion times, and the schedule's
+    #: machine-exclusivity invariant does not apply.
+    n_preempted: int = 0
 
 
 class Simulator:
@@ -238,10 +248,24 @@ class Simulator:
         self.parked: list[Task] = []
         self.n_requeued = 0
         self.n_resumed = 0
+        self.n_preempted = 0
         self.wasted_work = 0.0
         #: work already credited to busy_time for paused (resume
-        #: policy) tasks, deducted again at their final COMPLETE.
+        #: policy) and preempted tasks, deducted again at their final
+        #: COMPLETE so each task's total credit is exactly its service.
         self._credited: dict[int, float] = {}
+        #: remaining service of preempted tasks (tid -> residual).
+        self._remaining: dict[int, float] = {}
+        #: the scheduler's sparse realised-service books (empty for
+        #: plain identical-machine policies, so the hot path reads
+        #: ``task.proc`` directly and stays byte-identical).
+        self._svc: dict[int, float] | None = getattr(scheduler, "_service", None)
+        self._preemptive = bool(getattr(scheduler, "preemptive", False))
+        if self._preemptive and not callable(getattr(scheduler, "preempt_key", None)):
+            raise TypeError(
+                f"{type(scheduler).__name__} declares preemptive=True but has no "
+                "preempt_key(task, remaining, now) method"
+            )
         if faults is not None:
             if faults.max_machine() > self.m:
                 raise ValueError(
@@ -361,6 +385,46 @@ class Simulator:
         if self.obs is not None:
             self.obs.on_release(self, task)
         self._try_start(mach)
+        if (
+            self._preemptive
+            and mach.current is not None
+            and mach.queue
+            and not mach.preempt_pending
+        ):
+            # Re-evaluate after the whole same-instant release batch
+            # (PREEMPT fires after every RELEASE of this instant).
+            mach.preempt_pending = True
+            self.events.push(self.now, EventKind.PREEMPT, mach.index)
+
+    def _service_time(self, task: Task) -> float:
+        """Realised service time of ``task`` (its scheduler-recorded
+        execution time where that differs from ``proc``)."""
+        svc = self._svc
+        if svc:
+            return svc.get(task.tid, task.proc)
+        return task.proc
+
+    def _pick_queued(self, mach: MachineState) -> Task:
+        """Remove and return the queued task the policy runs next:
+        FIFO head for non-preemptive policies, the minimum
+        ``preempt_key`` for preemptive ones (deterministic — the key
+        embeds the tid)."""
+        if not self._preemptive:
+            return mach.queue.popleft()
+        key = self.scheduler.preempt_key
+        best = min(
+            range(len(mach.queue)),
+            key=lambda i: key(
+                mach.queue[i],
+                self._remaining.get(
+                    mach.queue[i].tid, self._service_time(mach.queue[i])
+                ),
+                self.now,
+            ),
+        )
+        task = mach.queue[best]
+        del mach.queue[best]
+        return task
 
     def _try_start(self, mach: MachineState) -> None:
         if (
@@ -370,32 +434,76 @@ class Simulator:
             and mach.queue
             and mach.busy_until <= self.now
         ):
-            task = mach.queue.popleft()
+            task = self._pick_queued(mach)
+            residual = self._remaining.pop(task.tid, None)
+            run_for = residual if residual is not None else self._service_time(task)
             mach.current = task
-            mach.busy_until = self.now + task.proc
+            mach.busy_until = self.now + run_for
             mach.stint_start = self.now
-            self.starts[task.tid] = self.now
+            first = task.tid not in self.starts
+            if first:
+                self.starts[task.tid] = self.now
             self.events.push(
                 mach.busy_until, EventKind.COMPLETE, (mach.index, task, mach.epoch)
             )
             if self.obs is not None:
-                self.obs.on_start(self, task, mach.index)
+                if first:
+                    self.obs.on_start(self, task, mach.index)
+                else:
+                    self._obs_hook("on_preempt_resume", task, mach.index)
 
     def _handle_complete(self, machine_index: int, task: Task, epoch: int = 0) -> None:
         mach = self.machines[machine_index]
         if epoch != mach.epoch:
-            return  # stale: the machine failed after this was scheduled
+            return  # stale: the machine failed (or preempted) after this was scheduled
         mach.current = None
         mach.tasks_done += 1
         # Busy time is credited at completion (not at start), so a
         # truncated run only counts work actually performed.  Work
-        # already credited at an interruption (resume policy) is
-        # deducted so the task's total credit is exactly its proc.
-        mach.busy_time += task.proc - self._credited.pop(task.tid, 0.0)
+        # already credited at an interruption (resume policy or a
+        # preemption) is deducted so the task's total credit is exactly
+        # its service time.
+        mach.busy_time += self._service_time(task) - self._credited.pop(task.tid, 0.0)
         self.completions[task.tid] = self.now
         if self.obs is not None:
             self.obs.on_complete(self, task, machine_index)
         self._try_start(mach)
+
+    # -- preemption handlers -------------------------------------------------
+    def _handle_preempt(self, machine: int) -> None:
+        """Deterministic preemption check: if some queued task beats
+        the running one under the policy's ``preempt_key``, park the
+        running task's residual back on the queue and re-fill the
+        machine (via a RESUME event at this instant, in the pinned
+        order).  Idempotent — a stale check on a machine whose state
+        already settled does nothing."""
+        mach = self.machines[machine]
+        mach.preempt_pending = False
+        if not mach.alive or mach.current is None or not mach.queue:
+            return
+        cur = mach.current
+        cur_rem = mach.busy_until - self.now
+        key = self.scheduler.preempt_key
+        best_key = min(
+            key(t, self._remaining.get(t.tid, self._service_time(t)), self.now)
+            for t in mach.queue
+        )
+        if best_key >= key(cur, cur_rem, self.now):
+            return
+        work_done = self.now - mach.stint_start
+        mach.busy_time += work_done
+        self._credited[cur.tid] = self._credited.get(cur.tid, 0.0) + work_done
+        self._remaining[cur.tid] = cur_rem
+        mach.current = None
+        mach.busy_until = self.now
+        mach.epoch += 1  # the stint's pending COMPLETE becomes stale
+        mach.queue.append(cur)
+        self.n_preempted += 1
+        self._obs_hook("on_preempt", cur, machine)
+        self.events.push(self.now, EventKind.RESUME, machine)
+
+    def _handle_resume(self, machine: int) -> None:
+        self._try_start(self.machines[machine])
 
     # -- fault handlers ------------------------------------------------------
     def _engine_choose(self, candidates: Iterable[int]) -> int:
@@ -449,14 +557,23 @@ class Simulator:
                 mach.paused = task
                 mach.paused_residual = residual
                 self._credited[task.tid] = self._credited.get(task.tid, 0.0) + work_done
-            else:  # restart-elsewhere: progress is lost
-                self.wasted_work += work_done
+            else:  # restart-elsewhere: progress is lost (including any
+                # earlier preempted stints credited on this machine)
+                self.wasted_work += work_done + self._credited.pop(task.tid, 0.0)
+                self._remaining.pop(task.tid, None)
                 self.starts.pop(task.tid, None)
                 displaced.append(task)
         mach.busy_until = self.now
         displaced.extend(mach.queue)
         mach.queue.clear()
         for task in displaced:
+            if task.tid in self._remaining:
+                # A preempted task's partial progress lives on this
+                # machine; losing the machine loses the progress under
+                # either policy (the residual cannot migrate).
+                del self._remaining[task.tid]
+                self.wasted_work += self._credited.pop(task.tid, 0.0)
+                self.starts.pop(task.tid, None)
             self._redispatch(task)
 
     def _handle_machine_up(self, machine: int) -> None:
@@ -541,6 +658,10 @@ class Simulator:
                 self._handle_machine_down(ev.payload)
             elif ev.kind is EventKind.MACHINE_UP:
                 self._handle_machine_up(ev.payload)
+            elif ev.kind is EventKind.PREEMPT:
+                self._handle_preempt(ev.payload)
+            elif ev.kind is EventKind.RESUME:
+                self._handle_resume(ev.payload)
             else:  # pragma: no cover - START events are implicit
                 raise RuntimeError(f"unexpected event kind {ev.kind}")
         if until is not None and self.now < until:
@@ -552,7 +673,10 @@ class Simulator:
         """Why this run can't take the array fast path (``None`` = it can)."""
         s = self.scheduler
         if type(s) is not EFT:
-            return f"scheduler {type(s).__name__} is not plain EFT"
+            # Registry policies (SRPT-PS, NC-Setup, Speed-EFT, the
+            # baselines, even EFT subclasses) take the reference loop;
+            # the pinned literal reason lets callers branch on it.
+            return "scheduler"
         if type(s.tiebreak) not in (MinIndex, MaxIndex):
             name = getattr(s.tiebreak, "name", "custom")
             return f"tie-break {name!r} needs per-decision work"
@@ -749,13 +873,23 @@ class Simulator:
             for tid in self.starts
         }
         started_tasks = tuple(t for t in self._tasks if t.tid in self.starts)
+        svc = self._svc
+        if svc:
+            # Service-aware policies: the schedule carries realised
+            # execution times, mirroring the analytic driver's derived
+            # instance (standard metrics and validation apply).
+            started_tasks = tuple(
+                replace(t, proc=svc[t.tid]) if t.tid in svc else t
+                for t in started_tasks
+            )
         inst = Instance(m=self.m, tasks=started_tasks)
         sched = Schedule(inst, placements)
         fault_active = self.faults is not None and bool(self.faults)
-        if fault_active:
-            # Under faults a start no longer determines the completion
-            # (the machine may fail): completed tasks use their actual
-            # engine completion times, everything still open — queued,
+        if fault_active or self._preemptive:
+            # Under faults (or preemption) a start no longer determines
+            # the completion (the machine may fail, or the task may be
+            # interrupted): completed tasks use their actual engine
+            # completion times, everything still open — queued,
             # in-flight, paused, parked — contributes its age as a
             # lower bound.
             all_flows = [
@@ -804,6 +938,7 @@ class Simulator:
             n_resumed=self.n_resumed,
             total_downtime=downtime,
             wasted_work=self.wasted_work,
+            n_preempted=self.n_preempted,
         )
 
     # -- state inspection -----------------------------------------------------

@@ -47,20 +47,28 @@ class EventKind(Enum):
     OBSERVE = auto()  #: a user/adversary callback fires
     MACHINE_DOWN = auto()  #: a machine fails (fault injection)
     MACHINE_UP = auto()  #: a failed machine recovers
+    PREEMPT = auto()  #: re-evaluate a machine's running task (preemptive policies)
+    RESUME = auto()  #: restart a machine freed by a preemption
 
 
 #: Same-instant firing order (lower fires first): recoveries make
 #: machines usable, completions free machines (a completion at the
-#: exact failure instant still counts — the work was done), failures
-#: take machines out *before* the instant's releases dispatch, then
-#: observers see the settled instant.
+#: exact failure instant still counts — the work was done), resumes
+#: behave like starts (a machine freed by a preemption at :math:`t` is
+#: re-filled before the instant's failures and releases), failures
+#: take machines out *before* the instant's releases dispatch,
+#: preemption checks fire after the *whole* same-instant release batch
+#: has dispatched (one deterministic re-evaluation per machine, not
+#: one per arrival), then observers see the settled instant.
 _KIND_PRIORITY: dict[EventKind, int] = {
     EventKind.MACHINE_UP: 0,
     EventKind.COMPLETE: 1,
-    EventKind.START: 2,
-    EventKind.MACHINE_DOWN: 3,
-    EventKind.RELEASE: 4,
-    EventKind.OBSERVE: 5,
+    EventKind.RESUME: 2,
+    EventKind.START: 3,
+    EventKind.MACHINE_DOWN: 4,
+    EventKind.RELEASE: 5,
+    EventKind.PREEMPT: 6,
+    EventKind.OBSERVE: 7,
 }
 
 

@@ -1,0 +1,90 @@
+"""SRPT-PS: EFT-Min dispatch + preemptive SRPT sequencing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import EFT, Instance
+from repro.schedulers import SRPTPS, get_scheduler
+from repro.simulation import Simulator
+from tests.conftest import restricted_unit_instances, unrestricted_instances
+
+
+class TestDispatchEquivalence:
+    @given(unrestricted_instances(max_m=4, max_n=20, unit=False))
+    @settings(max_examples=30, deadline=None)
+    def test_placements_match_eft_min(self, inst):
+        """Machine binding is exactly EFT-Min's; only on-machine order
+        differs.  The analytic schedule is therefore identical."""
+        srpt = SRPTPS(inst.m).run(inst)
+        eft = EFT(inst.m, tiebreak="min").run(inst)
+        assert srpt.same_placements(eft, tol=0.0)
+
+    @given(restricted_unit_instances(max_m=5, max_n=18))
+    @settings(max_examples=30, deadline=None)
+    def test_restricted_sets_respected(self, inst):
+        sched = SRPTPS(inst.m).run(inst)
+        sched.validate()
+        for t in inst:
+            assert sched.machine_of(t.tid) in t.eligible(inst.m)
+
+
+class TestMeanFlowOrdering:
+    @given(unrestricted_instances(max_m=3, max_n=18, unit=False))
+    @settings(max_examples=40, deadline=None)
+    def test_simulated_mean_flow_at_most_eft(self, inst):
+        """Per-machine preemptive SRPT is optimal for sum of completion
+        times, and SRPT-PS shares EFT-Min's per-machine task sets, so
+        fault-free its mean flow is never worse."""
+        flows = []
+        for policy in ("srpt-ps", "eft-min"):
+            sim = Simulator(get_scheduler(policy, inst.m))
+            sim.add_instance(inst)
+            flows.append(sim.run().mean_flow)
+        srpt_flow, eft_flow = flows
+        assert srpt_flow <= eft_flow + 1e-9
+
+
+class TestPreemptKey:
+    def test_orders_by_remaining_then_age(self):
+        from repro.core import Task
+
+        a = Task(tid=0, release=0.0, proc=5.0)
+        b = Task(tid=1, release=1.0, proc=5.0)
+        key = SRPTPS.preempt_key
+        assert key(a, 1.0, now=2.0) < key(b, 2.0, now=2.0)  # less remaining wins
+        assert key(a, 2.0, now=2.0) < key(b, 2.0, now=2.0)  # tie: earlier release
+
+    def test_engine_counts_preemptions(self):
+        from repro.core import Task
+
+        inst = Instance(
+            m=1,
+            tasks=(
+                Task(tid=0, release=0.0, proc=4.0),
+                Task(tid=1, release=1.0, proc=1.0),
+            ),
+        )
+        sim = Simulator(SRPTPS(1))
+        sim.add_instance(inst)
+        assert sim.run().n_preempted == 1
+
+    def test_registry_flags(self):
+        s = get_scheduler("srpt-ps", 2)
+        assert s.preemptive is True
+        assert s.clairvoyant is True
+        assert s.name == "SRPT-PS"
+
+
+class TestAnalyticBooks:
+    @given(unrestricted_instances(max_m=4, max_n=15, unit=False))
+    @settings(max_examples=20, deadline=None)
+    def test_completions_books_match_engine_horizons(self, inst):
+        """Work conservation per machine: re-sequencing never moves a
+        busy period, so the analytic completion horizon of each machine
+        equals the engine's last completion on it."""
+        sim = Simulator(SRPTPS(inst.m))
+        sim.add_instance(inst)
+        res = sim.run()
+        assert res.makespan == pytest.approx(
+            max(sim.scheduler.completions.values())
+        )

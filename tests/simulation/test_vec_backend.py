@@ -33,6 +33,7 @@ RESULT_FIELDS = (
     "n_resumed",
     "total_downtime",
     "wasted_work",
+    "n_preempted",
 )
 
 
@@ -263,6 +264,58 @@ class TestFallbacks:
         sim.run()
         assert sim.backend_used == "reference"
         assert "OBSERVE" in sim.fallback_reason
+
+
+class TestZooFallback:
+    """Satellite: registry policies silently take the reference loop
+    (``fallback_reason == "scheduler"``), while registry-built EFT
+    still fast-forwards through the array engine bit-identically."""
+
+    @pytest.mark.parametrize("name", ["srpt-ps", "nc-setup", "speed-eft", "lor"])
+    def test_non_eft_policy_records_scheduler_reason(self, name):
+        from repro.schedulers import get_scheduler
+
+        inst = _workload(rng=37, n=80)
+        sim = Simulator(get_scheduler(name, inst.m), backend="auto")
+        sim.add_instance(inst)
+        sim.run()
+        assert sim.backend_used == "reference"
+        assert sim.fallback_reason == "scheduler"
+
+    def test_eft_subclass_is_not_plain_eft(self):
+        """Subclassing EFT must not sneak onto the array path — the
+        eligibility check is an exact type check."""
+        from repro.schedulers import SRPTPS
+
+        inst = _workload(rng=41, n=60)
+        sim = Simulator(SRPTPS(inst.m), backend="auto")
+        sim.add_instance(inst)
+        sim.run()
+        assert sim.backend_used == "reference"
+        assert sim.fallback_reason == "scheduler"
+
+    @pytest.mark.parametrize("name", ["eft-min", "eft-max"])
+    def test_registry_eft_fast_forwards_byte_identically(self, name):
+        from repro.campaigns.trace import dumps, record
+        from repro.schedulers import get_scheduler
+
+        inst = _workload(rng=43)
+        runs = {}
+        for backend in ("array", "reference"):
+            sim = Simulator(get_scheduler(name, inst.m), backend=backend)
+            sim.add_instance(inst)
+            runs[backend] = (sim, sim.run())
+        sa, ra = runs["array"]
+        sr, rr = runs["reference"]
+        assert sa.backend_used == "array", sa.fallback_reason
+        assert sr.backend_used == "reference"
+        _assert_identical(ra, rr)
+        # trace bytes off the synced scheduler books are equal too
+        texts = {
+            b: dumps(record(s.scheduler.schedule(), scheduler=name))
+            for b, (s, _) in runs.items()
+        }
+        assert texts["array"] == texts["reference"]
 
 
 class TestDynamicWorkloads:
